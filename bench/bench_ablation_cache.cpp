@@ -1,0 +1,73 @@
+// Ablation: the paper's §1 motivation — "neither state-of-the-art cache
+// replacement policies nor increasing cache size significantly improve SC
+// performance", which is what justifies building a prefetcher instead.
+//
+// Runs the no-prefetcher baseline across replacement policies and SC sizes
+// and contrasts the best of those against what Planaria achieves at the
+// stock configuration.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace planaria;
+  bench::print_header(
+      "Ablation: replacement policy and SC size (no prefetcher)",
+      "§1 — replacement/size insensitivity of the SC");
+  const auto records = std::min<std::uint64_t>(bench::default_records(), 600000);
+  const std::vector<std::string> apps = {"HoK", "Fort", "NBA2"};
+
+  std::printf("replacement policy sweep (4MB SC, no prefetcher):\n");
+  for (const auto kind :
+       {cache::ReplacementKind::kLru, cache::ReplacementKind::kRandom,
+        cache::ReplacementKind::kSrrip, cache::ReplacementKind::kDrrip}) {
+    sim::SimConfig config;
+    config.cache.replacement = kind;
+    sim::ExperimentRunner runner(config, records);
+    for (const auto& app : apps) {
+      const auto r = runner.run(app, sim::PrefetcherKind::kNone);
+      std::printf("  %-8s %-5s amat=%7.1f hit=%5.1f%%\n",
+                  cache::replacement_name(kind), app.c_str(), r.amat_cycles,
+                  100 * r.sc_hit_rate);
+    }
+  }
+
+  std::printf("\nSC size sweep (LRU, no prefetcher; per-channel slice shown):\n");
+  for (const std::uint64_t mb : {2ull, 4ull, 8ull}) {
+    sim::SimConfig config;
+    config.cache.size_bytes = mb << 20 >> 2;  // total mb MB over 4 channels
+    sim::ExperimentRunner runner(config, records);
+    for (const auto& app : apps) {
+      const auto r = runner.run(app, sim::PrefetcherKind::kNone);
+      std::printf("  %lluMB     %-5s amat=%7.1f hit=%5.1f%%\n",
+                  static_cast<unsigned long long>(mb), app.c_str(),
+                  r.amat_cycles, 100 * r.sc_hit_rate);
+    }
+  }
+
+  std::printf("\nreference: Planaria at the stock 4MB/LRU configuration:\n");
+  {
+    sim::ExperimentRunner runner(sim::SimConfig{}, records);
+    for (const auto& app : apps) {
+      const auto r = runner.run(app, sim::PrefetcherKind::kPlanaria);
+      std::printf("  planaria %-5s amat=%7.1f hit=%5.1f%%\n", app.c_str(),
+                  r.amat_cycles, 100 * r.sc_hit_rate);
+    }
+  }
+  std::printf("\nrefresh mode sweep (LPDDR4 REFab vs REFpb, no prefetcher):\n");
+  for (const bool per_bank : {false, true}) {
+    sim::SimConfig config;
+    config.dram.controller.per_bank_refresh = per_bank;
+    sim::ExperimentRunner runner(config, records);
+    for (const auto& app : apps) {
+      const auto r = runner.run(app, sim::PrefetcherKind::kNone);
+      std::printf("  %-8s %-5s amat=%7.1f hit=%5.1f%%\n",
+                  per_bank ? "REFpb" : "REFab", app.c_str(), r.amat_cycles,
+                  100 * r.sc_hit_rate);
+    }
+  }
+
+  std::printf(
+      "\npaper: doubling the SC or changing replacement moves the needle far\n"
+      "less than Planaria does — the SC's misses are capacity/compulsory\n"
+      "misses over a huge working set, not recency mistakes.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: SLP design choices (DESIGN.md §4).
+//
+// Sweeps the three SLP knobs the paper fixes by construction and reports
+// their AMAT/accuracy impact on one SLP-friendly app (HoK) and one hostile
+// app (PM):
+//   * FT promotion threshold (paper: 3 distinct offsets) — lower thresholds
+//     admit one-touch noise pages into the AT/PT.
+//   * AT timeout — too short fragments snapshots, too long delays learning.
+//   * PT capacity — must hold the app's hot-page population.
+#include "bench_util.hpp"
+
+namespace {
+
+void run_sweep(planaria::sim::ExperimentRunner& runner, const char* label,
+               const std::vector<std::string>& apps) {
+  using namespace planaria;
+  for (const auto& app : apps) {
+    const auto r = runner.run(app, sim::PrefetcherKind::kPlanaria);
+    std::printf("  %-24s %-5s amat=%7.1f hit=%5.1f%% acc=%5.1f%% cov=%5.1f%%\n",
+                label, app.c_str(), r.amat_cycles, 100 * r.sc_hit_rate,
+                100 * r.prefetch_accuracy, 100 * r.prefetch_coverage);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace planaria;
+  bench::print_header("Ablation: SLP parameters (FT threshold, AT timeout, PT size)",
+                      "design-choice ablations for Section 3");
+  const std::vector<std::string> apps = {"HoK", "PM"};
+  const auto records = std::min<std::uint64_t>(bench::default_records(), 600000);
+
+  std::printf("FT promotion threshold (paper default 3):\n");
+  for (int threshold : {1, 2, 3}) {
+    sim::ExperimentRunner runner(sim::SimConfig{}, records);
+    runner.planaria_config().slp.promote_threshold = threshold;
+    char label[32];
+    std::snprintf(label, sizeof label, "promote_threshold=%d", threshold);
+    run_sweep(runner, label, apps);
+  }
+
+  std::printf("\nAT timeout (cycles, paper: \"time-out mechanism\"):\n");
+  for (Cycle timeout : {Cycle{5000}, Cycle{50000}, Cycle{500000}}) {
+    sim::ExperimentRunner runner(sim::SimConfig{}, records);
+    runner.planaria_config().slp.at_timeout = timeout;
+    char label[32];
+    std::snprintf(label, sizeof label, "at_timeout=%llu",
+                  static_cast<unsigned long long>(timeout));
+    run_sweep(runner, label, apps);
+  }
+
+  std::printf("\nPT capacity (entries per channel):\n");
+  for (int ways : {2, 6, 12}) {
+    sim::ExperimentRunner runner(sim::SimConfig{}, records);
+    runner.planaria_config().slp.pt_ways = ways;
+    char label[32];
+    std::snprintf(label, sizeof label, "pt_entries=%d", 1024 * ways);
+    run_sweep(runner, label, apps);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: TLP design choices (DESIGN.md §4).
+//
+// Sweeps the RPT size, the page-number distance threshold (Fig. 5/6's 64),
+// and the bitmap similarity floor (the worked example's 4 common bits) on the
+// TLP showcase app (Fort) and on an SLP-dominated app (HoK) where TLP should
+// stay out of the way.
+#include "bench_util.hpp"
+
+namespace {
+
+void run_sweep(planaria::sim::ExperimentRunner& runner, const char* label,
+               const std::vector<std::string>& apps) {
+  using namespace planaria;
+  for (const auto& app : apps) {
+    const auto r = runner.run(app, sim::PrefetcherKind::kPlanaria);
+    std::printf(
+        "  %-24s %-5s amat=%7.1f acc=%5.1f%% cov=%5.1f%% tlp_hits=%llu\n",
+        label, app.c_str(), r.amat_cycles, 100 * r.prefetch_accuracy,
+        100 * r.prefetch_coverage,
+        static_cast<unsigned long long>(r.hits_on_tlp));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace planaria;
+  bench::print_header(
+      "Ablation: TLP parameters (RPT size, distance, similarity floor)",
+      "design-choice ablations for Section 4");
+  const std::vector<std::string> apps = {"Fort", "HoK"};
+  const auto records = std::min<std::uint64_t>(bench::default_records(), 600000);
+
+  std::printf("RPT entries (paper: 128):\n");
+  for (int entries : {32, 64, 128, 256}) {
+    sim::ExperimentRunner runner(sim::SimConfig{}, records);
+    runner.planaria_config().tlp.rpt_entries = entries;
+    char label[32];
+    std::snprintf(label, sizeof label, "rpt_entries=%d", entries);
+    run_sweep(runner, label, apps);
+  }
+
+  std::printf("\ndistance threshold (paper: 64 pages):\n");
+  for (std::uint64_t dist : {4ull, 16ull, 64ull, 256ull}) {
+    sim::ExperimentRunner runner(sim::SimConfig{}, records);
+    runner.planaria_config().tlp.distance_threshold = dist;
+    char label[32];
+    std::snprintf(label, sizeof label, "distance<=%llu",
+                  static_cast<unsigned long long>(dist));
+    run_sweep(runner, label, apps);
+  }
+
+  std::printf("\nsimilarity floor in common bits (paper example: 4):\n");
+  for (int common : {2, 4, 8}) {
+    sim::ExperimentRunner runner(sim::SimConfig{}, records);
+    runner.planaria_config().tlp.min_common_bits = common;
+    char label[32];
+    std::snprintf(label, sizeof label, "min_common_bits=%d", common);
+    run_sweep(runner, label, apps);
+  }
+  return 0;
+}

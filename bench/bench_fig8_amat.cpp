@@ -1,0 +1,77 @@
+// Figure 8: AMAT of the memory system with different prefetchers, plus the
+// Section-1 motivation numbers (traffic overhead of each prefetcher).
+//
+// Paper headlines:
+//   * Planaria reduces AMAT by 24.3% / 21.3% / 15.1% vs none / BOP / SPP.
+//   * BOP *increases* AMAT on Fort, NBA2 and PM despite raising hit rate
+//     (superfluous prefetches congest the LPDDR4 channels).
+//   * Motivation (§1): SPP/BOP reduce AMAT only 10.8% / 3.3% while adding
+//     15.9% / 23.4% memory traffic.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace planaria;
+  bench::print_header("Figure 8: AMAT per application (memory-controller cycles)",
+                      "Fig. 8 — AMAT with different prefetchers; §1 traffic");
+
+  sim::ExperimentRunner runner(sim::SimConfig{}, bench::default_records());
+  const std::vector<sim::PrefetcherKind> kinds = {
+      sim::PrefetcherKind::kNone, sim::PrefetcherKind::kBop,
+      sim::PrefetcherKind::kSpp, sim::PrefetcherKind::kPlanaria};
+  const auto grid = runner.sweep(kinds, /*verbose=*/true);
+  const auto& apps = trace::app_names();
+
+  bench::print_apps_header("prefetcher");
+  for (const auto kind : kinds) {
+    const char* name = sim::prefetcher_kind_name(kind);
+    std::vector<double> row;
+    for (const auto& app : apps) row.push_back(grid.at(app).at(name).amat_cycles);
+    row.push_back(sim::mean(row));
+    bench::print_series_row(name, row);
+  }
+
+  // AMAT reductions of Planaria vs each baseline (paper: 24.3/21.3/15.1%).
+  std::printf("\nAMAT reduction of planaria vs baseline (%%):\n");
+  bench::print_apps_header("baseline");
+  for (const auto kind : {sim::PrefetcherKind::kNone, sim::PrefetcherKind::kBop,
+                          sim::PrefetcherKind::kSpp}) {
+    const char* name = sim::prefetcher_kind_name(kind);
+    std::vector<double> row;
+    for (const auto& app : apps) {
+      row.push_back(100.0 * grid.at(app).at("planaria").amat_reduction_vs(
+                                grid.at(app).at(name)));
+    }
+    row.push_back(sim::mean(row));
+    bench::print_series_row(name, row);
+  }
+  std::printf("paper:      vs none 24.3%%   vs bop 21.3%%   vs spp 15.1%%\n");
+
+  // Traffic overhead vs no-prefetcher (paper §1: SPP +15.9%, BOP +23.4%).
+  std::printf("\nDRAM traffic overhead vs none (%%):\n");
+  bench::print_apps_header("prefetcher");
+  for (const auto kind : {sim::PrefetcherKind::kBop, sim::PrefetcherKind::kSpp,
+                          sim::PrefetcherKind::kPlanaria}) {
+    const char* name = sim::prefetcher_kind_name(kind);
+    std::vector<double> row;
+    for (const auto& app : apps) {
+      row.push_back(100.0 * grid.at(app).at(name).traffic_overhead_vs(
+                                grid.at(app).at("none")));
+    }
+    row.push_back(sim::mean(row));
+    bench::print_series_row(name, row);
+  }
+  std::printf("paper:      bop +23.4%%   spp +15.9%%   (planaria: small)\n");
+
+  // The BOP anomaly: apps where BOP raises hit rate yet raises AMAT too.
+  std::printf("\nBOP anomaly check (paper: Fort, NBA2, PM):\n");
+  for (const auto& app : apps) {
+    const auto& none = grid.at(app).at("none");
+    const auto& bop = grid.at(app).at("bop");
+    if (bop.sc_hit_rate > none.sc_hit_rate && bop.amat_cycles > none.amat_cycles) {
+      std::printf("  %s: hit %.1f%% -> %.1f%% but AMAT %.1f -> %.1f\n",
+                  app.c_str(), 100 * none.sc_hit_rate, 100 * bop.sc_hit_rate,
+                  none.amat_cycles, bop.amat_cycles);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 9: breakdown of Planaria's improvement into SLP vs TLP shares.
+//
+// Methodology: ablation runs per app — {none, SLP-only, full Planaria}. The
+// share attributed to SLP is the AMAT improvement SLP-only achieves over the
+// no-prefetcher baseline; TLP's share is the additional improvement the full
+// coordinator adds on top. Cross-checked against the cache's fill-source
+// attribution (useful prefetches tagged SLP vs TLP).
+//
+// Paper shape: SLP contributes ~80% of the overall gain; TLP's contribution
+// is small on CFM/QSM/HI3/KO/NBA2 and dominant on Fort (SLP starves there,
+// and the low-priority TLP finally gets to issue).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace planaria;
+  bench::print_header("Figure 9: Planaria performance breakdown (SLP vs TLP)",
+                      "Fig. 9 — Planaria performance breakdown");
+
+  sim::ExperimentRunner runner(sim::SimConfig{}, bench::default_records());
+  const std::vector<sim::PrefetcherKind> kinds = {
+      sim::PrefetcherKind::kNone, sim::PrefetcherKind::kPlanariaSlpOnly,
+      sim::PrefetcherKind::kPlanaria};
+  const auto grid = runner.sweep(kinds, /*verbose=*/true);
+  const auto& apps = trace::app_names();
+
+  std::printf("%-10s %10s %10s %10s %9s %9s %14s\n", "app", "amat-none",
+              "amat-slp", "amat-full", "slp-share", "tlp-share", "useful slp/tlp");
+  std::vector<double> slp_shares;
+  for (const auto& app : apps) {
+    const auto& none = grid.at(app).at("none");
+    const auto& slp = grid.at(app).at("planaria-slp");
+    const auto& full = grid.at(app).at("planaria");
+    const double total_gain = none.amat_cycles - full.amat_cycles;
+    const double slp_gain = none.amat_cycles - slp.amat_cycles;
+    double slp_share = total_gain > 0 ? slp_gain / total_gain : 0.0;
+    if (slp_share < 0) slp_share = 0;
+    if (slp_share > 1) slp_share = 1;
+    slp_shares.push_back(slp_share);
+    std::printf("%-10s %10.1f %10.1f %10.1f %8.1f%% %8.1f%% %8llu/%llu\n",
+                app.c_str(), none.amat_cycles, slp.amat_cycles, full.amat_cycles,
+                100 * slp_share, 100 * (1 - slp_share),
+                static_cast<unsigned long long>(full.hits_on_slp),
+                static_cast<unsigned long long>(full.hits_on_tlp));
+  }
+  std::printf("%-10s %43s %8.1f%% %8.1f%%\n", "average", "",
+              100 * sim::mean(slp_shares), 100 * (1 - sim::mean(slp_shares)));
+  std::printf(
+      "\npaper: SLP ~80%% of overall improvement on average; TLP contributes\n"
+      "most of Fort's improvement and little on CFM/QSM/HI3/KO/NBA2.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the figure/table benches.
+//
+// Every bench binary regenerates one table or figure from the paper: it runs
+// the necessary (app x prefetcher) grid and prints the same rows/series the
+// paper reports, plus the paper's headline value for side-by-side comparison.
+// Record count defaults to a laptop-scale trace and scales with
+// PLANARIA_RECORDS (the paper's traces are 67-71M records; the shapes are
+// stable from ~1M on).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace planaria::bench {
+
+/// Default records per app for figure benches. 1.6M is where the headline
+/// comparison has converged to within a point or two of its asymptote (see
+/// bench_convergence) while a full 10-app, 4-prefetcher grid still completes
+/// in minutes; the paper's traces are 67-71M records.
+inline std::uint64_t default_records() {
+  return sim::records_from_env(1600000);
+}
+
+inline void print_header(const std::string& what, const std::string& paper_ref) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("=============================================================\n");
+}
+
+/// Prints "name  v1 v2 v3 ..." rows for per-app series.
+inline void print_series_row(const std::string& name,
+                             const std::vector<double>& values,
+                             const char* fmt = " %8.2f") {
+  std::printf("%-10s", name.c_str());
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+inline void print_apps_header(const char* row_label) {
+  std::printf("%-10s", row_label);
+  for (const auto& app : trace::app_names()) std::printf(" %8s", app.c_str());
+  std::printf(" %8s\n", "avg");
+}
+
+}  // namespace planaria::bench

@@ -1,0 +1,73 @@
+// Extending the library: implement a custom memory-side prefetcher against
+// the prefetch::Prefetcher interface and evaluate it on the standard grid.
+//
+// The example prefetcher ("page-burst") is deliberately simple: on a demand
+// miss it prefetches the rest of the 16-block segment the miss landed in —
+// a memory-side cousin of adjacent-line prefetching. Comparing it against
+// Planaria shows why footprint *patterns* beat blanket spatial coverage: the
+// burst prefetcher wins coverage but pays in accuracy and traffic.
+#include <cstdio>
+#include <memory>
+
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace planaria;
+
+/// Prefetches every remaining block of the current page segment on a miss.
+class PageBurstPrefetcher final : public prefetch::Prefetcher {
+ public:
+  void on_demand(const prefetch::DemandEvent& event,
+                 std::vector<prefetch::PrefetchRequest>& out) override {
+    if (event.sc_hit) return;
+    const std::uint64_t base = event.page * kBlocksPerSegment;
+    for (int b = 0; b < kBlocksPerSegment; ++b) {
+      if (b == event.block_in_segment) continue;
+      out.push_back(prefetch::PrefetchRequest{
+          base + static_cast<std::uint64_t>(b),
+          cache::FillSource::kPrefetchOther});
+    }
+  }
+
+  const char* name() const override { return "page-burst"; }
+  std::uint64_t storage_bits() const override { return 0; }
+};
+
+}  // namespace
+
+int main() {
+  try {
+    sim::ExperimentRunner runner(sim::SimConfig{},
+                                 sim::records_from_env(300000));
+    std::printf("%-12s %-10s %10s %9s %9s %9s %10s\n", "app", "prefetcher",
+                "AMAT(cyc)", "hit-rate", "accuracy", "coverage", "traffic");
+    for (const char* app : {"HoK", "Fort"}) {
+      const auto none = runner.run(app, sim::PrefetcherKind::kNone);
+
+      // Plug the custom prefetcher into the same simulator the built-in
+      // sweeps use: a factory returns one instance per channel.
+      const auto burst = sim::Simulator::run(
+          runner.config(),
+          [](int) { return std::make_unique<PageBurstPrefetcher>(); },
+          "page-burst", runner.trace_for(app));
+      const auto planaria = runner.run(app, sim::PrefetcherKind::kPlanaria);
+
+      for (const auto* r : {&none, &burst, &planaria}) {
+        std::printf("%-12s %-10s %10.1f %8.1f%% %8.1f%% %8.1f%% %+9.1f%%\n",
+                    app, r->prefetcher.c_str(), r->amat_cycles,
+                    100 * r->sc_hit_rate, 100 * r->prefetch_accuracy,
+                    100 * r->prefetch_coverage,
+                    100 * r->traffic_overhead_vs(none));
+      }
+    }
+    std::printf(
+        "\npage-burst buys coverage with indiscriminate traffic; Planaria\n"
+        "gets comparable coverage at a fraction of the fetches by replaying\n"
+        "learned footprints only.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

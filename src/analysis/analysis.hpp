@@ -1,0 +1,65 @@
+// Trace analysis tools behind the paper's observation figures.
+//
+//  * footprint_snapshot()    — Fig. 2: the (arrival time, block) scatter of
+//    one page, demonstrating stable snapshot membership, long reuse distance,
+//    and shuffled intra-snapshot order.
+//  * overlap_rate()          — Fig. 3/4 methodology: per page, the accessed-
+//    block set of consecutive equal-size windows is compared; the overlap
+//    rate |cur ∩ prev| / |cur| averaged over windows and pages validates
+//    Observation 1 (paper: > 80% on every app).
+//  * learnable_neighbor_fraction() — Fig. 5: the fraction of pages that have
+//    at least one page within a page-number distance threshold whose final
+//    access bitmap differs by at most `max_bit_diff` bits (Observation 2;
+//    paper: 26.95% average at distance 4, 39.26% at 64).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace planaria::analysis {
+
+struct FootprintSample {
+  Cycle arrival;
+  int block;  ///< 0..63 within the page
+};
+
+/// Access scatter for `page`; empty if the page never appears.
+std::vector<FootprintSample> footprint_snapshot(
+    const std::vector<trace::TraceRecord>& records, PageNumber page);
+
+/// The page with the most accesses (a good Fig. 2 subject). Returns false if
+/// the trace is empty.
+bool hottest_page(const std::vector<trace::TraceRecord>& records,
+                  PageNumber& page_out);
+
+struct OverlapResult {
+  double average_overlap = 0.0;  ///< mean over all windows of all pages
+  std::uint64_t windows_compared = 0;
+  std::uint64_t pages_analyzed = 0;
+};
+
+/// Window methodology of Fig. 3. `window` is the number of accesses per
+/// window for each page; the paper sizes it from the page's typical accessed
+/// block count, so `window == 0` means "per page, use that page's distinct
+/// block count".
+OverlapResult overlap_rate(const std::vector<trace::TraceRecord>& records,
+                           std::uint64_t window = 0);
+
+/// Final access bitmap (64 blocks) of every page in the trace.
+std::map<PageNumber, PageBitmap> page_bitmaps(
+    const std::vector<trace::TraceRecord>& records);
+
+/// Fraction of pages with at least one learnable neighbor for each distance
+/// threshold in `distance_thresholds` (bit-difference floor `max_bit_diff`,
+/// paper default 4).
+std::vector<double> learnable_neighbor_fraction(
+    const std::vector<trace::TraceRecord>& records,
+    const std::vector<std::uint64_t>& distance_thresholds,
+    int max_bit_diff = 4);
+
+}  // namespace planaria::analysis

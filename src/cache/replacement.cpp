@@ -1,0 +1,160 @@
+#include "cache/replacement.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace planaria::cache {
+
+namespace {
+
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(std::uint32_t sets, int ways)
+      : ways_(ways), stamps_(static_cast<std::size_t>(sets) * ways, 0) {}
+
+  void on_hit(std::uint32_t set, int way) override { touch(set, way); }
+  void on_fill(std::uint32_t set, int way, bool) override { touch(set, way); }
+
+  int victim(std::uint32_t set) override {
+    int v = 0;
+    std::uint64_t oldest = stamps_[index(set, 0)];
+    for (int w = 1; w < ways_; ++w) {
+      if (stamps_[index(set, w)] < oldest) {
+        oldest = stamps_[index(set, w)];
+        v = w;
+      }
+    }
+    return v;
+  }
+
+ private:
+  std::size_t index(std::uint32_t set, int way) const {
+    return static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_) +
+           static_cast<std::size_t>(way);
+  }
+  void touch(std::uint32_t set, int way) { stamps_[index(set, way)] = ++tick_; }
+
+  int ways_;
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t tick_ = 0;
+};
+
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(int ways, std::uint64_t seed) : ways_(ways), rng_(seed) {}
+
+  void on_hit(std::uint32_t, int) override {}
+  void on_fill(std::uint32_t, int, bool) override {}
+  int victim(std::uint32_t) override {
+    return static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(ways_)));
+  }
+
+ private:
+  int ways_;
+  Rng rng_;
+};
+
+/// Static RRIP (Jaleel et al., ISCA'10) with 2-bit re-reference prediction
+/// values. Prefetch fills insert at distant-rereference to resist pollution.
+class SrripPolicy : public ReplacementPolicy {
+ public:
+  SrripPolicy(std::uint32_t sets, int ways)
+      : ways_(ways), rrpv_(static_cast<std::size_t>(sets) * ways, kMax) {}
+
+  void on_hit(std::uint32_t set, int way) override { at(set, way) = 0; }
+
+  void on_fill(std::uint32_t set, int way, bool prefetch) override {
+    at(set, way) = insertion_rrpv(set, prefetch);
+  }
+
+  int victim(std::uint32_t set) override {
+    for (;;) {
+      for (int w = 0; w < ways_; ++w) {
+        if (at(set, w) == kMax) return w;
+      }
+      for (int w = 0; w < ways_; ++w) ++at(set, w);
+    }
+  }
+
+ protected:
+  static constexpr std::uint8_t kMax = 3;
+
+  virtual std::uint8_t insertion_rrpv(std::uint32_t, bool prefetch) {
+    return prefetch ? kMax : kMax - 1;
+  }
+
+  std::uint8_t& at(std::uint32_t set, int way) {
+    return rrpv_[static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_) +
+                 static_cast<std::size_t>(way)];
+  }
+
+ private:
+  int ways_;
+  std::vector<std::uint8_t> rrpv_;
+};
+
+/// Dynamic RRIP: set-dueling between SRRIP insertion and bimodal (mostly
+/// distant) insertion, with follower sets steered by a PSEL counter.
+class DrripPolicy final : public SrripPolicy {
+ public:
+  DrripPolicy(std::uint32_t sets, int ways, std::uint64_t seed)
+      : SrripPolicy(sets, ways), sets_(sets), rng_(seed) {}
+
+ protected:
+  std::uint8_t insertion_rrpv(std::uint32_t set, bool prefetch) override {
+    if (prefetch) return kMax;
+    const std::uint32_t group = set % 32;
+    bool use_brrip;
+    if (group == 0) {  // SRRIP leader set
+      if (psel_ > 0) --psel_;
+      use_brrip = false;
+    } else if (group == 1) {  // BRRIP leader set
+      if (psel_ < 1023) ++psel_;
+      use_brrip = true;
+    } else {
+      use_brrip = psel_ >= 512;
+    }
+    if (!use_brrip) return kMax - 1;
+    // Bimodal: long re-reference interval most of the time.
+    return rng_.chance(1.0 / 32.0) ? kMax - 1 : kMax;
+  }
+
+ private:
+  [[maybe_unused]] std::uint32_t sets_;
+  int psel_ = 512;
+  Rng rng_;
+};
+
+}  // namespace
+
+const char* replacement_name(ReplacementKind kind) {
+  switch (kind) {
+    case ReplacementKind::kLru: return "lru";
+    case ReplacementKind::kRandom: return "random";
+    case ReplacementKind::kSrrip: return "srrip";
+    case ReplacementKind::kDrrip: return "drrip";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind,
+                                                    std::uint32_t sets, int ways,
+                                                    std::uint64_t seed) {
+  if (sets == 0 || ways <= 0) {
+    throw std::invalid_argument("replacement: sets/ways must be positive");
+  }
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return std::make_unique<LruPolicy>(sets, ways);
+    case ReplacementKind::kRandom:
+      return std::make_unique<RandomPolicy>(ways, seed);
+    case ReplacementKind::kSrrip:
+      return std::make_unique<SrripPolicy>(sets, ways);
+    case ReplacementKind::kDrrip:
+      return std::make_unique<DrripPolicy>(sets, ways, seed);
+  }
+  throw std::invalid_argument("replacement: unknown kind");
+}
+
+}  // namespace planaria::cache

@@ -1,0 +1,42 @@
+// Cache replacement policies for the system cache.
+//
+// The paper motivates Planaria by noting that "neither state-of-the-art cache
+// replacement policies nor increasing cache size significantly improve SC
+// performance"; the ablation bench reproduces that claim by sweeping these
+// policies under the no-prefetcher configuration. LRU is the default used in
+// all headline experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace planaria::cache {
+
+enum class ReplacementKind { kLru, kRandom, kSrrip, kDrrip };
+
+const char* replacement_name(ReplacementKind kind);
+
+/// Per-set victim selection + recency bookkeeping. The cache guarantees that
+/// `victim()` is only consulted when every way in the set is valid; invalid
+/// ways are always filled first.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual void on_hit(std::uint32_t set, int way) = 0;
+  /// `prefetch` lets insertion-aware policies (SRRIP/DRRIP here; the paper's
+  /// Planaria does not alter insertion) deprioritize speculative fills.
+  virtual void on_fill(std::uint32_t set, int way, bool prefetch) = 0;
+  virtual int victim(std::uint32_t set) = 0;
+};
+
+/// Factory. Throws std::invalid_argument for malformed geometry.
+std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind,
+                                                    std::uint32_t sets, int ways,
+                                                    std::uint64_t seed = 1);
+
+}  // namespace planaria::cache

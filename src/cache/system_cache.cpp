@@ -1,0 +1,163 @@
+#include "cache/system_cache.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace planaria::cache {
+
+void CacheConfig::validate() const {
+  if (size_bytes == 0 || ways <= 0 || block_bytes <= 0) {
+    throw std::invalid_argument("cache config: geometry must be positive");
+  }
+  if ((size_bytes & (size_bytes - 1)) != 0 ||
+      (static_cast<std::uint64_t>(block_bytes) &
+       (static_cast<std::uint64_t>(block_bytes) - 1)) != 0) {
+    throw std::invalid_argument("cache config: size and block must be powers of two");
+  }
+  const std::uint64_t lines = size_bytes / static_cast<std::uint64_t>(block_bytes);
+  if (lines % static_cast<std::uint64_t>(ways) != 0) {
+    throw std::invalid_argument("cache config: ways must divide line count");
+  }
+  if ((sets() & (sets() - 1)) != 0) {
+    throw std::invalid_argument("cache config: set count must be a power of two");
+  }
+}
+
+SystemCache::SystemCache(const CacheConfig& config)
+    : config_(config), sets_(0) {
+  config_.validate();
+  sets_ = config_.sets();
+  lines_.resize(static_cast<std::size_t>(sets_) *
+                static_cast<std::size_t>(config_.ways));
+  policy_ = make_replacement(config_.replacement, sets_, config_.ways,
+                             config_.seed);
+  pollution_fifo_.reserve(kPollutionFilterCap);
+}
+
+SystemCache::Line* SystemCache::find(std::uint64_t block) {
+  const std::uint32_t set = set_of(block);
+  Line* base = &lines_[static_cast<std::size_t>(set) *
+                       static_cast<std::size_t>(config_.ways)];
+  for (int w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].block == block) return &base[w];
+  }
+  return nullptr;
+}
+
+const SystemCache::Line* SystemCache::find(std::uint64_t block) const {
+  return const_cast<SystemCache*>(this)->find(block);
+}
+
+AccessResult SystemCache::access(std::uint64_t block, AccessType type) {
+  AccessResult result;
+  Line* line = find(block);
+  if (type == AccessType::kRead) {
+    ++stats_.demand_accesses;
+    if (line != nullptr) {
+      ++stats_.demand_hits;
+      result.hit = true;
+      const int way = static_cast<int>(line - lines_.data()) % config_.ways;
+      policy_->on_hit(set_of(block), way);
+      if (line->prefetched) {
+        result.first_use_of_prefetch = true;
+        result.fill_source = line->source;
+        ++stats_.demand_hits_on_prefetch;
+        switch (line->source) {
+          case FillSource::kPrefetchSlp: ++stats_.hits_on_slp; break;
+          case FillSource::kPrefetchTlp: ++stats_.hits_on_tlp; break;
+          case FillSource::kPrefetchOther: ++stats_.hits_on_other_pf; break;
+          case FillSource::kDemand: break;
+        }
+        line->prefetched = false;  // consumed; further hits are ordinary
+      }
+    } else {
+      ++stats_.demand_misses;
+      if (pollution_set_.count(block) != 0) ++stats_.pollution_misses;
+    }
+    return result;
+  }
+
+  // Write: update-in-place on hit (writeback later), write-around on miss.
+  if (line != nullptr) {
+    ++stats_.write_hits;
+    line->dirty = true;
+    if (line->prefetched) line->prefetched = false;
+    const int way = static_cast<int>(line - lines_.data()) % config_.ways;
+    policy_->on_hit(set_of(block), way);
+    result.hit = true;
+  } else {
+    ++stats_.write_misses;
+  }
+  return result;
+}
+
+AccessResult SystemCache::fill(std::uint64_t block, FillSource source) {
+  AccessResult result;
+  const bool is_prefetch = source != FillSource::kDemand;
+  if (Line* existing = find(block); existing != nullptr) {
+    // Redundant fill (demand and prefetch raced, or duplicate prefetch).
+    if (is_prefetch) ++redundant_fills_;
+    return result;
+  }
+  if (is_prefetch) ++stats_.prefetch_fills;
+
+  const std::uint32_t set = set_of(block);
+  Line* base = &lines_[static_cast<std::size_t>(set) *
+                       static_cast<std::size_t>(config_.ways)];
+  int way = -1;
+  for (int w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      way = w;
+      break;
+    }
+  }
+  if (way < 0) {
+    way = policy_->victim(set);
+    PLANARIA_ASSERT(way >= 0 && way < config_.ways);
+    Line& victim = base[way];
+    if (victim.prefetched) ++stats_.prefetch_unused_evictions;
+    if (victim.dirty) {
+      ++stats_.dirty_writebacks;
+      result.has_writeback = true;
+      result.writeback_block = victim.block;
+    }
+    // A useful (demand) line displaced by a speculative fill may come back as
+    // a pollution miss; remember it so we can attribute that miss.
+    if (is_prefetch && !victim.prefetched) {
+      track_pollution_eviction(victim.block);
+    }
+  }
+  Line& line = base[way];
+  line.block = block;
+  line.valid = true;
+  line.dirty = false;
+  line.prefetched = is_prefetch;
+  line.source = source;
+  policy_->on_fill(set, way, is_prefetch);
+  return result;
+}
+
+bool SystemCache::contains(std::uint64_t block) const {
+  return find(block) != nullptr;
+}
+
+bool SystemCache::is_unused_prefetch(std::uint64_t block) const {
+  const Line* line = find(block);
+  return line != nullptr && line->prefetched;
+}
+
+void SystemCache::track_pollution_eviction(std::uint64_t block) {
+  if (pollution_fifo_.size() < kPollutionFilterCap) {
+    pollution_fifo_.push_back(block);
+    pollution_set_.insert(block);
+    return;
+  }
+  const std::uint64_t old = pollution_fifo_[pollution_head_];
+  pollution_set_.erase(old);
+  pollution_fifo_[pollution_head_] = block;
+  pollution_set_.insert(block);
+  pollution_head_ = (pollution_head_ + 1) % kPollutionFilterCap;
+}
+
+}  // namespace planaria::cache

@@ -1,0 +1,30 @@
+// Checked assertion macro used throughout the library.
+//
+// Unlike <cassert>, PLANARIA_ASSERT stays enabled in release builds: the
+// simulator's correctness depends on structural invariants (table occupancy,
+// timing monotonicity) whose violation would silently corrupt results. The
+// predicates used on hot paths are cheap (integer compares), so the cost is
+// negligible relative to the simulation work per event.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace planaria::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "planaria: assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace planaria::detail
+
+#define PLANARIA_ASSERT(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                               \
+          : ::planaria::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define PLANARIA_ASSERT_MSG(expr, msg)                                         \
+  ((expr) ? static_cast<void>(0)                                               \
+          : ::planaria::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))

@@ -1,0 +1,49 @@
+// Deterministic random number generation for the synthetic trace generators.
+//
+// xoshiro256** (Blackman & Vigna) — small state, excellent statistical
+// quality, and identical output on every platform, which keeps bench output
+// reproducible run-to-run (std::mt19937's distributions are not guaranteed
+// bit-identical across standard libraries, so we also ship our own
+// distribution helpers).
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace planaria {
+
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64, per the
+  /// xoshiro authors' recommendation.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Geometric-ish burst length: 1 + number of successes before failure.
+  int burst_length(double continue_p, int max_len);
+
+  /// Approximately Zipf-distributed rank in [0, n) with exponent s, via
+  /// rejection-free inverse-CDF over a harmonic approximation. Deterministic
+  /// and cheap; adequate for workload skew modelling.
+  std::uint64_t next_zipf(std::uint64_t n, double s);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace planaria

@@ -1,0 +1,152 @@
+// Set-associative lookup table with per-set LRU.
+//
+// The larger hardware tables (SLP's Pattern History Table at thousands of
+// entries, SPP's Signature Table) are set-associative in real designs, and a
+// full CAM scan of that many entries would also be a simulation bottleneck.
+// Keys are hashed to a set with a strong 64-bit mixer; each set holds `ways`
+// entries replaced LRU. Same payload-centric interface as LruTable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace planaria {
+
+template <typename Key, typename Payload>
+class SetAssocTable {
+ public:
+  SetAssocTable(std::size_t sets, int ways)
+      : sets_(sets), ways_(ways),
+        entries_(sets * static_cast<std::size_t>(ways)) {
+    PLANARIA_ASSERT(sets > 0 && (sets & (sets - 1)) == 0);
+    PLANARIA_ASSERT(ways > 0);
+  }
+
+  std::size_t capacity() const { return entries_.size(); }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& e : entries_) n += e.valid ? 1 : 0;
+    return n;
+  }
+
+  Payload* find(const Key& key) {
+    Entry* base = set_base(key);
+    for (int w = 0; w < ways_; ++w) {
+      if (base[w].valid && base[w].key == key) {
+        base[w].last_use = ++tick_;
+        return &base[w].payload;
+      }
+    }
+    return nullptr;
+  }
+
+  const Payload* peek(const Key& key) const {
+    const Entry* base = set_base(key);
+    for (int w = 0; w < ways_; ++w) {
+      if (base[w].valid && base[w].key == key) return &base[w].payload;
+    }
+    return nullptr;
+  }
+
+  /// Inserts key -> payload; returns the evicted (key, payload) if a valid
+  /// LRU victim had to make room.
+  std::optional<std::pair<Key, Payload>> insert(const Key& key, Payload payload) {
+    Entry* base = set_base(key);
+    Entry* victim = nullptr;
+    for (int w = 0; w < ways_; ++w) {
+      Entry& e = base[w];
+      if (e.valid && e.key == key) {
+        e.payload = std::move(payload);
+        e.last_use = ++tick_;
+        return std::nullopt;
+      }
+      if (!e.valid) {
+        if (victim == nullptr || victim->valid) victim = &e;
+      } else if (victim == nullptr ||
+                 (victim->valid && e.last_use < victim->last_use)) {
+        victim = &e;
+      }
+    }
+    PLANARIA_ASSERT(victim != nullptr);
+    std::optional<std::pair<Key, Payload>> evicted;
+    if (victim->valid) {
+      evicted.emplace(victim->key, std::move(victim->payload));
+    }
+    victim->key = key;
+    victim->payload = std::move(payload);
+    victim->last_use = ++tick_;
+    victim->valid = true;
+    return evicted;
+  }
+
+  std::optional<Payload> erase(const Key& key) {
+    Entry* base = set_base(key);
+    for (int w = 0; w < ways_; ++w) {
+      if (base[w].valid && base[w].key == key) {
+        base[w].valid = false;
+        return std::move(base[w].payload);
+      }
+    }
+    return std::nullopt;
+  }
+
+  void clear() {
+    for (auto& e : entries_) e.valid = false;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& e : entries_) {
+      if (e.valid) fn(e.key, e.payload);
+    }
+  }
+
+  /// Removes entries matching pred and hands them to on_evict. O(capacity);
+  /// callers amortize by sweeping periodically.
+  template <typename Pred, typename OnEvict>
+  void evict_if(Pred&& pred, OnEvict&& on_evict) {
+    for (auto& e : entries_) {
+      if (e.valid && pred(e.key, e.payload)) {
+        e.valid = false;
+        on_evict(e.key, std::move(e.payload));
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    Key key{};
+    Payload payload{};
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  Entry* set_base(const Key& key) {
+    const std::size_t set = mix(static_cast<std::uint64_t>(key)) & (sets_ - 1);
+    return &entries_[set * static_cast<std::size_t>(ways_)];
+  }
+  const Entry* set_base(const Key& key) const {
+    return const_cast<SetAssocTable*>(this)->set_base(key);
+  }
+
+  std::size_t sets_;
+  int ways_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace planaria

@@ -1,0 +1,41 @@
+#include "common/stats.hpp"
+
+namespace planaria {
+
+double Histogram::quantile(double q) const {
+  PLANARIA_ASSERT(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) return static_cast<double>(i + 1) * width_;
+  }
+  return static_cast<double>(counts_.size()) * width_;
+}
+
+Counter& StatSet::counter(const std::string& name) { return counters_[name]; }
+
+Accumulator& StatSet::accumulator(const std::string& name) {
+  return accumulators_[name];
+}
+
+StatSnapshot StatSet::dump() const {
+  StatSnapshot out;
+  for (const auto& [name, c] : counters_) {
+    out[name] = static_cast<double>(c.value());
+  }
+  for (const auto& [name, a] : accumulators_) {
+    out[name + ".count"] = static_cast<double>(a.count());
+    out[name + ".sum"] = a.sum();
+    out[name + ".mean"] = a.mean();
+  }
+  return out;
+}
+
+void StatSet::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, a] : accumulators_) a.reset();
+}
+
+}  // namespace planaria

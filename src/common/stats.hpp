@@ -1,0 +1,105 @@
+// Lightweight statistics collection.
+//
+// Every simulated component owns named counters/histograms registered in a
+// StatSet; the sim layer snapshots these to build the per-figure tables. The
+// design intentionally mirrors DRAMSim2/gem5-style stat dumps: flat name ->
+// value, cheap to update on hot paths (a counter bump is one add).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace planaria {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Streaming mean/min/max accumulator for per-request quantities (latency).
+class Accumulator {
+ public:
+  void add(double x) {
+    sum_ += x;
+    if (count_ == 0 || x < min_) min_ = x;
+    if (count_ == 0 || x > max_) max_ = x;
+    ++count_;
+  }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * buckets); the last bucket
+/// absorbs overflow. Used for latency and reuse-distance distributions.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t buckets)
+      : width_(bucket_width), counts_(buckets, 0) {
+    PLANARIA_ASSERT(bucket_width > 0.0 && buckets > 0);
+  }
+
+  void add(double x) {
+    std::size_t i = x <= 0.0 ? 0 : static_cast<std::size_t>(x / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;
+    ++counts_[i];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::size_t buckets() const { return counts_.size(); }
+  double bucket_width() const { return width_; }
+
+  /// Value below which `q` (0..1) of the samples fall (bucket upper edge).
+  double quantile(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Named snapshot of all stats owned by a component, used by benches and
+/// tests. Values are doubles for uniformity; counters convert losslessly for
+/// the magnitudes this simulator reaches.
+using StatSnapshot = std::map<std::string, double>;
+
+/// Registry mapping names to stat objects. Components create their stats
+/// through the set so that dump() sees everything.
+class StatSet {
+ public:
+  Counter& counter(const std::string& name);
+  Accumulator& accumulator(const std::string& name);
+
+  /// Flat name->value view: counters as their value, accumulators expanded
+  /// into .count/.sum/.mean entries.
+  StatSnapshot dump() const;
+
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Accumulator> accumulators_;
+};
+
+}  // namespace planaria

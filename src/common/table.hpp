@@ -1,0 +1,141 @@
+// Generic fixed-capacity, fully-associative, LRU-evicting lookup table.
+//
+// All of Planaria's metadata structures (Filter Table, Accumulation Table,
+// Pattern History Table, Recent Page Table) and SPP's signature/pattern
+// tables are hardware tables of this shape: a small number of entries,
+// content-addressed by a key (page number or signature), replaced LRU. The
+// template centralizes the bookkeeping so each prefetcher only describes its
+// payload, and gives tests one well-covered implementation to rely on.
+//
+// Complexity is O(capacity) per op, which is exact hardware behaviour (a CAM
+// probes every entry) and irrelevant at the 64-512 entry sizes used here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace planaria {
+
+template <typename Key, typename Payload>
+class LruTable {
+ public:
+  struct Entry {
+    Key key{};
+    Payload payload{};
+    std::uint64_t last_use = 0;  ///< LRU timestamp (monotonic probe counter)
+    bool valid = false;
+  };
+
+  explicit LruTable(std::size_t capacity) : entries_(capacity) {
+    PLANARIA_ASSERT(capacity > 0);
+  }
+
+  std::size_t capacity() const { return entries_.size(); }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& e : entries_) n += e.valid ? 1 : 0;
+    return n;
+  }
+
+  /// Looks up `key`; refreshes LRU on hit. Returns nullptr on miss.
+  Payload* find(const Key& key) {
+    for (auto& e : entries_) {
+      if (e.valid && e.key == key) {
+        e.last_use = ++tick_;
+        return &e.payload;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Lookup without touching LRU state (for inspection in tests/analysis).
+  const Payload* peek(const Key& key) const {
+    for (const auto& e : entries_) {
+      if (e.valid && e.key == key) return &e.payload;
+    }
+    return nullptr;
+  }
+
+  /// Inserts (or overwrites) key -> payload. If the table is full, evicts the
+  /// LRU entry and returns it so the caller can run its eviction hook (SLP
+  /// promotes evicted Accumulation Table bitmaps into the Pattern History
+  /// Table this way).
+  std::optional<Entry> insert(const Key& key, Payload payload) {
+    Entry* victim = nullptr;
+    for (auto& e : entries_) {
+      if (e.valid && e.key == key) {
+        e.payload = std::move(payload);
+        e.last_use = ++tick_;
+        return std::nullopt;
+      }
+      if (!e.valid) {
+        if (victim == nullptr || victim->valid) victim = &e;
+      } else if (victim == nullptr ||
+                 (victim->valid && e.last_use < victim->last_use)) {
+        victim = &e;
+      }
+    }
+    PLANARIA_ASSERT(victim != nullptr);
+    std::optional<Entry> evicted;
+    if (victim->valid) evicted = std::move(*victim);
+    victim->key = key;
+    victim->payload = std::move(payload);
+    victim->last_use = ++tick_;
+    victim->valid = true;
+    return evicted;
+  }
+
+  /// Removes `key`; returns its payload if present.
+  std::optional<Payload> erase(const Key& key) {
+    for (auto& e : entries_) {
+      if (e.valid && e.key == key) {
+        e.valid = false;
+        return std::move(e.payload);
+      }
+    }
+    return std::nullopt;
+  }
+
+  void clear() {
+    for (auto& e : entries_) e.valid = false;
+    tick_ = 0;
+  }
+
+  /// Calls fn(key, payload&) for every valid entry. Iteration order is slot
+  /// order, not recency order.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& e : entries_) {
+      if (e.valid) fn(e.key, e.payload);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& e : entries_) {
+      if (e.valid) fn(e.key, e.payload);
+    }
+  }
+
+  /// Removes every entry for which pred(key, payload) is true and calls
+  /// on_evict(key, payload&&) for each. Used for timeout-based eviction.
+  template <typename Pred, typename OnEvict>
+  void evict_if(Pred&& pred, OnEvict&& on_evict) {
+    for (auto& e : entries_) {
+      if (e.valid && pred(e.key, e.payload)) {
+        e.valid = false;
+        on_evict(e.key, std::move(e.payload));
+      }
+    }
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace planaria

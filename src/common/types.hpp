@@ -1,0 +1,104 @@
+// Fundamental address/time types and the physical address geometry shared by
+// every layer of the simulator.
+//
+// Geometry follows the paper's Table 1 / Figure 1:
+//   * 4KB pages, 64B blocks  ->  64 blocks per page
+//   * a page is split into four 16-block segments; segment s of every page is
+//     statically mapped to DRAM channel s (and to that channel's system-cache
+//     slice), so each per-channel prefetcher tracks pages with 16-bit bitmaps.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace planaria {
+
+/// Physical byte address on the memory bus.
+using Address = std::uint64_t;
+
+/// Page number: physical address >> kPageShift.
+using PageNumber = std::uint64_t;
+
+/// Simulation time in memory-controller clock cycles.
+using Cycle = std::uint64_t;
+
+/// Identifies which SoC agent issued a request (the paper's trace format
+/// records the "request device ID (CPU, GPU, DSP, etc.)").
+enum class DeviceId : std::uint8_t {
+  kCpuBig = 0,   ///< Cortex-A76 cluster
+  kCpuLittle,    ///< Cortex-A55 cluster
+  kGpu,          ///< Mali-G76
+  kNpu,
+  kIsp,
+  kDsp,
+  kCount,
+};
+
+/// Demand access type.
+enum class AccessType : std::uint8_t { kRead = 0, kWrite = 1 };
+
+inline constexpr int kBlockShift = 6;                   ///< 64B blocks
+inline constexpr int kPageShift = 12;                   ///< 4KB pages
+inline constexpr std::uint64_t kBlockBytes = 1ull << kBlockShift;
+inline constexpr std::uint64_t kPageBytes = 1ull << kPageShift;
+inline constexpr int kBlocksPerPage = 64;               ///< 4KB / 64B
+inline constexpr int kChannels = 4;                     ///< Table 1: 4 channels
+inline constexpr int kBlocksPerSegment = kBlocksPerPage / kChannels;  ///< 16
+
+static_assert(kBlocksPerSegment == 16,
+              "per-channel prefetchers assume 16-bit page bitmaps");
+
+/// Decomposition helpers for the fixed geometry above. All functions are
+/// branch-free bit manipulation and safe for any 64-bit physical address.
+namespace addr {
+
+constexpr Address block_align(Address a) { return a & ~(kBlockBytes - 1); }
+
+constexpr PageNumber page_number(Address a) { return a >> kPageShift; }
+
+/// Block index within the page: 0..63.
+constexpr int block_in_page(Address a) {
+  return static_cast<int>((a >> kBlockShift) & (kBlocksPerPage - 1));
+}
+
+/// Channel owning this address (= segment index within the page): 0..3.
+/// Address bits [11:10] select the 16-block segment, per Figure 1's static
+/// segment-to-channel map.
+constexpr int channel_of(Address a) {
+  return block_in_page(a) / kBlocksPerSegment;
+}
+
+/// Block index within the 16-block segment seen by one channel: 0..15.
+constexpr int block_in_segment(Address a) {
+  return block_in_page(a) % kBlocksPerSegment;
+}
+
+/// Rebuild a block-aligned address from (page, block-in-page).
+constexpr Address compose(PageNumber pn, int block) {
+  return (static_cast<Address>(pn) << kPageShift) |
+         (static_cast<Address>(block) << kBlockShift);
+}
+
+/// Rebuild an address from (page, channel, block-in-segment).
+constexpr Address compose_segment(PageNumber pn, int channel, int block_in_seg) {
+  return compose(pn, channel * kBlocksPerSegment + block_in_seg);
+}
+
+}  // namespace addr
+
+/// Returns a short human-readable name for a device id.
+constexpr const char* device_name(DeviceId d) {
+  switch (d) {
+    case DeviceId::kCpuBig: return "cpu-big";
+    case DeviceId::kCpuLittle: return "cpu-little";
+    case DeviceId::kGpu: return "gpu";
+    case DeviceId::kNpu: return "npu";
+    case DeviceId::kIsp: return "isp";
+    case DeviceId::kDsp: return "dsp";
+    case DeviceId::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace planaria

@@ -1,0 +1,90 @@
+#include "core/coordinators.hpp"
+
+#include <stdexcept>
+
+namespace planaria::core {
+
+void SerialCoordinatorConfig::validate() const {
+  slp.validate();
+  tlp.validate();
+  if (switch_after <= 0) {
+    throw std::invalid_argument("serial coordinator: switch_after must be > 0");
+  }
+}
+
+namespace {
+
+SerialCoordinatorConfig validated(SerialCoordinatorConfig config) {
+  config.validate();
+  return config;
+}
+
+ParallelCoordinatorConfig validated(ParallelCoordinatorConfig config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+SerialComposite::SerialComposite(const SerialCoordinatorConfig& config)
+    : config_(validated(config)), slp_(config_.slp), tlp_(config_.tlp) {}
+
+void SerialComposite::on_demand(const prefetch::DemandEvent& event,
+                                std::vector<prefetch::PrefetchRequest>& out) {
+  // Monolithic sub-prefetchers: only the active one observes the access.
+  // This is exactly the structural weakness Planaria's decoupling removes.
+  if (slp_active_) {
+    slp_.learn(event);
+  } else {
+    tlp_.learn(event);
+  }
+  if (event.sc_hit) return;
+
+  if (slp_active_) {
+    if (slp_.issue(event, out)) {
+      slp_failures_ = 0;
+      return;
+    }
+    if (++slp_failures_ >= config_.switch_after) {
+      slp_active_ = false;
+      slp_failures_ = 0;
+      ++switches_;
+    }
+    return;
+  }
+
+  // TLP active. Switch back as soon as SLP's history would have served this
+  // trigger (the hardwired "boundary of expertise" heuristic).
+  if (slp_.has_pattern(event.page)) {
+    slp_active_ = true;
+    ++switches_;
+    slp_.issue(event, out);
+    return;
+  }
+  tlp_.issue(event, out);
+}
+
+std::uint64_t SerialComposite::storage_bits() const {
+  return slp_.storage_bits() + tlp_.storage_bits();
+}
+
+ParallelComposite::ParallelComposite(const ParallelCoordinatorConfig& config)
+    : config_(validated(config)), slp_(config_.slp), tlp_(config_.tlp) {}
+
+void ParallelComposite::on_demand(const prefetch::DemandEvent& event,
+                                  std::vector<prefetch::PrefetchRequest>& out) {
+  slp_.learn(event);
+  tlp_.learn(event);
+  if (event.sc_hit) return;
+  // Both issue; the simulator's dedupe removes exact duplicates but the
+  // union still carries TLP's lower-confidence fetches even when SLP already
+  // knows the page — the accuracy cost of parallel issuing.
+  slp_.issue(event, out);
+  tlp_.issue(event, out);
+}
+
+std::uint64_t ParallelComposite::storage_bits() const {
+  return slp_.storage_bits() + tlp_.storage_bits();
+}
+
+}  // namespace planaria::core

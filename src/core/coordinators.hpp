@@ -1,0 +1,83 @@
+// Alternative coordination strategies from the paper's related-work analysis
+// (Section 7), implemented over the same SLP/TLP sub-prefetchers so the
+// coordinator itself can be ablated:
+//
+//   * Serial (TPC-style): one sub-prefetcher is *active* at a time — it both
+//     learns and issues; the other is idle. Hardwired decision logic switches
+//     to TLP after SLP fails to issue on `switch_after` consecutive triggers,
+//     and back on the first SLP-pattern hit. The cost the paper calls out:
+//     the inactive sub-prefetcher misses training data, so after a switch it
+//     starts cold.
+//   * Parallel (ISB+stream-style): both sub-prefetchers learn AND issue on
+//     every trigger. Coverage is maximal but the duplicated/blanket issuing
+//     costs accuracy and traffic.
+//   * Planaria's decoupled coordinator ("parallel training, serial issuing")
+//     lives in planaria.hpp and is the reference point.
+#pragma once
+
+#include <cstdint>
+
+#include "core/slp.hpp"
+#include "core/tlp.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace planaria::core {
+
+struct SerialCoordinatorConfig {
+  SlpConfig slp;
+  TlpConfig tlp;
+  int switch_after = 32;  ///< consecutive SLP issue failures before switching
+
+  void validate() const;
+};
+
+/// TPC-style serial coordinator: gates learning and issuing together.
+class SerialComposite final : public prefetch::Prefetcher {
+ public:
+  explicit SerialComposite(const SerialCoordinatorConfig& config = {});
+
+  void on_demand(const prefetch::DemandEvent& event,
+                 std::vector<prefetch::PrefetchRequest>& out) override;
+  const char* name() const override { return "serial-composite"; }
+  std::uint64_t storage_bits() const override;
+
+  bool slp_active() const { return slp_active_; }
+  std::uint64_t switches() const { return switches_; }
+
+ private:
+  SerialCoordinatorConfig config_;
+  Slp slp_;
+  Tlp tlp_;
+  bool slp_active_ = true;
+  int slp_failures_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+struct ParallelCoordinatorConfig {
+  SlpConfig slp;
+  TlpConfig tlp;
+
+  void validate() const {
+    slp.validate();
+    tlp.validate();
+  }
+};
+
+/// Parallel coordinator: both sub-prefetchers learn and issue on every
+/// trigger.
+class ParallelComposite final : public prefetch::Prefetcher {
+ public:
+  explicit ParallelComposite(const ParallelCoordinatorConfig& config = {});
+
+  void on_demand(const prefetch::DemandEvent& event,
+                 std::vector<prefetch::PrefetchRequest>& out) override;
+  const char* name() const override { return "parallel-composite"; }
+  std::uint64_t storage_bits() const override;
+
+ private:
+  ParallelCoordinatorConfig config_;
+  Slp slp_;
+  Tlp tlp_;
+};
+
+}  // namespace planaria::core

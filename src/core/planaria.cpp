@@ -1,0 +1,56 @@
+#include "core/planaria.hpp"
+
+#include <stdexcept>
+
+namespace planaria::core {
+
+void PlanariaConfig::validate() const {
+  slp.validate();
+  tlp.validate();
+  if (!enable_slp && !enable_tlp) {
+    throw std::invalid_argument(
+        "planaria config: at least one sub-prefetcher must be enabled");
+  }
+}
+
+PlanariaPrefetcher::PlanariaPrefetcher(const PlanariaConfig& config)
+    : config_(config), slp_(config.slp), tlp_(config.tlp) {
+  config_.validate();
+}
+
+void PlanariaPrefetcher::on_demand(const prefetch::DemandEvent& event,
+                                   std::vector<prefetch::PrefetchRequest>& out) {
+  // Learning phase: unconditionally parallel. Disabled sub-prefetchers (Fig. 9
+  // ablations) skip learning too — they are absent from the hardware.
+  if (config_.enable_slp) slp_.learn(event);
+  if (config_.enable_tlp) tlp_.learn(event);
+
+  // Issuing phase: only on demand misses (Figure 1, Step 5: "prefetch
+  // requests will be generated if the demand request is a cache miss").
+  if (event.sc_hit) return;
+  ++stats_.triggers;
+
+  if (config_.enable_slp && slp_.issue(event, out)) {
+    ++stats_.slp_issues;
+    return;
+  }
+  if (config_.enable_tlp && tlp_.issue(event, out)) {
+    ++stats_.tlp_issues;
+    return;
+  }
+  ++stats_.no_issues;
+}
+
+const char* PlanariaPrefetcher::name() const {
+  if (config_.enable_slp && config_.enable_tlp) return "planaria";
+  return config_.enable_slp ? "planaria-slp-only" : "planaria-tlp-only";
+}
+
+std::uint64_t PlanariaPrefetcher::storage_bits() const {
+  std::uint64_t bits = 0;
+  if (config_.enable_slp) bits += slp_.storage_bits();
+  if (config_.enable_tlp) bits += tlp_.storage_bits();
+  return bits;
+}
+
+}  // namespace planaria::core

@@ -1,0 +1,63 @@
+// Planaria — the composite prefetcher (paper Sections 2 and the coordinator).
+//
+// Coordination rule: "parallel training, serial issuing".
+//   * Learning: BOTH sub-prefetchers observe every demand access, so each
+//     sees the full pattern regardless of which one gets to issue.
+//   * Issuing: on a demand miss, exactly one sub-prefetcher issues. SLP has
+//     priority; TLP is consulted "only when SLP does not have history
+//     information to support generating prefetching requests".
+//
+// This decoupling is the paper's key structural insight: serial coordinators
+// (TPC) gate *learning* too and starve the backup prefetcher of training
+// data, while parallel coordinators (ISB+stream) issue from everyone and pay
+// in accuracy/traffic. Decoupling gets full-coverage learning with
+// single-issuer accuracy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/slp.hpp"
+#include "core/tlp.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace planaria::core {
+
+struct PlanariaConfig {
+  SlpConfig slp;
+  TlpConfig tlp;
+  bool enable_slp = true;  ///< ablation hooks for the Fig. 9 breakdown
+  bool enable_tlp = true;
+
+  void validate() const;
+};
+
+struct PlanariaStats {
+  std::uint64_t triggers = 0;       ///< demand misses presented for issuing
+  std::uint64_t slp_issues = 0;     ///< triggers where SLP issued
+  std::uint64_t tlp_issues = 0;     ///< triggers that fell through to TLP
+  std::uint64_t no_issues = 0;      ///< neither sub-prefetcher had metadata
+};
+
+class PlanariaPrefetcher final : public prefetch::Prefetcher {
+ public:
+  explicit PlanariaPrefetcher(const PlanariaConfig& config = {});
+
+  void on_demand(const prefetch::DemandEvent& event,
+                 std::vector<prefetch::PrefetchRequest>& out) override;
+
+  const char* name() const override;
+  std::uint64_t storage_bits() const override;
+
+  const Slp& slp() const { return slp_; }
+  const Tlp& tlp() const { return tlp_; }
+  const PlanariaStats& stats() const { return stats_; }
+
+ private:
+  PlanariaConfig config_;
+  Slp slp_;
+  Tlp tlp_;
+  PlanariaStats stats_;
+};
+
+}  // namespace planaria::core

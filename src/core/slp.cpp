@@ -1,0 +1,155 @@
+#include "core/slp.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace planaria::core {
+
+void SlpConfig::validate() const {
+  if (ft_sets <= 0 || ft_ways <= 0 || at_sets <= 0 || at_ways <= 0 ||
+      pt_sets <= 0 || pt_ways <= 0) {
+    throw std::invalid_argument("slp config: table sizes must be positive");
+  }
+  if (promote_threshold < 1 || promote_threshold > 3) {
+    throw std::invalid_argument(
+        "slp config: promote_threshold must be 1..3 (FT stores 3 offsets)");
+  }
+  if (at_timeout == 0 || sweep_interval == 0) {
+    throw std::invalid_argument("slp config: timeouts must be positive");
+  }
+}
+
+namespace {
+
+/// Validates before the member tables are constructed (they assert on their
+/// geometry, and a std::invalid_argument is the contract for bad configs).
+SlpConfig validated(SlpConfig config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+Slp::Slp(const SlpConfig& config)
+    : config_(validated(config)),
+      ft_(static_cast<std::size_t>(config_.ft_sets), config_.ft_ways),
+      at_(static_cast<std::size_t>(config_.at_sets), config_.at_ways),
+      pt_(static_cast<std::size_t>(config_.pt_sets), config_.pt_ways) {}
+
+void Slp::transfer_to_pt(PageNumber page, const SegmentBitmap& bitmap) {
+  // A snapshot below the promotion threshold can arise when an AT entry is
+  // promoted and immediately displaced; it carries too little signal to keep.
+  if (bitmap.popcount() < config_.promote_threshold) return;
+  pt_.insert(page, bitmap);
+  ++stats_.snapshots_learned;
+}
+
+void Slp::sweep_timeouts(Cycle now) {
+  at_.evict_if(
+      [&](PageNumber, const AtEntry& e) {
+        return now > e.last_access && now - e.last_access > config_.at_timeout;
+      },
+      [&](PageNumber page, AtEntry&& e) {
+        ++stats_.timeout_evictions;
+        transfer_to_pt(page, e.bitmap);
+      });
+}
+
+void Slp::learn(const prefetch::DemandEvent& event) {
+  // Lazy timeout sweep (Step 4): scanning the whole AT on every access would
+  // be both unrealistic hardware and a simulation hotspot, so the timeout is
+  // checked every sweep_interval accesses — a slack far below at_timeout.
+  if (++accesses_since_sweep_ >= config_.sweep_interval) {
+    accesses_since_sweep_ = 0;
+    sweep_timeouts(event.now);
+  }
+
+  const auto offset = static_cast<std::uint8_t>(event.block_in_segment);
+
+  // Step 1: is the page already accumulating?
+  if (AtEntry* at = at_.find(event.page); at != nullptr) {
+    at->bitmap.set(event.block_in_segment);
+    at->last_access = event.now;
+    return;
+  }
+
+  // Step 2/3: run the page through the filter table.
+  if (FtEntry* ft = ft_.find(event.page); ft != nullptr) {
+    bool known = false;
+    for (int i = 0; i < ft->count; ++i) {
+      if (ft->offsets[i] == offset) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      PLANARIA_ASSERT(ft->count < 3);
+      ft->offsets[ft->count++] = offset;
+    }
+    if (ft->count >= config_.promote_threshold) {
+      // Promote: seed the AT bitmap with the offsets the FT witnessed.
+      AtEntry fresh;
+      for (int i = 0; i < ft->count; ++i) fresh.bitmap.set(ft->offsets[i]);
+      fresh.last_access = event.now;
+      ft_.erase(event.page);
+      if (auto evicted = at_.insert(event.page, fresh); evicted.has_value()) {
+        ++stats_.capacity_evictions;
+        transfer_to_pt(evicted->first, evicted->second.bitmap);
+      }
+      ++stats_.promotions;
+    }
+    return;
+  }
+
+  FtEntry fresh;
+  fresh.offsets[0] = offset;
+  fresh.count = 1;
+  ft_.insert(event.page, fresh);
+  ++stats_.ft_inserts;
+}
+
+bool Slp::has_pattern(PageNumber page) const {
+  return pt_.peek(page) != nullptr;
+}
+
+bool Slp::issue(const prefetch::DemandEvent& event,
+                std::vector<prefetch::PrefetchRequest>& out) {
+  SegmentBitmap* pattern = pt_.find(event.page);
+  if (pattern == nullptr) return false;
+  ++stats_.issue_triggers;
+
+  // Prefetch every pattern block except those this visit already touched
+  // (the AT bitmap) and the trigger block itself. The cache/in-flight
+  // deduplication in the simulator suppresses re-issues for blocks already
+  // present.
+  SegmentBitmap already;
+  if (const AtEntry* at = at_.peek(event.page); at != nullptr) {
+    already = at->bitmap;
+  }
+  already.set(event.block_in_segment);
+  const SegmentBitmap to_fetch = pattern->minus(already);
+  to_fetch.for_each_set([&](int block) {
+    out.push_back(prefetch::PrefetchRequest{
+        event.page * kBlocksPerSegment + static_cast<std::uint64_t>(block),
+        cache::FillSource::kPrefetchSlp});
+    ++stats_.prefetches_issued;
+  });
+  return true;
+}
+
+std::uint64_t Slp::storage_bits() const {
+  // Field widths per entry (one channel):
+  //   FT: tag(28) + 3 offsets x 4b + count(2) + LRU(3)            = 45 bits
+  //   AT: tag(28) + bitmap(16) + last-access time(20) + LRU(3)    = 67 bits
+  //   PT: tag(28) + bitmap(16) + LRU(4)                           = 48 bits
+  const std::uint64_t ft_bits =
+      static_cast<std::uint64_t>(config_.ft_sets) * config_.ft_ways * 45;
+  const std::uint64_t at_bits =
+      static_cast<std::uint64_t>(config_.at_sets) * config_.at_ways * 67;
+  const std::uint64_t pt_bits =
+      static_cast<std::uint64_t>(config_.pt_sets) * config_.pt_ways * 48;
+  return ft_bits + at_bits + pt_bits;
+}
+
+}  // namespace planaria::core

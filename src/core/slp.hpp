@@ -1,0 +1,105 @@
+// SLP — the Self-Learning directed Prefetcher (paper Section 3).
+//
+// Exploits Observation 1: at the SC level, a page's accessed blocks form a
+// *footprint snapshot* whose membership is stable across visits even though
+// the intra-snapshot access order is shuffled. SLP therefore abandons delta
+// prediction entirely and learns the snapshot itself, keyed by page number
+// alone (no PC exists at the memory side).
+//
+// Three tables per channel (Figure 1):
+//   Filter Table (FT)        — probation. A page must show `promote_threshold`
+//                               (default 3) distinct block offsets before it
+//                               earns an Accumulation Table entry; one-touch
+//                               pages never pollute the pattern store.
+//   Accumulation Table (AT)  — records the 16-bit bitmap of blocks touched in
+//                               the current visit. An entry idle longer than
+//                               `at_timeout` is interpreted as a *complete,
+//                               stable snapshot* and its bitmap transfers to
+//                               the PT (the paper's Step 4). Capacity
+//                               evictions transfer too — the snapshot was
+//                               merely interrupted, and discarding it would
+//                               throw away learning.
+//   Pattern History Table (PT) — page number -> learned bitmap. On a demand
+//                               miss to a page with a PT entry, every pattern
+//                               block not yet fetched is prefetched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/set_table.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace planaria::core {
+
+struct SlpConfig {
+  int ft_sets = 64;
+  int ft_ways = 8;             ///< 512-entry filter table
+  int at_sets = 64;
+  int at_ways = 8;             ///< 512-entry accumulation table
+  int pt_sets = 1024;
+  int pt_ways = 12;            ///< 12288-entry pattern history table
+  int promote_threshold = 3;   ///< distinct offsets before FT -> AT (Step 3)
+  Cycle at_timeout = 50000;    ///< idle cycles before a snapshot is "complete"
+  Cycle sweep_interval = 64;   ///< accesses between lazy timeout sweeps
+
+  void validate() const;
+};
+
+struct SlpStats {
+  std::uint64_t ft_inserts = 0;
+  std::uint64_t promotions = 0;       ///< FT -> AT
+  std::uint64_t snapshots_learned = 0;  ///< AT -> PT transfers
+  std::uint64_t timeout_evictions = 0;
+  std::uint64_t capacity_evictions = 0;
+  std::uint64_t issue_triggers = 0;   ///< misses where PT had a pattern
+  std::uint64_t prefetches_issued = 0;
+};
+
+class Slp {
+ public:
+  explicit Slp(const SlpConfig& config = {});
+
+  /// Learning phase: runs on every demand access (the coordinator enables
+  /// learning unconditionally — "full-pattern directed").
+  void learn(const prefetch::DemandEvent& event);
+
+  /// Issuing phase: consulted by the coordinator on demand misses. Returns
+  /// true if SLP had a pattern for the page and appended prefetches for the
+  /// not-yet-accessed pattern blocks ("history information to support
+  /// generating prefetching requests").
+  bool issue(const prefetch::DemandEvent& event,
+             std::vector<prefetch::PrefetchRequest>& out);
+
+  /// True iff the PT holds a pattern for `page`; the coordinator's selection
+  /// rule is defined on exactly this predicate.
+  bool has_pattern(PageNumber page) const;
+
+  std::uint64_t storage_bits() const;
+  const SlpStats& stats() const { return stats_; }
+  const SlpConfig& config() const { return config_; }
+
+ private:
+  struct FtEntry {
+    std::uint8_t offsets[3] = {0, 0, 0};  ///< first distinct offsets seen
+    int count = 0;
+  };
+
+  struct AtEntry {
+    SegmentBitmap bitmap;
+    Cycle last_access = 0;
+  };
+
+  void transfer_to_pt(PageNumber page, const SegmentBitmap& bitmap);
+  void sweep_timeouts(Cycle now);
+
+  SlpConfig config_;
+  SetAssocTable<PageNumber, FtEntry> ft_;
+  SetAssocTable<PageNumber, AtEntry> at_;
+  SetAssocTable<PageNumber, SegmentBitmap> pt_;
+  SlpStats stats_;
+  std::uint64_t accesses_since_sweep_ = 0;
+};
+
+}  // namespace planaria::core

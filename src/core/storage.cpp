@@ -1,0 +1,60 @@
+#include "core/storage.hpp"
+
+namespace planaria::core {
+
+std::uint64_t StorageBreakdown::per_channel_bits() const {
+  std::uint64_t bits = 0;
+  for (const auto& item : items) bits += item.bits();
+  return bits;
+}
+
+std::uint64_t StorageBreakdown::total_bits(int channels) const {
+  return per_channel_bits() * static_cast<std::uint64_t>(channels);
+}
+
+double StorageBreakdown::total_kb(int channels) const {
+  return static_cast<double>(total_bits(channels)) / 8.0 / 1024.0;
+}
+
+double StorageBreakdown::fraction_of_sc(std::uint64_t sc_bytes,
+                                        int channels) const {
+  if (sc_bytes == 0) return 0.0;
+  return static_cast<double>(total_bits(channels)) / 8.0 /
+         static_cast<double>(sc_bytes);
+}
+
+StorageBreakdown planaria_storage(const PlanariaConfig& config) {
+  config.validate();
+  StorageBreakdown b;
+  const auto& slp = config.slp;
+  const auto& tlp = config.tlp;
+  if (config.enable_slp) {
+    // Field widths mirror Slp::storage_bits(); kept in one visible table so
+    // the storage bench can print the breakdown the paper summarizes.
+    b.items.push_back(StorageItem{
+        "FT (filter table): tag28 + 3*offset4 + count2 + lru3",
+        static_cast<std::uint64_t>(slp.ft_sets) *
+            static_cast<std::uint64_t>(slp.ft_ways),
+        45});
+    b.items.push_back(StorageItem{
+        "AT (accumulation table): tag28 + bitmap16 + time20 + lru3",
+        static_cast<std::uint64_t>(slp.at_sets) *
+            static_cast<std::uint64_t>(slp.at_ways),
+        67});
+    b.items.push_back(StorageItem{
+        "PT (pattern history table): tag28 + bitmap16 + lru4",
+        static_cast<std::uint64_t>(slp.pt_sets) *
+            static_cast<std::uint64_t>(slp.pt_ways),
+        48});
+  }
+  if (config.enable_tlp) {
+    const auto n = static_cast<std::uint64_t>(tlp.rpt_entries);
+    b.items.push_back(StorageItem{
+        "RPT (recent page table): tag28 + bitmap16 + ref" +
+            std::to_string(n - 1) + " + lru7",
+        n, 28 + 16 + (n - 1) + 7});
+  }
+  return b;
+}
+
+}  // namespace planaria::core

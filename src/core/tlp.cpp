@@ -1,0 +1,132 @@
+#include "core/tlp.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace planaria::core {
+
+void TlpConfig::validate() const {
+  if (rpt_entries <= 0) {
+    throw std::invalid_argument("tlp config: rpt_entries must be positive");
+  }
+  if (distance_threshold == 0) {
+    throw std::invalid_argument("tlp config: distance threshold must be positive");
+  }
+  if (min_common_bits < 1 || min_common_bits > 16) {
+    throw std::invalid_argument("tlp config: min_common_bits must be 1..16");
+  }
+}
+
+Tlp::Tlp(const TlpConfig& config)
+    : config_(config),
+      entries_(static_cast<std::size_t>(config.rpt_entries)) {
+  config_.validate();
+  for (auto& e : entries_) {
+    e.ref.assign(static_cast<std::size_t>(config_.rpt_entries), false);
+  }
+}
+
+int Tlp::find_slot(PageNumber page) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].valid && entries_[i].page == page) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Tlp::allocate(PageNumber page) {
+  // LRU victim (or first invalid slot).
+  int victim = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].valid) {
+      victim = static_cast<int>(i);
+      break;
+    }
+    if (entries_[i].last_use < entries_[static_cast<std::size_t>(victim)].last_use) {
+      victim = static_cast<int>(i);
+    }
+  }
+  auto& e = entries_[static_cast<std::size_t>(victim)];
+  // Retire the old occupant's Ref bits in both directions.
+  if (e.valid) {
+    for (auto& other : entries_) {
+      if (other.valid) other.ref[static_cast<std::size_t>(victim)] = false;
+    }
+  }
+  e.page = page;
+  e.bitmap.reset();
+  e.valid = true;
+  std::fill(e.ref.begin(), e.ref.end(), false);
+  // Wire Ref bits against every resident page (the paper's allocation step:
+  // "TLP allocates a new entry and sets Ref0 as 1 because ... neighboring
+  // pages in space").
+  for (std::size_t j = 0; j < entries_.size(); ++j) {
+    auto& other = entries_[j];
+    if (!other.valid || static_cast<int>(j) == victim) continue;
+    const std::uint64_t distance =
+        page > other.page ? page - other.page : other.page - page;
+    const bool near = distance <= config_.distance_threshold;
+    e.ref[j] = near;
+    other.ref[static_cast<std::size_t>(victim)] = near;
+  }
+  ++stats_.allocations;
+  return victim;
+}
+
+void Tlp::learn(const prefetch::DemandEvent& event) {
+  int slot = find_slot(event.page);
+  if (slot < 0) slot = allocate(event.page);
+  auto& e = entries_[static_cast<std::size_t>(slot)];
+  e.bitmap.set(event.block_in_segment);
+  e.last_use = ++tick_;
+}
+
+bool Tlp::issue(const prefetch::DemandEvent& event,
+                std::vector<prefetch::PrefetchRequest>& out) {
+  ++stats_.issue_triggers;
+  const int slot = find_slot(event.page);
+  // learn() runs before issue() in the coordinator, so the page is resident;
+  // guard anyway for standalone use.
+  if (slot < 0) return false;
+  const auto& self = entries_[static_cast<std::size_t>(slot)];
+
+  // Most similar referenced neighbor above the similarity floor wins
+  // (Figure 6: page B with 6 common blocks beats page C with 3).
+  const RptEntry* best = nullptr;
+  int best_common = config_.min_common_bits - 1;
+  for (std::size_t j = 0; j < entries_.size(); ++j) {
+    if (!self.ref[j]) continue;
+    const auto& cand = entries_[j];
+    if (!cand.valid) continue;
+    const int common = self.bitmap.common_with(cand.bitmap);
+    if (common > best_common) {
+      best_common = common;
+      best = &cand;
+    }
+  }
+  if (best == nullptr) return false;
+
+  const SegmentBitmap to_fetch = best->bitmap.minus(self.bitmap);
+  if (to_fetch.empty()) return false;
+  ++stats_.transfers;
+  to_fetch.for_each_set([&](int block) {
+    out.push_back(prefetch::PrefetchRequest{
+        event.page * kBlocksPerSegment + static_cast<std::uint64_t>(block),
+        cache::FillSource::kPrefetchTlp});
+    ++stats_.prefetches_issued;
+  });
+  return true;
+}
+
+const SegmentBitmap* Tlp::bitmap_of(PageNumber page) const {
+  const int slot = find_slot(page);
+  return slot < 0 ? nullptr : &entries_[static_cast<std::size_t>(slot)].bitmap;
+}
+
+std::uint64_t Tlp::storage_bits() const {
+  // Per entry: tag(28) + bitmap(16) + (N-1) Ref bits + LRU(7).
+  const auto n = static_cast<std::uint64_t>(config_.rpt_entries);
+  return n * (28 + 16 + (n - 1) + 7);
+}
+
+}  // namespace planaria::core

@@ -1,0 +1,399 @@
+#include "dram/channel.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace planaria::dram {
+
+DramChannel::DramChannel(const DramConfig& config)
+    : config_(config),
+      mapper_(config.geometry),
+      banks_(static_cast<std::size_t>(config.geometry.banks) *
+             static_cast<std::size_t>(config.geometry.ranks)),
+      ranks_(static_cast<std::size_t>(config.geometry.ranks)),
+      // REFpb refreshes one bank per deadline at banks-times the REFab rate.
+      refresh_due_(static_cast<Cycle>(
+          config.controller.per_bank_refresh
+              ? config.timing.tREFI / config.geometry.banks
+              : config.timing.tREFI)) {
+  config_.validate();
+}
+
+bool DramChannel::submit(const DramRequest& request) {
+  // `arrival` may be earlier than now_: the controller can have fast-forwarded
+  // through refresh while the request was in flight toward it. earliest
+  // command scheduling clamps to max(now_, arrival).
+  Queued q;
+  q.req = request;
+  q.loc = mapper_.map(request.local_block);
+  q.order = ++order_counter_;
+
+  if (request.is_write) {
+    // Coalesce a write to a block already waiting in the write queue: the
+    // later data simply replaces the earlier burst.
+    for (auto& w : write_q_) {
+      if (w.req.local_block == request.local_block) {
+        w.req.tag = request.tag;
+        return true;
+      }
+    }
+    if (write_q_.size() >=
+        static_cast<std::size_t>(config_.controller.write_queue_depth)) {
+      ++counters_.read_queue_overflows;  // bus would have stalled here
+    }
+    write_q_.push_back(q);
+    return true;
+  }
+
+  // Read hitting the write queue is forwarded from the buffered data.
+  for (const auto& w : write_q_) {
+    if (w.req.local_block == request.local_block) {
+      DramCompletion c;
+      c.tag = request.tag;
+      c.arrival = request.arrival;
+      c.finish = request.arrival + static_cast<Cycle>(config_.timing.tCL);
+      c.is_prefetch = request.is_prefetch;
+      c.forwarded = true;
+      completions_.push_back(c);
+      ++counters_.forwarded_reads;
+      if (request.is_prefetch) {
+        ++counters_.prefetch_reads;
+      } else {
+        ++counters_.demand_reads;
+      }
+      return true;
+    }
+  }
+
+  if (read_q_.size() >=
+      static_cast<std::size_t>(config_.controller.read_queue_depth)) {
+    if (request.is_prefetch) {
+      ++counters_.prefetch_drops;
+      return false;  // saturated channel throttles speculation first
+    }
+    ++counters_.read_queue_overflows;
+  }
+  read_q_.push_back(q);
+  return true;
+}
+
+Cycle DramChannel::rank_act_ready(Cycle t, int rank) const {
+  const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  Cycle ready = t;
+  if (rs.have_last_act) {
+    ready = std::max(ready, rs.last_act + static_cast<Cycle>(config_.timing.tRRD));
+  }
+  if (rs.recent_acts.size() >= 4) {
+    ready = std::max(ready,
+                     rs.recent_acts.front() + static_cast<Cycle>(config_.timing.tFAW));
+  }
+  return ready;
+}
+
+Cycle DramChannel::rank_turnaround(Cycle t, int rank) const {
+  // Switching the data bus between ranks costs tRTRS after the previous
+  // burst; same-rank bursts are paced by tCCD alone. With 1 rank (Table 1)
+  // this never fires.
+  if (last_burst_rank_ < 0 || last_burst_rank_ == rank) return t;
+  return std::max(t, last_burst_end_ + static_cast<Cycle>(config_.timing.tRTRS));
+}
+
+DramChannel::Candidate DramChannel::earliest_command(const Queued& q) const {
+  const Bank& b = bank_of(q.loc);
+  const Cycle base = std::max({now_, q.req.arrival, next_cmd_ok_});
+  Candidate c;
+  if (b.row_open && b.open_row == q.loc.row) {
+    c.kind = CmdKind::kReadWrite;
+    c.row_hit = true;
+    c.when = rank_turnaround(
+        std::max({base, b.rdwr_allowed,
+                  q.req.is_write ? next_write_ok_ : next_read_ok_}),
+        q.loc.rank);
+  } else if (b.row_open) {
+    c.kind = CmdKind::kPrecharge;
+    c.when = std::max(base, b.pre_allowed);
+  } else {
+    c.kind = CmdKind::kActivate;
+    c.when = std::max({base, b.act_allowed, rank_act_ready(base, q.loc.rank)});
+  }
+  return c;
+}
+
+bool DramChannel::pick(const std::deque<Queued>& queue, Candidate& out) const {
+  if (queue.empty()) return false;
+
+  // Anti-starvation: a request past the age cap preempts FR-FCFS ordering.
+  const Queued& oldest = queue.front();
+  if (now_ > oldest.req.arrival + kStarvationAge) {
+    out = earliest_command(oldest);
+    out.index = 0;
+    return true;
+  }
+
+  // Two priority classes: demands, then prefetches. A prefetch command is
+  // chosen only when no demand could issue within kPrefetchSlack cycles of
+  // it — i.e. prefetches fill idle command slots instead of delaying demand
+  // service (standard memory-side prefetch priority).
+  bool have_demand = false, have_any = false;
+  Candidate best_demand, best_any;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    Candidate c = earliest_command(queue[i]);
+    c.index = i;
+    const bool is_prefetch = queue[i].req.is_prefetch;
+    // FR-FCFS within a class: earliest issue time, then open-row hits, then
+    // age (queue position).
+    const auto better = [](const Candidate& cand, const Candidate& incumbent) {
+      if (cand.when != incumbent.when) return cand.when < incumbent.when;
+      if (cand.row_hit != incumbent.row_hit) return cand.row_hit;
+      return false;
+    };
+    if (!have_any || better(c, best_any)) {
+      best_any = c;
+      have_any = true;
+    }
+    if (!is_prefetch && (!have_demand || better(c, best_demand))) {
+      best_demand = c;
+      have_demand = true;
+    }
+  }
+  if (!have_any) return false;
+  out = (have_demand && best_demand.when <= best_any.when + kPrefetchSlack)
+            ? best_demand
+            : best_any;
+  return true;
+}
+
+void DramChannel::issue(std::deque<Queued>& queue, const Candidate& cand) {
+  Queued& q = queue[cand.index];
+  Bank& b = bank_of(q.loc);
+  const auto& t = config_.timing;
+  const Cycle when = cand.when;
+  const auto burst = static_cast<Cycle>(t.burst_cycles());
+
+  switch (cand.kind) {
+    case CmdKind::kActivate: {
+      q.needed_act = true;
+      b.row_open = true;
+      b.open_row = q.loc.row;
+      b.rdwr_allowed = when + static_cast<Cycle>(t.tRCD);
+      b.pre_allowed = when + static_cast<Cycle>(t.tRAS);
+      b.act_allowed = when + static_cast<Cycle>(t.tRC);
+      RankState& rs = ranks_[static_cast<std::size_t>(q.loc.rank)];
+      rs.last_act = when;
+      rs.have_last_act = true;
+      rs.recent_acts.push_back(when);
+      if (rs.recent_acts.size() > 4) rs.recent_acts.pop_front();
+      ++counters_.activates;
+      break;
+    }
+    case CmdKind::kPrecharge: {
+      q.needed_act = true;
+      b.row_open = false;
+      b.act_allowed = std::max(b.act_allowed, when + static_cast<Cycle>(t.tRP));
+      ++counters_.precharges;
+      break;
+    }
+    case CmdKind::kReadWrite: {
+      DramCompletion c;
+      c.tag = q.req.tag;
+      c.arrival = q.req.arrival;
+      c.is_write = q.req.is_write;
+      c.is_prefetch = q.req.is_prefetch;
+      c.row_hit = !q.needed_act;
+      if (q.req.is_write) {
+        const Cycle data_end = when + static_cast<Cycle>(t.tCWL) + burst;
+        c.finish = data_end;
+        last_burst_rank_ = q.loc.rank;
+        last_burst_end_ = data_end;
+        next_write_ok_ = std::max(next_write_ok_, when + static_cast<Cycle>(t.tCCD));
+        next_read_ok_ = std::max(next_read_ok_,
+                                 data_end + static_cast<Cycle>(t.tWTR));
+        b.pre_allowed = std::max(b.pre_allowed,
+                                 data_end + static_cast<Cycle>(t.tWR));
+        ++counters_.writes;
+      } else {
+        const Cycle data_end = when + static_cast<Cycle>(t.tCL) + burst;
+        c.finish = data_end;
+        last_burst_rank_ = q.loc.rank;
+        last_burst_end_ = data_end;
+        next_read_ok_ = std::max(next_read_ok_, when + static_cast<Cycle>(t.tCCD));
+        // Write bursts must not collide with this read's data on the bus.
+        const Cycle wr_ok = when + static_cast<Cycle>(t.tCL) + burst +
+                            static_cast<Cycle>(t.tRTRS) -
+                            static_cast<Cycle>(t.tCWL);
+        next_write_ok_ = std::max(next_write_ok_, wr_ok);
+        b.pre_allowed = std::max(b.pre_allowed, when + static_cast<Cycle>(t.tRTP));
+        ++counters_.reads;
+        if (q.req.is_prefetch) {
+          ++counters_.prefetch_reads;
+        } else {
+          ++counters_.demand_reads;
+        }
+      }
+      if (c.row_hit) {
+        ++counters_.row_hits;
+      } else {
+        ++counters_.row_misses;
+      }
+      counters_.busy_data_cycles += burst;
+      completions_.push_back(c);
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(cand.index));
+      break;
+    }
+  }
+  next_cmd_ok_ = when + static_cast<Cycle>(t.tCMD);
+  last_cmd_time_ = when;
+  ever_issued_ = true;
+  now_ = when;
+}
+
+void DramChannel::perform_bank_refresh(Cycle at) {
+  const auto& t = config_.timing;
+  // Refresh one bank (round-robin across ranks x banks); the rest of the
+  // channel keeps serving. The bank must be precharged first.
+  Bank& b = banks_[static_cast<std::size_t>(refresh_bank_rr_)];
+  refresh_bank_rr_ = (refresh_bank_rr_ + 1) % static_cast<int>(banks_.size());
+  Cycle start = exit_powerdown(std::max(at, next_cmd_ok_));
+  if (b.row_open) {
+    start = std::max(start, b.pre_allowed);
+    ++counters_.precharges;
+    start += static_cast<Cycle>(t.tRP);
+    b.row_open = false;
+  }
+  const Cycle done = start + static_cast<Cycle>(t.tRFCpb);
+  b.act_allowed = std::max(b.act_allowed, done);
+  next_cmd_ok_ = std::max(next_cmd_ok_, start + static_cast<Cycle>(t.tCMD));
+  last_cmd_time_ = std::max(last_cmd_time_, done);
+  ever_issued_ = true;
+  now_ = std::max(now_, start);
+  ++counters_.refreshes_pb;
+}
+
+void DramChannel::perform_refresh(Cycle at) {
+  if (config_.controller.per_bank_refresh) {
+    perform_bank_refresh(at);
+    return;
+  }
+  const auto& t = config_.timing;
+  // All banks must be precharged before REFab; a powered-down channel exits
+  // first (self-refresh is not modelled separately — idle refresh cadence is
+  // identical and the power model prices power-down time uniformly).
+  Cycle start = exit_powerdown(std::max(at, next_cmd_ok_));
+  bool any_open = false;
+  for (const auto& b : banks_) {
+    if (b.row_open) {
+      any_open = true;
+      start = std::max(start, b.pre_allowed);
+    }
+  }
+  if (any_open) {
+    ++counters_.precharges;  // modelled as one PREab
+    start += static_cast<Cycle>(t.tRP);
+  }
+  const Cycle done = start + static_cast<Cycle>(t.tRFC);
+  for (auto& b : banks_) {
+    b.row_open = false;
+    b.act_allowed = std::max(b.act_allowed, done);
+  }
+  next_cmd_ok_ = std::max(next_cmd_ok_, start + static_cast<Cycle>(t.tCMD));
+  // The device is busy until tRFC completes; that interval is not idle time
+  // for power-down accounting.
+  last_cmd_time_ = std::max(last_cmd_time_, done);
+  ever_issued_ = true;
+  now_ = std::max(now_, start);
+  ++counters_.refreshes;
+}
+
+bool DramChannel::write_drain_mode() const { return draining_writes_; }
+
+Cycle DramChannel::exit_powerdown(Cycle when) {
+  // Controller policy: enter CKE-low after powerdown_idle_threshold idle
+  // cycles (a policy knob well above tCKE's minimum pulse width); exiting
+  // costs tXP before the next command. The pre-first-command state is not
+  // billed — the device has not been initialized into active standby yet.
+  if (!ever_issued_) return when;
+  const Cycle pd_entry =
+      last_cmd_time_ +
+      static_cast<Cycle>(config_.controller.powerdown_idle_threshold);
+  if (when <= pd_entry) return when;
+  counters_.powerdown_cycles += when - pd_entry;
+  ++counters_.powerdown_entries;
+  return when + static_cast<Cycle>(config_.timing.tXP);
+}
+
+void DramChannel::advance(Cycle until) {
+  if (until < now_) until = now_;
+  const auto& ctrl = config_.controller;
+
+  while (true) {
+    // Refresh debt: every deadline that has passed becomes one owed refresh.
+    const auto refresh_interval = static_cast<Cycle>(
+        config_.controller.per_bank_refresh
+            ? config_.timing.tREFI / config_.geometry.banks
+            : config_.timing.tREFI);
+    while (refresh_due_ <= now_) {
+      ++postponed_refreshes_;
+      refresh_due_ += refresh_interval;
+    }
+    if (postponed_refreshes_ > 0 &&
+        (postponed_refreshes_ >= ctrl.max_postponed_refreshes ||
+         (read_q_.empty() && write_q_.empty()))) {
+      perform_refresh(now_);
+      --postponed_refreshes_;
+      continue;
+    }
+
+    // Write-drain hysteresis.
+    if (draining_writes_) {
+      if (write_q_.empty() ||
+          (write_q_.size() <= static_cast<std::size_t>(ctrl.write_drain_low) &&
+           !read_q_.empty())) {
+        draining_writes_ = false;
+      }
+    } else {
+      if (write_q_.size() >= static_cast<std::size_t>(ctrl.write_drain_high) ||
+          (read_q_.empty() && !write_q_.empty())) {
+        draining_writes_ = true;
+      }
+    }
+
+    std::deque<Queued>& active = draining_writes_ ? write_q_ : read_q_;
+    Candidate cand;
+    if (!pick(active, cand)) {
+      // Idle: fast-forward refresh deadlines up to `until`, then stop.
+      while (read_q_.empty() && write_q_.empty() && refresh_due_ <= until) {
+        perform_refresh(refresh_due_);
+        refresh_due_ += refresh_interval;
+      }
+      break;
+    }
+    if (cand.when > until) break;
+    cand.when = exit_powerdown(cand.when);
+    issue(active, cand);
+  }
+
+  now_ = std::max(now_, until);
+  counters_.elapsed = now_;
+}
+
+void DramChannel::drain() {
+  // Small steps bound the time overshoot past the last completion; queues
+  // being non-empty keeps the idle refresh fast-forward out of the loop.
+  while (!read_q_.empty() || !write_q_.empty()) {
+    advance(now_ + 64);
+  }
+  counters_.elapsed = now_;
+}
+
+std::vector<DramCompletion> DramChannel::take_completions() {
+  std::sort(completions_.begin(), completions_.end(),
+            [](const DramCompletion& a, const DramCompletion& b) {
+              return a.finish < b.finish;
+            });
+  std::vector<DramCompletion> out;
+  out.swap(completions_);
+  return out;
+}
+
+}  // namespace planaria::dram

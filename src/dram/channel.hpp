@@ -1,0 +1,180 @@
+// Cycle-level LPDDR4 channel controller.
+//
+// Models one of the four channels of Table 1's memory system: 8 banks with
+// full state machines (ACT/PRE/RD/WR/REFab), every timing constraint from the
+// TimingConfig, FR-FCFS scheduling with demand-over-prefetch priority and an
+// anti-starvation age cap, buffered writes with high/low watermark draining,
+// write-to-read forwarding, and all-bank refresh with LPDDR4-style
+// postponement. The simulation is event-driven: time jumps straight to the
+// next issuable command, so idle periods cost nothing.
+//
+// The controller is open-loop (trace-driven): demand requests are always
+// accepted (an over-full read queue is counted, mirroring a stalled-bus
+// condition), while prefetch requests are *dropped* when the queue is
+// saturated — that drop is the natural throttle that keeps a prefetcher from
+// monopolizing the channel.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dram/config.hpp"
+
+namespace planaria::dram {
+
+struct DramRequest {
+  std::uint64_t local_block = 0;  ///< channel-local block index
+  Cycle arrival = 0;
+  bool is_write = false;
+  bool is_prefetch = false;
+  std::uint64_t tag = 0;          ///< caller-chosen completion correlation id
+};
+
+struct DramCompletion {
+  std::uint64_t tag = 0;
+  Cycle arrival = 0;
+  Cycle finish = 0;     ///< cycle the data burst completes
+  bool is_write = false;
+  bool is_prefetch = false;
+  bool row_hit = false;
+  bool forwarded = false;  ///< read served from the write queue
+};
+
+/// Raw command/occupancy counts consumed by the power model.
+struct ChannelCounters {
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t refreshes = 0;      ///< all-bank REFab commands
+  std::uint64_t refreshes_pb = 0;   ///< per-bank REFpb commands
+  std::uint64_t row_hits = 0;       ///< RD/WR issued to an already-open row
+  std::uint64_t row_misses = 0;     ///< RD/WR that needed ACT (+PRE) first
+  std::uint64_t demand_reads = 0;
+  std::uint64_t prefetch_reads = 0;
+  std::uint64_t prefetch_drops = 0; ///< prefetches rejected by a full queue
+  std::uint64_t read_queue_overflows = 0;
+  std::uint64_t forwarded_reads = 0;
+  std::uint64_t powerdown_entries = 0;  ///< CKE-low entries (idle > tCKE)
+  Cycle powerdown_cycles = 0;           ///< cycles spent powered down
+  Cycle elapsed = 0;                ///< total simulated time
+  Cycle busy_data_cycles = 0;       ///< cycles the data bus carried a burst
+};
+
+class DramChannel {
+ public:
+  explicit DramChannel(const DramConfig& config);
+
+  /// Queues a request. `request.arrival` must be >= the time already advanced
+  /// to. Returns false iff a prefetch was dropped due to queue saturation.
+  bool submit(const DramRequest& request);
+
+  /// Simulates command issue up to (and including) cycle `until`.
+  void advance(Cycle until);
+
+  /// Simulates until every queued request has completed.
+  void drain();
+
+  /// Completions accumulated since the last call (sorted by finish cycle).
+  std::vector<DramCompletion> take_completions();
+
+  Cycle now() const { return now_; }
+  const ChannelCounters& counters() const { return counters_; }
+  std::size_t read_queue_size() const { return read_q_.size(); }
+  std::size_t write_queue_size() const { return write_q_.size(); }
+
+ private:
+  struct Bank {
+    bool row_open = false;
+    std::uint32_t open_row = 0;
+    Cycle act_allowed = 0;   ///< earliest next ACT (tRC, tRP after PRE, tRFC)
+    Cycle rdwr_allowed = 0;  ///< earliest RD/WR after ACT (tRCD)
+    Cycle pre_allowed = 0;   ///< earliest PRE (tRAS, tRTP, write recovery)
+  };
+
+  struct Queued {
+    DramRequest req;
+    BlockLocation loc;
+    std::uint64_t order = 0;  ///< age for FCFS tie-breaks
+    bool needed_act = false;  ///< a PRE/ACT was issued on this request's
+                              ///< behalf => its RD/WR is not a row hit
+  };
+
+  enum class CmdKind { kActivate, kPrecharge, kReadWrite };
+
+  struct Candidate {
+    Cycle when = 0;
+    CmdKind kind = CmdKind::kActivate;
+    std::size_t index = 0;  ///< position in the active queue
+    bool row_hit = false;
+  };
+
+  /// Earliest cycle the next command needed by `q` can issue.
+  Candidate earliest_command(const Queued& q) const;
+
+  Bank& bank_of(const BlockLocation& loc) {
+    return banks_[static_cast<std::size_t>(loc.rank) *
+                      static_cast<std::size_t>(config_.geometry.banks) +
+                  static_cast<std::size_t>(loc.bank)];
+  }
+  const Bank& bank_of(const BlockLocation& loc) const {
+    return const_cast<DramChannel*>(this)->bank_of(loc);
+  }
+
+  /// Picks the FR-FCFS winner from `queue`; returns false if empty.
+  bool pick(const std::deque<Queued>& queue, Candidate& out) const;
+
+  void issue(std::deque<Queued>& queue, const Candidate& cand);
+  void perform_refresh(Cycle at);
+  void perform_bank_refresh(Cycle at);
+  Cycle rank_turnaround(Cycle t, int rank) const;
+
+  /// Applies LPDDR4 power-down accounting: if the channel sat idle past tCKE
+  /// since the last command, it entered CKE-low power-down and the next
+  /// command at `when` pays the tXP exit penalty. Returns the adjusted time.
+  Cycle exit_powerdown(Cycle when);
+  bool write_drain_mode() const;
+  Cycle rank_act_ready(Cycle t, int rank) const;
+
+  DramConfig config_;
+  AddressMapper mapper_;
+  std::vector<Bank> banks_;
+  std::deque<Queued> read_q_;
+  std::deque<Queued> write_q_;
+  std::vector<DramCompletion> completions_;
+
+  Cycle now_ = 0;
+  Cycle next_cmd_ok_ = 0;    ///< command-bus serialization (tCMD)
+  Cycle next_read_ok_ = 0;   ///< data-bus + turnaround constraint for reads
+  Cycle next_write_ok_ = 0;  ///< data-bus + turnaround constraint for writes
+  /// Per-rank ACT tracking (tFAW window, tRRD).
+  struct RankState {
+    std::deque<Cycle> recent_acts;
+    Cycle last_act = 0;
+    bool have_last_act = false;
+  };
+  std::vector<RankState> ranks_;
+  int last_burst_rank_ = -1;  ///< for inter-rank tRTRS bus turnaround
+  Cycle last_burst_end_ = 0;
+
+  Cycle refresh_due_;
+  int refresh_bank_rr_ = 0;  ///< REFpb round-robin cursor
+  Cycle last_cmd_time_ = 0;  ///< for power-down entry detection (tXP exits)
+  bool ever_issued_ = false; ///< pre-init state is not billed as power-down
+  int postponed_refreshes_ = 0;
+  bool draining_writes_ = false;
+  std::uint64_t order_counter_ = 0;
+  ChannelCounters counters_;
+
+  /// Requests older than this many cycles win over row hits (anti-starvation).
+  static constexpr Cycle kStarvationAge = 2000;
+
+  /// A prefetch only issues when no demand could go within this many cycles
+  /// of it (prefetches fill idle slots; they never displace demand service).
+  static constexpr Cycle kPrefetchSlack = 0;
+};
+
+}  // namespace planaria::dram

@@ -1,0 +1,88 @@
+// Current/energy-based LPDDR4 power model.
+//
+// Stands in for the proprietary manufacturer power model the paper embeds in
+// its simulator (Section 5). The structure is the standard Micron-style
+// decomposition: per-command energies (ACT/PRE pair, read burst, write burst,
+// IO, all-bank refresh) plus time-proportional background power. Default
+// values are representative of an x16 LPDDR4-3200 channel of an 8Gb die at
+// VDD2 = 1.1V; the evaluation only consumes *relative* power deltas between
+// prefetcher configurations, which depend on command counts rather than the
+// absolute calibration.
+#pragma once
+
+#include <stdexcept>
+
+#include "dram/channel.hpp"
+
+namespace planaria::dram {
+
+struct PowerParams {
+  double e_activate_nj = 0.9;   ///< ACT + eventual PRE pair, per row cycle
+  double e_read_nj = 1.2;       ///< core array read energy per 64B burst
+  double e_write_nj = 1.3;      ///< core array write energy per 64B burst
+  double e_io_nj = 0.35;        ///< LVSTL IO + termination per 64B transfer
+  double e_refresh_nj = 28.0;   ///< one all-bank refresh
+  double p_background_mw = 55.0;  ///< active/idle standby power (CKE high)
+  double p_powerdown_mw = 22.0;   ///< CKE-low power-down standby power
+  double clock_ghz = 1.6;       ///< controller clock, converts cycles to time
+
+  void validate() const {
+    if (e_activate_nj < 0 || e_read_nj < 0 || e_write_nj < 0 || e_io_nj < 0 ||
+        e_refresh_nj < 0 || p_background_mw < 0 || p_powerdown_mw < 0 ||
+        clock_ghz <= 0) {
+      throw std::invalid_argument("dram power params must be non-negative");
+    }
+  }
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const PowerParams& params = {}) : params_(params) {
+    params_.validate();
+  }
+
+  /// Total energy consumed by one channel given its command counts, in nJ.
+  /// Cycles the channel spent in CKE-low power-down are billed at the
+  /// power-down rate instead of full standby.
+  double energy_nj(const ChannelCounters& c) const {
+    const double dynamic =
+        static_cast<double>(c.activates) * params_.e_activate_nj +
+        static_cast<double>(c.reads) * (params_.e_read_nj + params_.e_io_nj) +
+        static_cast<double>(c.writes) * (params_.e_write_nj + params_.e_io_nj) +
+        static_cast<double>(c.refreshes) * params_.e_refresh_nj +
+        static_cast<double>(c.refreshes_pb) * params_.e_refresh_nj / 8.0;
+    const Cycle standby =
+        c.elapsed > c.powerdown_cycles ? c.elapsed - c.powerdown_cycles : 0;
+    return dynamic + background_energy_nj(standby) +
+           powerdown_energy_nj(c.powerdown_cycles);
+  }
+
+  /// Full-standby background energy for `cycles`, in nJ.
+  double background_energy_nj(Cycle cycles) const {
+    const double seconds =
+        static_cast<double>(cycles) / (params_.clock_ghz * 1e9);
+    return params_.p_background_mw * 1e-3 * seconds * 1e9;  // W*s -> nJ
+  }
+
+  /// CKE-low power-down energy for `cycles`, in nJ.
+  double powerdown_energy_nj(Cycle cycles) const {
+    const double seconds =
+        static_cast<double>(cycles) / (params_.clock_ghz * 1e9);
+    return params_.p_powerdown_mw * 1e-3 * seconds * 1e9;
+  }
+
+  /// Average power over the channel's elapsed time, in mW.
+  double average_power_mw(const ChannelCounters& c) const {
+    if (c.elapsed == 0) return 0.0;
+    const double seconds =
+        static_cast<double>(c.elapsed) / (params_.clock_ghz * 1e9);
+    return energy_nj(c) * 1e-9 / seconds * 1e3;  // nJ/s -> mW
+  }
+
+  const PowerParams& params() const { return params_; }
+
+ private:
+  PowerParams params_;
+};
+
+}  // namespace planaria::dram

@@ -1,0 +1,114 @@
+#include "prefetch/bop.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace planaria::prefetch {
+
+void BopConfig::validate() const {
+  if (score_max <= 0 || round_max <= 0 || bad_score < 0 || rr_entries <= 0 ||
+      degree <= 0) {
+    throw std::invalid_argument("bop config: parameters must be positive");
+  }
+  if ((rr_entries & (rr_entries - 1)) != 0) {
+    throw std::invalid_argument("bop config: rr_entries must be a power of two");
+  }
+}
+
+namespace {
+
+std::vector<int> michaud_offsets() {
+  // All integers in [1, 256] whose prime factorization uses only 2, 3, 5.
+  std::vector<int> offsets;
+  for (int n = 1; n <= 256; ++n) {
+    int m = n;
+    for (int p : {2, 3, 5}) {
+      while (m % p == 0) m /= p;
+    }
+    if (m == 1) offsets.push_back(n);
+  }
+  return offsets;
+}
+
+}  // namespace
+
+BestOffsetPrefetcher::BestOffsetPrefetcher(const BopConfig& config)
+    : config_(config), offsets_(michaud_offsets()),
+      scores_(offsets_.size(), 0),
+      rr_table_(static_cast<std::size_t>(config.rr_entries), 0) {
+  config_.validate();
+}
+
+void BestOffsetPrefetcher::on_fill(std::uint64_t local_block, bool was_prefetch,
+                                   Cycle) {
+  // RR insertion per the paper: when a fetch of line X completes, insert
+  // X - D so that a later trigger at X' = X - D + d scores offset d only if
+  // the prefetch would have been issued early enough to cover the fetch.
+  std::uint64_t base = local_block;
+  if (was_prefetch) {
+    if (local_block < static_cast<std::uint64_t>(best_offset_)) return;
+    base = local_block - static_cast<std::uint64_t>(best_offset_);
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>(base) & (rr_table_.size() - 1);
+  rr_table_[idx] = base + 1;  // +1 so that 0 means empty
+}
+
+void BestOffsetPrefetcher::finish_round() {
+  const auto best = std::max_element(scores_.begin(), scores_.end());
+  best_offset_ = offsets_[static_cast<std::size_t>(best - scores_.begin())];
+  prefetch_on_ = *best > config_.bad_score;
+  std::fill(scores_.begin(), scores_.end(), 0);
+  round_count_ = 0;
+  test_index_ = 0;
+}
+
+void BestOffsetPrefetcher::on_demand(const DemandEvent& event,
+                                     std::vector<PrefetchRequest>& out) {
+  // BOP triggers on demand-read misses and on first-use hits of prefetched
+  // lines (which would have been misses without the prefetcher) — writes do
+  // not trigger, as in the original paper's L2-read-miss attach point.
+  if (event.type == AccessType::kWrite) return;
+  if (event.sc_hit && !event.hit_was_prefetch) return;
+  const std::uint64_t x = event.local_block;
+
+  // Learning: test one candidate offset per trigger.
+  const int d = offsets_[test_index_];
+  bool round_finished = false;
+  if (x >= static_cast<std::uint64_t>(d)) {
+    const std::uint64_t wanted = x - static_cast<std::uint64_t>(d);
+    const std::size_t idx =
+        static_cast<std::size_t>(wanted) & (rr_table_.size() - 1);
+    if (rr_table_[idx] == wanted + 1) {
+      if (++scores_[test_index_] >= config_.score_max) {
+        finish_round();  // resets test_index_; issue below uses the new offset
+        round_finished = true;
+      }
+    }
+  }
+  if (!round_finished) {
+    ++test_index_;
+    if (test_index_ >= offsets_.size()) {
+      test_index_ = 0;
+      if (++round_count_ >= config_.round_max) finish_round();
+    }
+  }
+
+  if (!prefetch_on_) return;
+  std::uint64_t target = x;
+  for (int i = 0; i < config_.degree; ++i) {
+    target += static_cast<std::uint64_t>(best_offset_);
+    out.push_back(PrefetchRequest{target, cache::FillSource::kPrefetchOther});
+  }
+}
+
+std::uint64_t BestOffsetPrefetcher::storage_bits() const {
+  // RR table: rr_entries x (tag ~ 12 bits). Scores: 52 x 6 bits (score_max
+  // 31 fits in 5, round counters amortized). Best offset + state: ~16 bits.
+  return static_cast<std::uint64_t>(config_.rr_entries) * 12 +
+         offsets_.size() * 6 + 16;
+}
+
+}  // namespace planaria::prefetch

@@ -1,0 +1,66 @@
+// Best-Offset Prefetcher (Michaud, HPCA 2016), adapted to the memory side.
+//
+// BOP learns a single best prefetch offset D by scoring candidate offsets
+// against a Recent Requests (RR) table: offset d scores a point when the
+// current trigger address X was preceded by a completed fill of X - d within
+// the RR window — i.e. prefetching with offset d would have been timely. At
+// the end of a learning round the highest-scoring offset becomes D; if even
+// the best score is poor, prefetch turns off until a later round rehabilitates
+// an offset.
+//
+// This is the paper's first baseline. It needs no PC, so it deploys at the SC
+// unchanged; the evaluation shows its weakness there: the SC's shuffled
+// intra-page order has no stable offset, so BOP either mistrains or fires a
+// constant offset into noise, generating the +23.4% traffic the paper
+// measures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace planaria::prefetch {
+
+struct BopConfig {
+  int score_max = 31;     ///< round ends when an offset reaches this score
+  int round_max = 100;    ///< or when every offset was tested this many times
+  int bad_score = 10;      ///< best score <= this disables prefetching
+  int rr_entries = 256;   ///< recent-requests table size (direct-mapped)
+  int degree = 1;         ///< prefetches per trigger when on
+
+  void validate() const;
+};
+
+class BestOffsetPrefetcher final : public Prefetcher {
+ public:
+  explicit BestOffsetPrefetcher(const BopConfig& config = {});
+
+  void on_demand(const DemandEvent& event,
+                 std::vector<PrefetchRequest>& out) override;
+  void on_fill(std::uint64_t local_block, bool was_prefetch, Cycle now) override;
+
+  const char* name() const override { return "bop"; }
+  std::uint64_t storage_bits() const override;
+
+  int best_offset() const { return best_offset_; }
+  bool prefetch_enabled() const { return prefetch_on_; }
+
+ private:
+  void finish_round();
+
+  BopConfig config_;
+  /// Michaud's offset candidate list: positive offsets with prime factors
+  /// {2,3,5} up to 256, which covers strides and common interleavings.
+  std::vector<int> offsets_;
+  std::vector<int> scores_;
+  std::size_t test_index_ = 0;   ///< next offset to test (round-robin)
+  int round_count_ = 0;
+  int best_offset_ = 1;
+  bool prefetch_on_ = false;
+
+  std::vector<std::uint64_t> rr_table_;  ///< direct-mapped, stores block + 1
+};
+
+}  // namespace planaria::prefetch

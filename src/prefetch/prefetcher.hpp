@@ -1,0 +1,72 @@
+// Memory-side prefetcher interface.
+//
+// A prefetcher instance is attached to one system-cache channel slice and
+// observes every demand access that channel sees. Crucially — and this is the
+// constraint the whole paper revolves around — the event carries NO program
+// counter: at the SC level the reference stream is an anonymous interleaving
+// of CPU clusters, GPU, NPU, ISP and DSP traffic, identified at best by a
+// device id. All candidates evaluated here (Planaria, BOP, SPP, stride,
+// next-line) operate within that constraint.
+//
+// Coordinates: prefetchers work on channel-local block indices
+// (page_number * 16 + block_in_segment), the same coordinate space as the
+// DRAM controller and cache slice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/system_cache.hpp"
+#include "common/types.hpp"
+
+namespace planaria::prefetch {
+
+/// One demand access as observed by a channel's prefetcher.
+struct DemandEvent {
+  std::uint64_t local_block = 0;  ///< channel-local block index
+  PageNumber page = 0;            ///< physical page number
+  int block_in_segment = 0;       ///< 0..15 within this channel's segment
+  Cycle now = 0;                  ///< arrival time
+  AccessType type = AccessType::kRead;
+  DeviceId device = DeviceId::kCpuBig;
+  bool sc_hit = false;            ///< did the access hit in the SC slice
+  bool hit_was_prefetch = false;  ///< the hit consumed a prefetched line
+};
+
+struct PrefetchRequest {
+  std::uint64_t local_block = 0;
+  cache::FillSource source = cache::FillSource::kPrefetchOther;
+};
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  /// Observes one demand access and appends any prefetch requests to `out`.
+  /// The simulator deduplicates against cache contents and in-flight fills.
+  virtual void on_demand(const DemandEvent& event,
+                         std::vector<PrefetchRequest>& out) = 0;
+
+  /// Notifies that a fill (demand or prefetch) completed for `local_block`
+  /// at `now`. BOP trains its recent-requests table from this; pattern-based
+  /// prefetchers ignore it.
+  virtual void on_fill(std::uint64_t local_block, bool was_prefetch, Cycle now);
+
+  virtual const char* name() const = 0;
+
+  /// Metadata storage this prefetcher requires per channel, in bits. Used by
+  /// the Table "storage overhead" bench and the SRAM power model.
+  virtual std::uint64_t storage_bits() const = 0;
+};
+
+inline void Prefetcher::on_fill(std::uint64_t, bool, Cycle) {}
+
+/// The no-prefetcher baseline.
+class NullPrefetcher final : public Prefetcher {
+ public:
+  void on_demand(const DemandEvent&, std::vector<PrefetchRequest>&) override {}
+  const char* name() const override { return "none"; }
+  std::uint64_t storage_bits() const override { return 0; }
+};
+
+}  // namespace planaria::prefetch

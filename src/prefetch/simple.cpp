@@ -1,0 +1,56 @@
+#include "prefetch/simple.hpp"
+
+#include <stdexcept>
+
+namespace planaria::prefetch {
+
+NextLinePrefetcher::NextLinePrefetcher(int degree) : degree_(degree) {
+  if (degree <= 0) throw std::invalid_argument("next-line: degree must be positive");
+}
+
+void NextLinePrefetcher::on_demand(const DemandEvent& event,
+                                   std::vector<PrefetchRequest>& out) {
+  if (event.sc_hit) return;
+  for (int i = 1; i <= degree_; ++i) {
+    out.push_back(PrefetchRequest{event.local_block + static_cast<std::uint64_t>(i),
+                                  cache::FillSource::kPrefetchOther});
+  }
+}
+
+StridePrefetcher::StridePrefetcher(int degree) : degree_(degree) {
+  if (degree <= 0) throw std::invalid_argument("stride: degree must be positive");
+}
+
+void StridePrefetcher::on_demand(const DemandEvent& event,
+                                 std::vector<PrefetchRequest>& out) {
+  Stream& s = streams_[static_cast<int>(event.device)];
+  if (!s.valid) {
+    s = Stream{event.local_block, 0, 0, true};
+    return;
+  }
+  const std::int64_t delta = static_cast<std::int64_t>(event.local_block) -
+                             static_cast<std::int64_t>(s.last_block);
+  if (delta == 0) return;
+  if (delta == s.stride) {
+    if (s.confidence < 3) ++s.confidence;
+  } else {
+    s.stride = delta;
+    s.confidence = 1;
+  }
+  s.last_block = event.local_block;
+  if (s.confidence < 2) return;
+  std::int64_t target = static_cast<std::int64_t>(event.local_block);
+  for (int i = 0; i < degree_; ++i) {
+    target += s.stride;
+    if (target < 0) break;
+    out.push_back(PrefetchRequest{static_cast<std::uint64_t>(target),
+                                  cache::FillSource::kPrefetchOther});
+  }
+}
+
+std::uint64_t StridePrefetcher::storage_bits() const {
+  // Per device: last block (40) + stride (16) + confidence (2) + valid (1).
+  return static_cast<std::uint64_t>(static_cast<int>(DeviceId::kCount)) * 59;
+}
+
+}  // namespace planaria::prefetch

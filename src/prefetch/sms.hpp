@@ -1,0 +1,74 @@
+// SMS-style spatial prefetcher (Somogyi et al., ISCA 2006), adapted to the
+// memory side.
+//
+// Original SMS keys its Pattern History Table by a {PC, trigger-offset}
+// signature. At the system cache there is no PC (the paper's Section 7:
+// "it is expensive to transfer the PC from multiple cores to low-level
+// cache"), so this adaptation uses the best PC-free proxy available:
+// {device id, trigger offset}. That signature space is tiny (6 devices x 16
+// offsets), so unrelated generations alias into the same pattern — exactly
+// the failure mode that motivates SLP's page-number-keyed patterns. SMS here
+// is a *didactic* baseline: it shows why "spatial pattern prefetching" alone
+// does not transplant to the SC without the paper's PN-signature insight.
+//
+// Mechanism: a miss with no active generation starts one (records the
+// trigger offset and consults the PHT); subsequent accesses accumulate the
+// generation's bitmap; the generation ends when its page falls out of the
+// Active Generation Table, at which point the bitmap — rotated so the
+// trigger block is bit 0 — trains the PHT.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitmap.hpp"
+#include "common/set_table.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace planaria::prefetch {
+
+struct SmsConfig {
+  int agt_sets = 32;
+  int agt_ways = 8;      ///< 256 active generations
+  int pht_entries = 128; ///< one per {device, trigger-offset} signature slot
+  Cycle generation_timeout = 50000;
+  Cycle sweep_interval = 64;
+
+  void validate() const;
+};
+
+class SmsPrefetcher final : public Prefetcher {
+ public:
+  explicit SmsPrefetcher(const SmsConfig& config = {});
+
+  void on_demand(const DemandEvent& event,
+                 std::vector<PrefetchRequest>& out) override;
+  const char* name() const override { return "sms"; }
+  std::uint64_t storage_bits() const override;
+
+ private:
+  struct Generation {
+    SegmentBitmap bitmap;
+    int trigger_offset = 0;
+    DeviceId device = DeviceId::kCpuBig;  ///< device that opened the generation
+    Cycle last_access = 0;
+  };
+
+  static int signature(DeviceId device, int trigger_offset) {
+    return (static_cast<int>(device) << 4) | trigger_offset;
+  }
+
+  /// Rotate so the trigger block becomes bit 0 (SMS's position-independent
+  /// pattern encoding), and back.
+  static SegmentBitmap rotate(SegmentBitmap bm, int by);
+
+  void close_generation(const Generation& gen);
+  void sweep(Cycle now);
+
+  SmsConfig config_;
+  SetAssocTable<PageNumber, Generation> agt_;
+  std::vector<SegmentBitmap> pht_;
+  std::vector<bool> pht_valid_;
+  std::uint64_t accesses_since_sweep_ = 0;
+};
+
+}  // namespace planaria::prefetch

@@ -1,0 +1,130 @@
+#include "prefetch/spp.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace planaria::prefetch {
+
+void SppConfig::validate() const {
+  if (st_entries <= 0 || pt_entries <= 0 || deltas_per_entry <= 0 ||
+      counter_max <= 0 || max_lookahead <= 0 || ghr_entries <= 0) {
+    throw std::invalid_argument("spp config: parameters must be positive");
+  }
+  if (fill_threshold <= 0.0 || fill_threshold > 1.0 || global_accuracy <= 0.0 ||
+      global_accuracy > 1.0) {
+    throw std::invalid_argument("spp config: thresholds must be in (0, 1]");
+  }
+}
+
+SignaturePathPrefetcher::SignaturePathPrefetcher(const SppConfig& config)
+    : config_(config),
+      st_(static_cast<std::size_t>(config.st_entries)),
+      pt_(static_cast<std::size_t>(config.pt_entries)),
+      ghr_(static_cast<std::size_t>(config.ghr_entries)) {
+  config_.validate();
+  for (auto& e : pt_) e.slots.reserve(static_cast<std::size_t>(config_.deltas_per_entry));
+}
+
+void SignaturePathPrefetcher::learn(std::uint16_t sig, int delta) {
+  PtEntry& entry = pattern(sig);
+  if (entry.sig_counter >= config_.counter_max) {
+    // Saturating: age everything so newer behaviour can displace stale deltas.
+    entry.sig_counter /= 2;
+    for (auto& s : entry.slots) s.counter /= 2;
+  }
+  ++entry.sig_counter;
+  for (auto& s : entry.slots) {
+    if (s.delta == delta) {
+      if (s.counter < config_.counter_max) ++s.counter;
+      return;
+    }
+  }
+  if (entry.slots.size() < static_cast<std::size_t>(config_.deltas_per_entry)) {
+    entry.slots.push_back(DeltaSlot{delta, 1});
+    return;
+  }
+  // Replace the weakest delta slot.
+  DeltaSlot* weakest = &entry.slots[0];
+  for (auto& s : entry.slots) {
+    if (s.counter < weakest->counter) weakest = &s;
+  }
+  *weakest = DeltaSlot{delta, 1};
+}
+
+void SignaturePathPrefetcher::on_demand(const DemandEvent& event,
+                                        std::vector<PrefetchRequest>& out) {
+  // Writes train the delta chain too: at the SC level a DMA stream mixes
+  // reads and writes, and skipping either would shred the delta sequence.
+  const int offset = event.block_in_segment;
+  std::uint16_t sig;
+  double conf = 1.0;
+
+  if (StEntry* st = st_.find(event.page); st != nullptr) {
+    const int delta = offset - st->last_offset;
+    if (delta == 0) return;  // same block re-touch carries no pattern info
+    learn(st->signature, delta);
+    sig = fold(st->signature, delta);
+    st->signature = sig;
+    st->last_offset = offset;
+  } else {
+    // New page: try to inherit a signature from a lookahead path that walked
+    // off the end of a previous page (GHR), else bootstrap from the offset.
+    sig = static_cast<std::uint16_t>(offset + 1);
+    for (const auto& g : ghr_) {
+      if (g.valid && ((g.last_offset + g.delta) & 0xF) == offset) {
+        sig = fold(g.signature, g.delta);
+        conf = g.confidence;
+        break;
+      }
+    }
+    st_.insert(event.page, StEntry{sig, offset});
+  }
+
+  // Lookahead walk: follow the strongest delta chain while confident.
+  int pf_offset = offset;
+  std::uint16_t path_sig = sig;
+  for (int depth = 0; depth < config_.max_lookahead; ++depth) {
+    const PtEntry& entry = pattern(path_sig);
+    if (entry.sig_counter == 0 || entry.slots.empty()) break;
+    const DeltaSlot* best = &entry.slots[0];
+    for (const auto& s : entry.slots) {
+      if (s.counter > best->counter) best = &s;
+    }
+    conf *= config_.global_accuracy * static_cast<double>(best->counter) /
+            static_cast<double>(entry.sig_counter);
+    if (conf < config_.fill_threshold) break;
+
+    pf_offset += best->delta;
+    const std::int64_t target =
+        static_cast<std::int64_t>(event.page) * kBlocksPerSegment + pf_offset;
+    if (target < 0) break;
+    if (pf_offset < 0 || pf_offset >= kBlocksPerSegment) {
+      // Path crosses the page boundary: remember it in the GHR so the next
+      // page starts warm, and keep prefetching into the neighboring page
+      // (the channel-local block space is linear).
+      ghr_[ghr_next_] = GhrEntry{path_sig, conf, pf_offset - best->delta,
+                                 best->delta, true};
+      ghr_next_ = (ghr_next_ + 1) % ghr_.size();
+    }
+    out.push_back(PrefetchRequest{static_cast<std::uint64_t>(target),
+                                  cache::FillSource::kPrefetchOther});
+    path_sig = fold(path_sig, best->delta);
+  }
+}
+
+std::uint64_t SignaturePathPrefetcher::storage_bits() const {
+  // ST: tag(16) + sig(12) + last offset(4) + LRU(8) per entry.
+  // PT: sig counter(4) + 4 x (delta 6 + counter 4) per entry.
+  // GHR: sig(12) + conf(8) + offset(5) + delta(6) per entry.
+  const std::uint64_t st_bits =
+      static_cast<std::uint64_t>(config_.st_entries) * (16 + 12 + 4 + 8);
+  const std::uint64_t pt_bits =
+      static_cast<std::uint64_t>(config_.pt_entries) *
+      (4 + static_cast<std::uint64_t>(config_.deltas_per_entry) * 10);
+  const std::uint64_t ghr_bits =
+      static_cast<std::uint64_t>(config_.ghr_entries) * (12 + 8 + 5 + 6);
+  return st_bits + pt_bits + ghr_bits;
+}
+
+}  // namespace planaria::prefetch

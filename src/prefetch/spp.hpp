@@ -1,0 +1,96 @@
+// Signature Path Prefetcher (Kim et al., MICRO 2016), adapted to the memory
+// side.
+//
+// SPP compresses the recent delta history of each page into a 12-bit
+// signature, learns "signature -> next delta" transitions with confidence
+// counters, and walks the learned path speculatively (lookahead), issuing
+// prefetches while the multiplicative path confidence stays above threshold.
+// A small Global History Register carries a signature across page boundaries
+// so a brand-new page can start prefetching immediately.
+//
+// SPP is PC-free by design (signatures are per-page, not per-instruction),
+// which is why the paper selects it as the stronger baseline for the SC. Its
+// weakness there is the same one Observation 1 documents: the intra-page
+// *order* of footprint blocks is shuffled by the higher cache levels, so the
+// delta sequence is unstable and path confidence decays, costing coverage —
+// SPP helps (AMAT -10.8% in the paper's motivation) but leaves most of the
+// opportunity on the table.
+//
+// In this per-channel instantiation a "page" is the channel's 16-block
+// segment of a 4KB page, so deltas span [-15, +15].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace planaria::prefetch {
+
+struct SppConfig {
+  int st_entries = 256;         ///< signature table (page -> sig, last offset)
+  int pt_entries = 1024;         ///< pattern table (sig -> delta candidates)
+  int deltas_per_entry = 4;
+  int counter_max = 15;         ///< 4-bit saturating confidence counters
+  double fill_threshold = 0.30; ///< issue while path confidence >= this
+  int max_lookahead = 6;        ///< cap on speculative path depth
+  double global_accuracy = 0.9; ///< per-step path-confidence damping
+  int ghr_entries = 8;
+
+  void validate() const;
+};
+
+class SignaturePathPrefetcher final : public Prefetcher {
+ public:
+  explicit SignaturePathPrefetcher(const SppConfig& config = {});
+
+  void on_demand(const DemandEvent& event,
+                 std::vector<PrefetchRequest>& out) override;
+
+  const char* name() const override { return "spp"; }
+  std::uint64_t storage_bits() const override;
+
+ private:
+  struct StEntry {
+    std::uint16_t signature = 0;
+    int last_offset = 0;
+  };
+
+  struct DeltaSlot {
+    int delta = 0;
+    int counter = 0;
+  };
+
+  struct PtEntry {
+    int sig_counter = 0;
+    std::vector<DeltaSlot> slots;
+  };
+
+  struct GhrEntry {
+    std::uint16_t signature = 0;
+    double confidence = 0.0;
+    int last_offset = 0;
+    int delta = 0;
+    bool valid = false;
+  };
+
+  static std::uint16_t fold(std::uint16_t sig, int delta) {
+    const auto d = static_cast<std::uint16_t>(delta & 0x3F);
+    return static_cast<std::uint16_t>(((sig << 3) ^ d) & 0xFFF);
+  }
+
+  PtEntry& pattern(std::uint16_t sig) {
+    return pt_[sig % pt_.size()];
+  }
+
+  void learn(std::uint16_t sig, int delta);
+
+  SppConfig config_;
+  LruTable<PageNumber, StEntry> st_;
+  std::vector<PtEntry> pt_;
+  std::vector<GhrEntry> ghr_;
+  std::size_t ghr_next_ = 0;
+};
+
+}  // namespace planaria::prefetch

@@ -1,0 +1,93 @@
+// Full-system simulation configuration: Table 1 in one struct.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "cache/system_cache.hpp"
+#include "core/planaria.hpp"
+#include "dram/config.hpp"
+#include "dram/power.hpp"
+#include "prefetch/bop.hpp"
+#include "prefetch/spp.hpp"
+
+namespace planaria::sim {
+
+/// SRAM energy model for the SC slices and prefetcher metadata. Values are
+/// CACTI-class estimates for 7nm SRAM; as with the DRAM power model, the
+/// evaluation consumes relative deltas.
+struct SramPowerParams {
+  double e_sc_access_nj = 0.15;    ///< one 64B read/write of a 1MB slice
+  double e_meta_probe_nj = 0.004;  ///< one prefetcher table probe
+  double meta_probes_per_access = 3.0;  ///< FT+AT+PT / ST+PT style pipelines
+  double leak_mw_per_mb = 8.0;     ///< leakage per MB of SRAM
+  double clock_ghz = 1.6;
+
+  void validate() const {
+    if (e_sc_access_nj < 0 || e_meta_probe_nj < 0 || meta_probes_per_access < 0 ||
+        leak_mw_per_mb < 0 || clock_ghz <= 0) {
+      throw std::invalid_argument("sram power params must be non-negative");
+    }
+  }
+};
+
+/// Analytic core model converting demand AMAT into IPC (substitute for the
+/// paper's RTL performance evaluation; see DESIGN.md). The trace carries no
+/// instruction stream, so the model assumes a fixed instruction count per SC
+/// access and an overlap factor for memory-level parallelism.
+struct CpuModelParams {
+  double instructions_per_access = 8.0;  ///< instr retired per SC access
+  double base_cpi = 0.6;                 ///< CPI when memory never stalls
+  double stall_overlap = 0.85;   ///< fraction of AMAT that stalls the core
+  double cpu_clock_ghz = 2.6;    ///< Cortex-A76 big cluster
+  double mem_clock_ghz = 1.6;    ///< controller clock (AMAT is in these)
+
+  void validate() const {
+    if (instructions_per_access <= 0 || base_cpi <= 0 || stall_overlap < 0 ||
+        stall_overlap > 1 || cpu_clock_ghz <= 0 || mem_clock_ghz <= 0) {
+      throw std::invalid_argument("cpu model params out of range");
+    }
+  }
+};
+
+struct SimConfig {
+  cache::CacheConfig cache;      ///< per-channel slice (1MB of the 4MB SC)
+  dram::DramConfig dram;
+  dram::PowerParams dram_power;
+  SramPowerParams sram_power;
+  CpuModelParams cpu;
+  Cycle sc_hit_latency = 24;     ///< SC lookup + data return (15ns)
+  int max_prefetches_per_trigger = 16;
+
+  void validate() const {
+    cache.validate();
+    dram.validate();
+    dram_power.validate();
+    sram_power.validate();
+    cpu.validate();
+    if (sc_hit_latency == 0 || max_prefetches_per_trigger <= 0) {
+      throw std::invalid_argument("sim config: latency/limits must be positive");
+    }
+  }
+};
+
+/// Named prefetcher configurations the experiments sweep over.
+enum class PrefetcherKind {
+  kNone,
+  kBop,
+  kSpp,
+  kSms,
+  kPlanaria,
+  kPlanariaSlpOnly,
+  kPlanariaTlpOnly,
+  kSerialComposite,    ///< TPC-style coordinator over SLP+TLP (§7 ablation)
+  kParallelComposite,  ///< ISB-style coordinator over SLP+TLP (§7 ablation)
+  kNextLine,
+  kStride,
+};
+
+const char* prefetcher_kind_name(PrefetcherKind kind);
+PrefetcherKind prefetcher_kind_from_name(const std::string& name);
+
+}  // namespace planaria::sim

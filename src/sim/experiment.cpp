@@ -1,0 +1,78 @@
+#include "sim/experiment.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "trace/generator.hpp"
+
+namespace planaria::sim {
+
+std::uint64_t records_from_env(std::uint64_t fallback) {
+  const char* env = std::getenv("PLANARIA_RECORDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) {
+    throw std::invalid_argument("PLANARIA_RECORDS must be a positive integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+ExperimentRunner::ExperimentRunner(SimConfig config, std::uint64_t records)
+    : config_(config), records_(records) {
+  config_.validate();
+  if (records_ == 0) throw std::invalid_argument("experiment: records == 0");
+}
+
+const std::vector<trace::TraceRecord>& ExperimentRunner::trace_for(
+    const std::string& app) {
+  auto it = traces_.find(app);
+  if (it != traces_.end()) return it->second;
+  const auto& profile = trace::app_by_name(app);
+  auto [pos, inserted] =
+      traces_.emplace(app, trace::generate_app_trace(profile, records_));
+  return pos->second;
+}
+
+SimResult ExperimentRunner::run(const std::string& app, PrefetcherKind kind) {
+  const auto& records = trace_for(app);
+  auto factory = make_prefetcher_factory(kind, planaria_, bop_, spp_);
+  return Simulator::run(config_, std::move(factory),
+                        prefetcher_kind_name(kind), records);
+}
+
+std::map<std::string, std::map<std::string, SimResult>> ExperimentRunner::sweep(
+    const std::vector<PrefetcherKind>& kinds, bool verbose) {
+  std::map<std::string, std::map<std::string, SimResult>> out;
+  for (const auto& app : trace::app_names()) {
+    for (PrefetcherKind kind : kinds) {
+      if (verbose) {
+        std::fprintf(stderr, "  running %s / %s...\n", app.c_str(),
+                     prefetcher_kind_name(kind));
+      }
+      out[app][prefetcher_kind_name(kind)] = run(app, kind);
+    }
+  }
+  return out;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double geomean_ratio(const std::vector<double>& ratios) {
+  if (ratios.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double r : ratios) {
+    if (r <= 0.0) return 0.0;
+    log_sum += std::log(r);
+  }
+  return std::exp(log_sum / static_cast<double>(ratios.size()));
+}
+
+}  // namespace planaria::sim

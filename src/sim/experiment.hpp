@@ -1,0 +1,64 @@
+// Experiment runner: the sweep machinery behind every figure bench.
+//
+// Caches generated app traces (generation is a nontrivial fraction of a run)
+// and executes (app x prefetcher) grids, returning SimResults keyed for the
+// figure printers. Record counts default to a laptop-friendly length and can
+// be scaled with the PLANARIA_RECORDS environment variable to approach the
+// paper's 67-71M-record traces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "trace/apps.hpp"
+
+namespace planaria::sim {
+
+/// Reads PLANARIA_RECORDS (decimal, e.g. "2000000") or returns `fallback`.
+std::uint64_t records_from_env(std::uint64_t fallback);
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(SimConfig config = {},
+                            std::uint64_t records = records_from_env(400000));
+
+  /// Generated (and cached) bus trace for one paper app.
+  const std::vector<trace::TraceRecord>& trace_for(const std::string& app);
+
+  /// One cell of the grid.
+  SimResult run(const std::string& app, PrefetcherKind kind);
+
+  /// Runs `kinds` on every paper app. Results keyed [app][kind-name].
+  std::map<std::string, std::map<std::string, SimResult>> sweep(
+      const std::vector<PrefetcherKind>& kinds, bool verbose = false);
+
+  const SimConfig& config() const { return config_; }
+  std::uint64_t records() const { return records_; }
+
+  /// Planaria table configuration used for the planaria/* kinds; mutable so
+  /// ablation benches can sweep its parameters.
+  core::PlanariaConfig& planaria_config() { return planaria_; }
+  prefetch::BopConfig& bop_config() { return bop_; }
+  prefetch::SppConfig& spp_config() { return spp_; }
+
+  void clear_trace_cache() { traces_.clear(); }
+
+ private:
+  SimConfig config_;
+  std::uint64_t records_;
+  core::PlanariaConfig planaria_;
+  prefetch::BopConfig bop_;
+  prefetch::SppConfig spp_;
+  std::map<std::string, std::vector<trace::TraceRecord>> traces_;
+};
+
+/// Geometric-mean helper for "average over apps" rows (the paper's averages
+/// of ratios are reported as arithmetic means of per-app percentages; both
+/// are provided).
+double mean(const std::vector<double>& xs);
+double geomean_ratio(const std::vector<double>& ratios);
+
+}  // namespace planaria::sim

@@ -1,0 +1,387 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "core/coordinators.hpp"
+#include "prefetch/simple.hpp"
+#include "prefetch/sms.hpp"
+
+namespace planaria::sim {
+
+const char* prefetcher_kind_name(PrefetcherKind kind) {
+  switch (kind) {
+    case PrefetcherKind::kNone: return "none";
+    case PrefetcherKind::kBop: return "bop";
+    case PrefetcherKind::kSpp: return "spp";
+    case PrefetcherKind::kSms: return "sms";
+    case PrefetcherKind::kPlanaria: return "planaria";
+    case PrefetcherKind::kPlanariaSlpOnly: return "planaria-slp";
+    case PrefetcherKind::kPlanariaTlpOnly: return "planaria-tlp";
+    case PrefetcherKind::kSerialComposite: return "serial";
+    case PrefetcherKind::kParallelComposite: return "parallel";
+    case PrefetcherKind::kNextLine: return "next-line";
+    case PrefetcherKind::kStride: return "stride";
+  }
+  return "unknown";
+}
+
+PrefetcherKind prefetcher_kind_from_name(const std::string& name) {
+  for (PrefetcherKind k :
+       {PrefetcherKind::kNone, PrefetcherKind::kBop, PrefetcherKind::kSpp,
+        PrefetcherKind::kSms, PrefetcherKind::kPlanaria,
+        PrefetcherKind::kPlanariaSlpOnly, PrefetcherKind::kPlanariaTlpOnly,
+        PrefetcherKind::kSerialComposite, PrefetcherKind::kParallelComposite,
+        PrefetcherKind::kNextLine, PrefetcherKind::kStride}) {
+    if (name == prefetcher_kind_name(k)) return k;
+  }
+  throw std::invalid_argument("unknown prefetcher kind: " + name);
+}
+
+PrefetcherFactory make_prefetcher_factory(PrefetcherKind kind,
+                                          const core::PlanariaConfig& planaria,
+                                          const prefetch::BopConfig& bop,
+                                          const prefetch::SppConfig& spp) {
+  switch (kind) {
+    case PrefetcherKind::kNone:
+      return [](int) { return std::make_unique<prefetch::NullPrefetcher>(); };
+    case PrefetcherKind::kBop:
+      return [bop](int) {
+        return std::make_unique<prefetch::BestOffsetPrefetcher>(bop);
+      };
+    case PrefetcherKind::kSpp:
+      return [spp](int) {
+        return std::make_unique<prefetch::SignaturePathPrefetcher>(spp);
+      };
+    case PrefetcherKind::kSms:
+      return [](int) { return std::make_unique<prefetch::SmsPrefetcher>(); };
+    case PrefetcherKind::kPlanaria:
+      return [planaria](int) {
+        return std::make_unique<core::PlanariaPrefetcher>(planaria);
+      };
+    case PrefetcherKind::kPlanariaSlpOnly:
+      return [planaria](int) {
+        core::PlanariaConfig c = planaria;
+        c.enable_tlp = false;
+        c.enable_slp = true;
+        return std::make_unique<core::PlanariaPrefetcher>(c);
+      };
+    case PrefetcherKind::kPlanariaTlpOnly:
+      return [planaria](int) {
+        core::PlanariaConfig c = planaria;
+        c.enable_slp = false;
+        c.enable_tlp = true;
+        return std::make_unique<core::PlanariaPrefetcher>(c);
+      };
+    case PrefetcherKind::kSerialComposite:
+      return [planaria](int) {
+        core::SerialCoordinatorConfig c;
+        c.slp = planaria.slp;
+        c.tlp = planaria.tlp;
+        return std::make_unique<core::SerialComposite>(c);
+      };
+    case PrefetcherKind::kParallelComposite:
+      return [planaria](int) {
+        core::ParallelCoordinatorConfig c;
+        c.slp = planaria.slp;
+        c.tlp = planaria.tlp;
+        return std::make_unique<core::ParallelComposite>(c);
+      };
+    case PrefetcherKind::kNextLine:
+      return [](int) { return std::make_unique<prefetch::NextLinePrefetcher>(); };
+    case PrefetcherKind::kStride:
+      return [](int) { return std::make_unique<prefetch::StridePrefetcher>(); };
+  }
+  throw std::invalid_argument("unknown prefetcher kind");
+}
+
+Simulator::Simulator(const SimConfig& config, PrefetcherFactory factory,
+                     std::string prefetcher_name)
+    : config_(config), name_(std::move(prefetcher_name)) {
+  config_.validate();
+  if (!factory) throw std::invalid_argument("simulator: null prefetcher factory");
+  channels_.reserve(kChannels);
+  for (int c = 0; c < kChannels; ++c) {
+    Channel ch;
+    cache::CacheConfig slice = config_.cache;
+    slice.seed = config_.cache.seed + static_cast<std::uint64_t>(c);
+    ch.sc = std::make_unique<cache::SystemCache>(slice);
+    ch.pf = factory(c);
+    ch.dram = std::make_unique<dram::DramChannel>(config_.dram);
+    channels_.push_back(std::move(ch));
+  }
+}
+
+void Simulator::process_completions(Channel& ch) {
+  for (const auto& done : ch.dram->take_completions()) {
+    if (done.is_write) continue;  // posted; nothing waits on write data
+    const std::uint64_t block = done.tag;
+    auto it = ch.in_flight.find(block);
+    if (it == ch.in_flight.end()) continue;  // e.g. forwarded writeback race
+    InFlight& fly = it->second;
+
+    // Resolve every demand that merged onto this fill.
+    for (const Cycle waiter_arrival : fly.demand_waiters) {
+      const Cycle dram_part =
+          done.finish > waiter_arrival ? done.finish - waiter_arrival : 0;
+      demand_read_latency_sum_ +=
+          static_cast<double>(config_.sc_hit_latency + dram_part);
+      ++resolved_demand_reads_;
+    }
+
+    // A prefetch that a demand caught up with no longer counts as
+    // speculative for accounting: the demand was already charged the miss.
+    const bool consumed = !fly.demand_waiters.empty();
+    const cache::FillSource source =
+        consumed ? cache::FillSource::kDemand : fly.source;
+    const auto fill = ch.sc->fill(block, source);
+    if (fill.has_writeback) {
+      dram::DramRequest wb;
+      wb.local_block = fill.writeback_block;
+      wb.arrival = std::max(ch.dram->now(), done.finish);
+      wb.is_write = true;
+      wb.tag = fill.writeback_block;
+      ch.dram->submit(wb);
+    }
+    ch.pf->on_fill(block, fly.source != cache::FillSource::kDemand, done.finish);
+    ch.in_flight.erase(it);
+  }
+}
+
+void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
+  const std::uint64_t block = dram::AddressMapper::local_block(record.address);
+  const auto result = ch.sc->access(block, record.type);
+
+  if (record.type == AccessType::kRead) {
+    ++demand_reads_;
+    if (result.hit) {
+      demand_read_latency_sum_ += static_cast<double>(config_.sc_hit_latency);
+      ++resolved_demand_reads_;
+    } else if (auto it = ch.in_flight.find(block); it != ch.in_flight.end()) {
+      // Merge with the airborne fill (hit under miss / late prefetch).
+      if (it->second.was_prefetch) ++late_prefetch_merges_;
+      it->second.demand_waiters.push_back(record.arrival);
+    } else {
+      dram::DramRequest req;
+      req.local_block = block;
+      req.arrival = record.arrival;
+      req.tag = block;
+      ch.dram->submit(req);
+      ch.in_flight.emplace(
+          block,
+          InFlight{cache::FillSource::kDemand, false, {record.arrival}});
+    }
+  } else {
+    ++demand_writes_;
+    if (!result.hit) {
+      // Write-around: the burst goes to DRAM.
+      dram::DramRequest req;
+      req.local_block = block;
+      req.arrival = record.arrival;
+      req.is_write = true;
+      req.tag = block;
+      ch.dram->submit(req);
+    }
+  }
+
+  // Prefetcher observes everything (learning is never gated).
+  prefetch::DemandEvent event;
+  event.local_block = block;
+  event.page = addr::page_number(record.address);
+  event.block_in_segment = addr::block_in_segment(record.address);
+  event.now = record.arrival;
+  event.type = record.type;
+  event.device = record.device;
+  event.sc_hit = result.hit;
+  event.hit_was_prefetch = result.first_use_of_prefetch;
+
+  scratch_requests_.clear();
+  ch.pf->on_demand(event, scratch_requests_);
+
+  int issued_this_trigger = 0;
+  for (const auto& pf : scratch_requests_) {
+    if (issued_this_trigger >= config_.max_prefetches_per_trigger) break;
+    const std::uint64_t target = pf.local_block;
+    if (target == block) continue;
+    if (ch.sc->contains(target)) continue;
+    if (ch.in_flight.count(target) != 0) continue;
+    dram::DramRequest req;
+    req.local_block = target;
+    req.arrival = record.arrival;
+    req.is_prefetch = true;
+    req.tag = target;
+    if (!ch.dram->submit(req)) continue;  // dropped: channel saturated
+    ch.in_flight.emplace(target, InFlight{pf.source, true, {}});
+    ++prefetch_issued_;
+    ++issued_this_trigger;
+  }
+}
+
+void Simulator::step(const trace::TraceRecord& record) {
+  PLANARIA_ASSERT_MSG(!finished_, "step() after finish()");
+  PLANARIA_ASSERT_MSG(record.arrival >= last_arrival_,
+                      "trace records must be time-ordered");
+  last_arrival_ = record.arrival;
+  Channel& ch = channels_[static_cast<std::size_t>(addr::channel_of(record.address))];
+  ch.dram->advance(record.arrival);
+  process_completions(ch);
+  handle_demand(ch, record);
+}
+
+SimResult Simulator::finish() {
+  PLANARIA_ASSERT_MSG(!finished_, "finish() called twice");
+  finished_ = true;
+
+  SimResult r;
+  r.prefetcher = name_;
+  std::uint64_t demand_hits = 0;
+  std::uint64_t demand_accesses = 0;
+  std::uint64_t useful_pf = 0;
+  std::uint64_t pf_fills = 0;
+  double dram_energy_nj = 0.0;
+  double sram_dynamic_nj = 0.0;
+  const dram::PowerModel dram_power(config_.dram_power);
+
+  for (auto& ch : channels_) {
+    // Let every channel run to the same horizon so background power is
+    // comparable, then drain stragglers.
+    ch.dram->advance(last_arrival_);
+    ch.dram->drain();
+    process_completions(ch);
+    // Any still-unresolved in-flight entries would indicate lost completions.
+    for (const auto& [block, fly] : ch.in_flight) {
+      PLANARIA_ASSERT_MSG(fly.demand_waiters.empty(),
+                          "demand read never completed");
+    }
+    ch.in_flight.clear();
+
+    const auto& cs = ch.sc->stats();
+    demand_hits += cs.demand_hits;
+    demand_accesses += cs.demand_accesses;
+    useful_pf += cs.demand_hits_on_prefetch;
+    pf_fills += cs.prefetch_fills;
+    r.hits_on_slp += cs.hits_on_slp;
+    r.hits_on_tlp += cs.hits_on_tlp;
+    r.hits_on_other_pf += cs.hits_on_other_pf;
+    r.pollution_misses += cs.pollution_misses;
+
+    const auto& dc = ch.dram->counters();
+    r.dram_reads += dc.reads + dc.forwarded_reads;
+    r.dram_writes += dc.writes;
+    r.prefetch_dropped += dc.prefetch_drops;
+    r.elapsed = std::max(r.elapsed, dc.elapsed);
+    if (dc.elapsed > 0) {
+      r.data_bus_utilization += static_cast<double>(dc.busy_data_cycles) /
+                                static_cast<double>(dc.elapsed) /
+                                static_cast<double>(kChannels);
+    }
+    dram_energy_nj += dram_power.energy_nj(dc);
+
+    sram_dynamic_nj +=
+        static_cast<double>(cs.demand_accesses + cs.write_hits +
+                            cs.write_misses + cs.prefetch_fills) *
+        config_.sram_power.e_sc_access_nj;
+    sram_dynamic_nj += static_cast<double>(cs.demand_accesses) *
+                       config_.sram_power.meta_probes_per_access *
+                       config_.sram_power.e_meta_probe_nj;
+
+    if (const auto* planaria =
+            dynamic_cast<const core::PlanariaPrefetcher*>(ch.pf.get());
+        planaria != nullptr) {
+      r.slp_issues += planaria->stats().slp_issues;
+      r.tlp_issues += planaria->stats().tlp_issues;
+    }
+    r.storage_bits += ch.pf->storage_bits();
+  }
+
+  r.demand_reads = demand_reads_;
+  r.demand_writes = demand_writes_;
+  r.sc_hit_rate = demand_accesses == 0
+                      ? 0.0
+                      : static_cast<double>(demand_hits) /
+                            static_cast<double>(demand_accesses);
+  r.amat_cycles = resolved_demand_reads_ == 0
+                      ? 0.0
+                      : demand_read_latency_sum_ /
+                            static_cast<double>(resolved_demand_reads_);
+  r.prefetch_issued = prefetch_issued_;
+  r.late_prefetch_merges = late_prefetch_merges_;
+  r.prefetch_accuracy =
+      pf_fills == 0 ? 0.0
+                    : static_cast<double>(useful_pf) / static_cast<double>(pf_fills);
+  const auto cov_denom = useful_pf + (demand_accesses - demand_hits);
+  r.prefetch_coverage =
+      cov_denom == 0 ? 0.0
+                     : static_cast<double>(useful_pf) / static_cast<double>(cov_denom);
+  r.dram_traffic_blocks = r.dram_reads + r.dram_writes;
+
+  // Power: DRAM energy + SC/metadata dynamic energy over elapsed time, plus
+  // SRAM leakage for the SC slices and the prefetcher metadata.
+  const double seconds = static_cast<double>(r.elapsed) /
+                         (config_.sram_power.clock_ghz * 1e9);
+  if (seconds > 0.0) {
+    r.dram_power_mw = dram_energy_nj * 1e-9 / seconds * 1e3;
+    const double sc_mb = static_cast<double>(config_.cache.size_bytes) *
+                         kChannels / (1024.0 * 1024.0);
+    const double meta_mb = static_cast<double>(r.storage_bits) / 8.0 /
+                           (1024.0 * 1024.0);
+    const double leak_mw =
+        (sc_mb + meta_mb) * config_.sram_power.leak_mw_per_mb;
+    r.sram_power_mw = sram_dynamic_nj * 1e-9 / seconds * 1e3 + leak_mw;
+    r.total_power_mw = r.dram_power_mw + r.sram_power_mw;
+  }
+
+  // Analytic IPC (see CpuModelParams): exec cycles + exposed memory stalls.
+  const auto& cpu = config_.cpu;
+  const double instr =
+      static_cast<double>(demand_accesses) * cpu.instructions_per_access;
+  if (instr > 0.0) {
+    const double amat_cpu_cycles =
+        r.amat_cycles * cpu.cpu_clock_ghz / cpu.mem_clock_ghz;
+    const double cycles =
+        instr * cpu.base_cpi + static_cast<double>(demand_reads_) *
+                                   amat_cpu_cycles * cpu.stall_overlap;
+    r.ipc = instr / cycles;
+  }
+  return r;
+}
+
+SimResult Simulator::run(const SimConfig& config, PrefetcherFactory factory,
+                         std::string prefetcher_name,
+                         const std::vector<trace::TraceRecord>& records) {
+  Simulator sim(config, std::move(factory), std::move(prefetcher_name));
+  for (const auto& rec : records) sim.step(rec);
+  return sim.finish();
+}
+
+const cache::SystemCache& Simulator::cache_slice(int channel) const {
+  return *channels_.at(static_cast<std::size_t>(channel)).sc;
+}
+
+const prefetch::Prefetcher& Simulator::prefetcher(int channel) const {
+  return *channels_.at(static_cast<std::size_t>(channel)).pf;
+}
+
+double SimResult::traffic_overhead_vs(const SimResult& baseline) const {
+  if (baseline.dram_traffic_blocks == 0) return 0.0;
+  return static_cast<double>(dram_traffic_blocks) /
+             static_cast<double>(baseline.dram_traffic_blocks) -
+         1.0;
+}
+
+double SimResult::amat_reduction_vs(const SimResult& baseline) const {
+  if (baseline.amat_cycles <= 0.0) return 0.0;
+  return 1.0 - amat_cycles / baseline.amat_cycles;
+}
+
+double SimResult::power_increase_vs(const SimResult& baseline) const {
+  if (baseline.total_power_mw <= 0.0) return 0.0;
+  return total_power_mw / baseline.total_power_mw - 1.0;
+}
+
+double SimResult::ipc_gain_vs(const SimResult& baseline) const {
+  if (baseline.ipc <= 0.0) return 0.0;
+  return ipc / baseline.ipc - 1.0;
+}
+
+}  // namespace planaria::sim

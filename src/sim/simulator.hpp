@@ -1,0 +1,136 @@
+// Full-system trace-driven simulator: 4 channels of {SC slice + memory-side
+// prefetcher + LPDDR4 controller}, mirroring the paper's Figure 1 skeleton.
+//
+// Request flow per demand record:
+//   1. The record's channel is derived from address bits [11:10] (static
+//      segment interleave).
+//   2. The channel's DRAM model advances to the arrival time; completed fills
+//      install blocks into the SC slice and resolve waiting demand latencies.
+//   3. The SC slice is probed. Hits cost sc_hit_latency; misses allocate an
+//      MSHR-style in-flight entry and issue a DRAM demand read (reads), or
+//      write around to DRAM (writes). A miss on a block already in flight
+//      (e.g. covered by a still-airborne prefetch) piggybacks on that fill —
+//      a "late prefetch" recovers part of the latency.
+//   4. The prefetcher observes the access (learning always on) and may emit
+//      prefetch requests, which are deduplicated against cache contents and
+//      in-flight fills, then issued to DRAM at prefetch priority.
+//
+// AMAT is the mean latency of demand reads (hit latency or SC latency + DRAM
+// service time). Writes are posted and excluded, as in standard AMAT
+// accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/system_cache.hpp"
+#include "core/planaria.hpp"
+#include "dram/channel.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "sim/config.hpp"
+#include "trace/record.hpp"
+
+namespace planaria::sim {
+
+/// Everything a figure needs from one (app, prefetcher) run.
+struct SimResult {
+  std::string prefetcher;
+  std::uint64_t demand_reads = 0;
+  std::uint64_t demand_writes = 0;
+  double amat_cycles = 0.0;        ///< mean demand-read latency (mem cycles)
+  double sc_hit_rate = 0.0;        ///< demand-read hit rate of the SC
+  double prefetch_accuracy = 0.0;
+  double prefetch_coverage = 0.0;
+  std::uint64_t prefetch_issued = 0;   ///< prefetch fills requested from DRAM
+  std::uint64_t prefetch_dropped = 0;  ///< throttled by a saturated channel
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t dram_traffic_blocks = 0;  ///< total DRAM data bursts
+  double dram_power_mw = 0.0;
+  double sram_power_mw = 0.0;
+  double total_power_mw = 0.0;     ///< memory-system power (DRAM + SC + meta)
+  double ipc = 0.0;                ///< analytic core model (see CpuModelParams)
+  Cycle elapsed = 0;
+  std::uint64_t hits_on_slp = 0;   ///< Fig. 9 attribution
+  std::uint64_t hits_on_tlp = 0;
+  std::uint64_t hits_on_other_pf = 0;
+  std::uint64_t pollution_misses = 0;
+  std::uint64_t slp_issues = 0;    ///< coordinator decisions (Planaria only)
+  std::uint64_t tlp_issues = 0;
+  std::uint64_t late_prefetch_merges = 0;  ///< demands that caught an
+                                           ///< airborne prefetch (timeliness)
+  double data_bus_utilization = 0.0;  ///< busy data-bus cycles / elapsed,
+                                      ///< averaged over channels
+  std::uint64_t storage_bits = 0;  ///< metadata per channel summed over 4
+
+  double traffic_overhead_vs(const SimResult& baseline) const;
+  double amat_reduction_vs(const SimResult& baseline) const;
+  double power_increase_vs(const SimResult& baseline) const;
+  double ipc_gain_vs(const SimResult& baseline) const;
+};
+
+using PrefetcherFactory =
+    std::function<std::unique_ptr<prefetch::Prefetcher>(int channel)>;
+
+/// Factory for the named sweep configurations.
+PrefetcherFactory make_prefetcher_factory(PrefetcherKind kind,
+                                          const core::PlanariaConfig& planaria = {},
+                                          const prefetch::BopConfig& bop = {},
+                                          const prefetch::SppConfig& spp = {});
+
+class Simulator {
+ public:
+  Simulator(const SimConfig& config, PrefetcherFactory factory,
+            std::string prefetcher_name);
+
+  /// Feeds one demand record; records must arrive in non-decreasing time.
+  void step(const trace::TraceRecord& record);
+
+  /// Drains all in-flight traffic and produces the aggregate result.
+  SimResult finish();
+
+  /// Convenience: run a whole trace front to back.
+  static SimResult run(const SimConfig& config, PrefetcherFactory factory,
+                       std::string prefetcher_name,
+                       const std::vector<trace::TraceRecord>& records);
+
+  const cache::SystemCache& cache_slice(int channel) const;
+  const prefetch::Prefetcher& prefetcher(int channel) const;
+
+ private:
+  struct InFlight {
+    cache::FillSource source = cache::FillSource::kDemand;
+    bool was_prefetch = false;          ///< issued speculatively
+    std::vector<Cycle> demand_waiters;  ///< arrival times of merged demands
+  };
+
+  struct Channel {
+    std::unique_ptr<cache::SystemCache> sc;
+    std::unique_ptr<prefetch::Prefetcher> pf;
+    std::unique_ptr<dram::DramChannel> dram;
+    std::unordered_map<std::uint64_t, InFlight> in_flight;  ///< by local block
+  };
+
+  void process_completions(Channel& ch);
+  void handle_demand(Channel& ch, const trace::TraceRecord& record);
+
+  SimConfig config_;
+  std::string name_;
+  std::vector<Channel> channels_;
+  std::vector<prefetch::PrefetchRequest> scratch_requests_;
+
+  // Aggregate accounting.
+  std::uint64_t demand_reads_ = 0;
+  std::uint64_t demand_writes_ = 0;
+  double demand_read_latency_sum_ = 0.0;
+  std::uint64_t resolved_demand_reads_ = 0;
+  std::uint64_t prefetch_issued_ = 0;
+  std::uint64_t late_prefetch_merges_ = 0;
+  Cycle last_arrival_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace planaria::sim

@@ -1,0 +1,223 @@
+#include "trace/apps.hpp"
+
+#include <stdexcept>
+
+namespace planaria::trace {
+
+namespace {
+
+/// Base profile with the defaults most apps share; per-app builders tweak it.
+///
+/// Calibration notes (see DESIGN.md §2): the component weights and pool sizes
+/// are set so that (a) the footprint working set exceeds the 4MB SC while
+/// pages average ~5-7 visits, so snapshot *data* is evicted between visits
+/// but the PT *metadata* persists — the paper's core mechanism; (b)
+/// stream+irregular records stay a minority of misses (they are uncoverable
+/// by snapshot prefetching); (c) Fort's pool is so large that self-learning
+/// starves and transfer learning carries the win (Fig. 9); (d) Fort/NBA2/PM
+/// run at high intensity so speculative over-fetching congests the channel
+/// (Fig. 8's BOP anomaly).
+AppProfile base_profile(std::string name, std::string description,
+                        std::uint64_t seed) {
+  AppProfile app;
+  app.name = std::move(name);
+  app.description = std::move(description);
+  app.seed = seed;
+  return app;
+}
+
+std::vector<AppProfile> build_apps() {
+  std::vector<AppProfile> apps;
+
+  {
+    // First-person shooter: tight working set of level geometry/textures,
+    // strongly SLP-friendly.
+    AppProfile a = base_profile("CFM", "Cross Fire Mobile (FPS)", 101);
+    a.weight_footprint = 0.76;
+    a.weight_neighbor = 0.07;
+    a.weight_stream = 0.09;
+    a.weight_irregular = 0.08;
+    a.neighbor.clusters = 30;
+    a.footprint.hot_pages = 3968;
+    a.footprint.zipf_s = 0.48;
+    a.footprint.mutate_p = 0.05;
+    a.footprint.order_entropy = 0.35;
+    a.mean_gap = 26;
+    a.burstiness = 0.2;
+    apps.push_back(a);
+  }
+  {
+    // MOBA: moderate footprint reuse plus some map-tile clustering.
+    AppProfile a = base_profile("HoK", "Honor of Kings (MOBA)", 102);
+    a.weight_footprint = 0.73;
+    a.weight_neighbor = 0.14;
+    a.weight_stream = 0.06;
+    a.weight_irregular = 0.07;
+    a.footprint.hot_pages = 4096;
+    a.footprint.zipf_s = 0.45;
+    a.footprint.mutate_p = 0.08;
+    a.footprint.order_entropy = 0.35;
+    a.neighbor.clusters = 70;
+    a.mean_gap = 24;
+    a.burstiness = 0.2;
+    apps.push_back(a);
+  }
+  {
+    AppProfile a = base_profile("Id-V", "Identity V (battle arena)", 103);
+    a.weight_footprint = 0.63;
+    a.weight_neighbor = 0.18;
+    a.weight_stream = 0.08;
+    a.weight_irregular = 0.11;
+    a.footprint.hot_pages = 3200;
+    a.footprint.zipf_s = 0.5;
+    a.footprint.mutate_p = 0.10;
+    a.footprint.order_entropy = 0.4;
+    a.neighbor.clusters = 80;
+    a.neighbor.new_page_rate = 0.5;
+    a.mean_gap = 25;
+    a.burstiness = 0.25;
+    apps.push_back(a);
+  }
+  {
+    // 3D racing: track data streams by, car/HUD assets are stable footprints.
+    AppProfile a = base_profile("QSM", "QQ Speed Mobile (3D racing)", 104);
+    a.weight_footprint = 0.74;
+    a.weight_neighbor = 0.06;
+    a.weight_stream = 0.12;
+    a.weight_irregular = 0.08;
+    a.neighbor.clusters = 30;
+    a.footprint.hot_pages = 3840;
+    a.footprint.zipf_s = 0.52;
+    a.footprint.mutate_p = 0.06;
+    a.footprint.order_entropy = 0.3;
+    a.mean_gap = 24;
+    a.burstiness = 0.2;
+    apps.push_back(a);
+  }
+  {
+    // Short video: large sequential decode/display buffers.
+    AppProfile a = base_profile("TikT", "TikTok (short video)", 105);
+    a.weight_footprint = 0.57;
+    a.weight_neighbor = 0.12;
+    a.weight_stream = 0.22;
+    a.weight_irregular = 0.09;
+    a.neighbor.clusters = 60;
+    a.footprint.hot_pages = 2816;
+    a.footprint.zipf_s = 0.5;
+    a.footprint.mutate_p = 0.09;
+    a.footprint.order_entropy = 0.28;
+    a.stream.run_min = 128;
+    a.stream.run_max = 768;
+    a.mean_gap = 22;
+    a.burstiness = 0.3;
+    apps.push_back(a);
+  }
+  {
+    // Battle royale with a huge open world: pages are rarely revisited, so
+    // self-learning starves; dense clusters of similar terrain pages make
+    // this the TLP showcase (Fig. 9). High intensity + noise also makes BOP's
+    // over-fetching expensive (Fig. 8 anomaly).
+    AppProfile a = base_profile("Fort", "Fortnite (battle royale)", 106);
+    a.weight_footprint = 0.2;
+    a.weight_neighbor = 0.48;
+    a.weight_stream = 0.08;
+    a.weight_irregular = 0.24;
+    a.footprint.hot_pages = 16384;  // huge set => little SLP reuse
+    a.footprint.zipf_s = 0.3;
+    a.footprint.mutate_p = 0.12;
+    a.footprint.order_entropy = 0.65;
+    a.neighbor.clusters = 320;
+    a.neighbor.cluster_span = 56;
+    a.neighbor.new_page_rate = 0.85;
+    a.neighbor.cluster_stay = 20;
+    a.mean_gap = 7;
+    a.burstiness = 0.78;
+    apps.push_back(a);
+  }
+  {
+    AppProfile a = base_profile("HI3", "Honkai Impact 3 (3D action)", 107);
+    a.weight_footprint = 0.76;
+    a.weight_neighbor = 0.06;
+    a.weight_stream = 0.1;
+    a.weight_irregular = 0.08;
+    a.neighbor.clusters = 30;
+    a.footprint.hot_pages = 3968;
+    a.footprint.zipf_s = 0.5;
+    a.footprint.mutate_p = 0.05;
+    a.footprint.order_entropy = 0.32;
+    a.mean_gap = 27;
+    a.burstiness = 0.2;
+    apps.push_back(a);
+  }
+  {
+    AppProfile a = base_profile("KO", "Knives Out (battle royale)", 108);
+    a.weight_footprint = 0.7;
+    a.weight_neighbor = 0.12;
+    a.weight_stream = 0.08;
+    a.weight_irregular = 0.1;
+    a.neighbor.clusters = 40;
+    a.footprint.hot_pages = 3648;
+    a.footprint.zipf_s = 0.5;
+    a.footprint.mutate_p = 0.07;
+    a.footprint.order_entropy = 0.35;
+    a.mean_gap = 24;
+    a.burstiness = 0.2;
+    apps.push_back(a);
+  }
+  {
+    // Sports sim: SLP-friendly footprints but bursty, high-bandwidth frames
+    // where extra prefetch traffic backs up the channel (BOP hurts here).
+    AppProfile a = base_profile("NBA2", "NBA 2K19 (basketball)", 109);
+    a.weight_footprint = 0.67;
+    a.weight_neighbor = 0.1;
+    a.weight_stream = 0.07;
+    a.weight_irregular = 0.16;
+    a.neighbor.clusters = 40;
+    a.footprint.hot_pages = 3392;
+    a.footprint.zipf_s = 0.48;
+    a.footprint.mutate_p = 0.06;
+    a.footprint.order_entropy = 0.6;
+    a.mean_gap = 8;
+    a.burstiness = 0.76;
+    apps.push_back(a);
+  }
+  {
+    AppProfile a = base_profile("PM", "PUBG Mobile (battle royale)", 110);
+    a.weight_footprint = 0.57;
+    a.weight_neighbor = 0.13;
+    a.weight_stream = 0.08;
+    a.weight_irregular = 0.22;
+    a.neighbor.clusters = 50;
+    a.footprint.hot_pages = 2944;
+    a.footprint.zipf_s = 0.5;
+    a.footprint.mutate_p = 0.09;
+    a.footprint.order_entropy = 0.62;
+    a.mean_gap = 8;
+    a.burstiness = 0.72;
+    apps.push_back(a);
+  }
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<AppProfile>& paper_apps() {
+  static const std::vector<AppProfile> apps = build_apps();
+  return apps;
+}
+
+const AppProfile& app_by_name(const std::string& abbr) {
+  for (const auto& a : paper_apps()) {
+    if (a.name == abbr) return a;
+  }
+  throw std::out_of_range("unknown app: " + abbr);
+}
+
+std::vector<std::string> app_names() {
+  std::vector<std::string> names;
+  names.reserve(paper_apps().size());
+  for (const auto& a : paper_apps()) names.push_back(a.name);
+  return names;
+}
+
+}  // namespace planaria::trace

@@ -1,0 +1,35 @@
+// Registry of the ten Table 2 applications as calibrated synthetic profiles.
+//
+// The paper's traces are proprietary phone captures; each profile here mixes
+// the four generator components so the app reproduces its *qualitative role*
+// in the evaluation:
+//   * CFM, QSM, HI3, KO, NBA2 — "patterns SLP excels at": dominated by stable
+//     per-page footprints with enough reuse for self-learning (Fig. 9 shows
+//     TLP contributing little on these).
+//   * Fort — TLP-dominated: pages rarely revisited (SLP starves) but arranged
+//     in dense similar-footprint clusters that transfer learning exploits.
+//   * Fort, NBA2, PM — high-intensity + noisy: BOP's speculative traffic
+//     congests the LPDDR4 queues enough to *raise* AMAT despite a hit-rate
+//     gain (the paper's Fig. 7/8 anomaly).
+//   * TikT — streaming-heavy (video prefetch buffers), the most
+//     BOP/SPP-friendly of the set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/generator.hpp"
+
+namespace planaria::trace {
+
+/// All ten applications from the paper's Table 2, in table order.
+const std::vector<AppProfile>& paper_apps();
+
+/// Lookup by abbreviation ("HoK", "Fort", ...). Throws std::out_of_range
+/// for unknown names.
+const AppProfile& app_by_name(const std::string& abbr);
+
+/// Abbreviations in table order, for bench row headers.
+std::vector<std::string> app_names();
+
+}  // namespace planaria::trace

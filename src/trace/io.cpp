@@ -1,0 +1,172 @@
+#include "trace/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace planaria::trace {
+
+namespace {
+
+struct BinaryHeader {
+  std::uint32_t magic;
+  std::uint16_t version;
+  std::uint16_t flags;
+  std::uint64_t count;
+};
+static_assert(sizeof(BinaryHeader) == 16);
+
+struct BinaryRecord {
+  std::uint64_t address;
+  std::uint64_t arrival;
+  std::uint8_t type;
+  std::uint8_t device;
+  std::uint8_t pad[6];
+};
+static_assert(sizeof(BinaryRecord) == 24);
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("trace IO: " + what);
+}
+
+}  // namespace
+
+void write_binary(std::ostream& os, const std::vector<TraceRecord>& records) {
+  BinaryHeader h{kTraceMagic, kTraceVersion, 0, records.size()};
+  os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  for (const auto& r : records) {
+    BinaryRecord b{};
+    b.address = r.address;
+    b.arrival = r.arrival;
+    b.type = static_cast<std::uint8_t>(r.type);
+    b.device = static_cast<std::uint8_t>(r.device);
+    os.write(reinterpret_cast<const char*>(&b), sizeof(b));
+  }
+  if (!os) fail("write failed");
+}
+
+void write_binary_file(const std::string& path,
+                       const std::vector<TraceRecord>& records) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail("cannot open for write: " + path);
+  write_binary(os, records);
+}
+
+std::vector<TraceRecord> read_binary(std::istream& is) {
+  BinaryHeader h{};
+  is.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!is || is.gcount() != sizeof(h)) fail("truncated header");
+  if (h.magic != kTraceMagic) fail("bad magic (not a planaria trace)");
+  if (h.version != kTraceVersion) {
+    fail("unsupported trace version " + std::to_string(h.version));
+  }
+  std::vector<TraceRecord> out;
+  out.reserve(h.count);
+  for (std::uint64_t i = 0; i < h.count; ++i) {
+    BinaryRecord b{};
+    is.read(reinterpret_cast<char*>(&b), sizeof(b));
+    if (!is || is.gcount() != sizeof(b)) fail("truncated payload");
+    if (b.type > 1) fail("corrupt record: bad access type");
+    if (b.device >= static_cast<std::uint8_t>(DeviceId::kCount)) {
+      fail("corrupt record: bad device id");
+    }
+    out.push_back(TraceRecord{addr::block_align(b.address), b.arrival,
+                              static_cast<AccessType>(b.type),
+                              static_cast<DeviceId>(b.device)});
+  }
+  return out;
+}
+
+std::vector<TraceRecord> read_binary_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("cannot open for read: " + path);
+  return read_binary(is);
+}
+
+void write_csv(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os << "address,arrival,type,device\n";
+  for (const auto& r : records) {
+    os << "0x" << std::hex << r.address << std::dec << ',' << r.arrival << ','
+       << (r.type == AccessType::kRead ? 'R' : 'W') << ','
+       << device_name(r.device) << '\n';
+  }
+  if (!os) fail("csv write failed");
+}
+
+std::vector<TraceRecord> read_csv(std::istream& is) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  if (!std::getline(is, line)) fail("empty csv");
+  // Header row is required but its exact spelling is not enforced.
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string addr_s, arrival_s, type_s, device_s;
+    if (!std::getline(ls, addr_s, ',') || !std::getline(ls, arrival_s, ',') ||
+        !std::getline(ls, type_s, ',') || !std::getline(ls, device_s)) {
+      fail("csv parse error at line " + std::to_string(line_no));
+    }
+    TraceRecord r;
+    r.address = addr::block_align(std::stoull(addr_s, nullptr, 0));
+    r.arrival = std::stoull(arrival_s);
+    if (type_s == "R") {
+      r.type = AccessType::kRead;
+    } else if (type_s == "W") {
+      r.type = AccessType::kWrite;
+    } else {
+      fail("csv bad access type at line " + std::to_string(line_no));
+    }
+    r.device = DeviceId::kCpuBig;
+    bool matched = false;
+    for (int d = 0; d < static_cast<int>(DeviceId::kCount); ++d) {
+      if (device_s == device_name(static_cast<DeviceId>(d))) {
+        r.device = static_cast<DeviceId>(d);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) fail("csv bad device at line " + std::to_string(line_no));
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> merge_sorted(
+    const std::vector<std::vector<TraceRecord>>& streams) {
+  // k-way merge by (arrival, stream index) keeps the merge stable.
+  struct Head {
+    Cycle arrival;
+    std::size_t stream;
+    std::size_t pos;
+    bool operator>(const Head& o) const {
+      return arrival != o.arrival ? arrival > o.arrival : stream > o.stream;
+    }
+  };
+  std::priority_queue<Head, std::vector<Head>, std::greater<>> heap;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    total += streams[s].size();
+    if (!streams[s].empty()) heap.push(Head{streams[s][0].arrival, s, 0});
+  }
+  std::vector<TraceRecord> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    const Head h = heap.top();
+    heap.pop();
+    out.push_back(streams[h.stream][h.pos]);
+    const std::size_t next = h.pos + 1;
+    if (next < streams[h.stream].size()) {
+      heap.push(Head{streams[h.stream][next].arrival, h.stream, next});
+    }
+  }
+  return out;
+}
+
+}  // namespace planaria::trace

@@ -1,0 +1,42 @@
+// Trace serialization: a compact binary format (for captured/generated trace
+// files) and a human-readable CSV format (for interchange and debugging).
+//
+// Binary layout: 16-byte header {magic "PLTR", u16 version, u16 flags,
+// u64 record count}, then packed 24-byte records {u64 address, u64 arrival,
+// u8 type, u8 device, 6B pad}. Little-endian, as every supported target is.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace planaria::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x52544C50;  // "PLTR"
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/// Writes `records` in binary format. Throws std::runtime_error on IO failure.
+void write_binary(std::ostream& os, const std::vector<TraceRecord>& records);
+void write_binary_file(const std::string& path,
+                       const std::vector<TraceRecord>& records);
+
+/// Reads a binary trace. Throws std::runtime_error on malformed input
+/// (bad magic, version mismatch, truncated payload).
+std::vector<TraceRecord> read_binary(std::istream& is);
+std::vector<TraceRecord> read_binary_file(const std::string& path);
+
+/// CSV: one "address,arrival,type,device" row per record, with a header row.
+/// type is R|W; device is the device_name() string.
+void write_csv(std::ostream& os, const std::vector<TraceRecord>& records);
+std::vector<TraceRecord> read_csv(std::istream& is);
+
+/// Merges multiple per-device streams into one arrival-time-ordered trace.
+/// Records with equal arrival keep their relative input-stream order
+/// (stable). Inputs must each already be sorted by arrival.
+std::vector<TraceRecord> merge_sorted(
+    const std::vector<std::vector<TraceRecord>>& streams);
+
+}  // namespace planaria::trace

@@ -1,0 +1,24 @@
+// Memory-bus trace records.
+//
+// Mirrors the paper's trace format from Section 5: "Each trace entry includes
+// the physical access address, the access type (i.e., read or write), the
+// request device ID (i.e., CPU, GPU, DSP, etc.) and the access arrival time."
+// Arrival time is in memory-controller clock cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace planaria::trace {
+
+struct TraceRecord {
+  Address address = 0;     ///< physical byte address (block-aligned by IO layer)
+  Cycle arrival = 0;       ///< arrival time at the system cache, in cycles
+  AccessType type = AccessType::kRead;
+  DeviceId device = DeviceId::kCpuBig;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+}  // namespace planaria::trace

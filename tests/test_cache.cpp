@@ -1,0 +1,269 @@
+// Unit tests for the system cache: geometry validation, hit/miss behaviour,
+// replacement policies, prefetch accounting, writebacks, and pollution
+// tracking.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/replacement.hpp"
+#include "cache/system_cache.hpp"
+
+namespace planaria::cache {
+namespace {
+
+CacheConfig tiny_config() {
+  CacheConfig config;
+  config.size_bytes = 1 << 12;  // 4KB = 64 lines
+  config.ways = 4;              // 16 sets
+  return config;
+}
+
+// ------------------------------------------------------------------- config
+
+TEST(CacheConfig, Table1GeometryValidates) {
+  CacheConfig config;  // 1MB slice, 16-way, 64B
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.sets(), 1024u);
+}
+
+TEST(CacheConfig, RejectsNonPowerOfTwoSize) {
+  CacheConfig config;
+  config.size_bytes = 3 << 20;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(CacheConfig, RejectsZeroWays) {
+  CacheConfig config;
+  config.ways = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ basic behavior
+
+TEST(SystemCache, MissThenFillThenHit) {
+  SystemCache cache(tiny_config());
+  EXPECT_FALSE(cache.access(42, AccessType::kRead).hit);
+  cache.fill(42, FillSource::kDemand);
+  EXPECT_TRUE(cache.access(42, AccessType::kRead).hit);
+  EXPECT_EQ(cache.stats().demand_accesses, 2u);
+  EXPECT_EQ(cache.stats().demand_hits, 1u);
+  EXPECT_EQ(cache.stats().demand_misses, 1u);
+}
+
+TEST(SystemCache, ContainsReflectsFills) {
+  SystemCache cache(tiny_config());
+  EXPECT_FALSE(cache.contains(7));
+  cache.fill(7, FillSource::kDemand);
+  EXPECT_TRUE(cache.contains(7));
+}
+
+TEST(SystemCache, EvictionWithinSet) {
+  auto config = tiny_config();
+  SystemCache cache(config);
+  const std::uint32_t sets = config.sets();
+  // Fill one set beyond capacity: blocks k*sets map to set 0.
+  for (int i = 0; i <= config.ways; ++i) {
+    cache.fill(static_cast<std::uint64_t>(i) * sets, FillSource::kDemand);
+  }
+  int resident = 0;
+  for (int i = 0; i <= config.ways; ++i) {
+    resident += cache.contains(static_cast<std::uint64_t>(i) * sets) ? 1 : 0;
+  }
+  EXPECT_EQ(resident, config.ways);
+}
+
+TEST(SystemCache, LruEvictsOldest) {
+  auto config = tiny_config();
+  config.ways = 2;
+  SystemCache cache(config);
+  const std::uint32_t sets = config.sets();
+  cache.fill(0 * sets, FillSource::kDemand);
+  cache.fill(1 * sets, FillSource::kDemand);
+  cache.access(0 * sets, AccessType::kRead);  // refresh 0
+  cache.fill(2 * sets, FillSource::kDemand);  // evicts 1
+  EXPECT_TRUE(cache.contains(0 * sets));
+  EXPECT_FALSE(cache.contains(1 * sets));
+}
+
+TEST(SystemCache, RedundantFillCounted) {
+  SystemCache cache(tiny_config());
+  cache.fill(3, FillSource::kDemand);
+  cache.fill(3, FillSource::kPrefetchSlp);
+  EXPECT_EQ(cache.redundant_prefetch_fills(), 1u);
+  EXPECT_EQ(cache.stats().prefetch_fills, 0u);
+}
+
+// --------------------------------------------------------------- write path
+
+TEST(SystemCache, WriteMissDoesNotAllocate) {
+  SystemCache cache(tiny_config());
+  EXPECT_FALSE(cache.access(5, AccessType::kWrite).hit);
+  EXPECT_FALSE(cache.contains(5));
+  EXPECT_EQ(cache.stats().write_misses, 1u);
+}
+
+TEST(SystemCache, WriteHitDirtiesLine) {
+  auto config = tiny_config();
+  config.ways = 1;
+  SystemCache cache(config);
+  const std::uint32_t sets = config.sets();
+  cache.fill(0, FillSource::kDemand);
+  cache.access(0, AccessType::kWrite);
+  EXPECT_EQ(cache.stats().write_hits, 1u);
+  // Evicting the dirty line must produce a writeback.
+  const auto result = cache.fill(sets, FillSource::kDemand);
+  EXPECT_TRUE(result.has_writeback);
+  EXPECT_EQ(result.writeback_block, 0u);
+  EXPECT_EQ(cache.stats().dirty_writebacks, 1u);
+}
+
+TEST(SystemCache, CleanEvictionHasNoWriteback) {
+  auto config = tiny_config();
+  config.ways = 1;
+  SystemCache cache(config);
+  cache.fill(0, FillSource::kDemand);
+  const auto result = cache.fill(config.sets(), FillSource::kDemand);
+  EXPECT_FALSE(result.has_writeback);
+}
+
+// ------------------------------------------------------- prefetch accounting
+
+TEST(SystemCache, PrefetchHitAttributedToSource) {
+  SystemCache cache(tiny_config());
+  cache.fill(10, FillSource::kPrefetchSlp);
+  cache.fill(11, FillSource::kPrefetchTlp);
+  cache.fill(12, FillSource::kPrefetchOther);
+  auto r = cache.access(10, AccessType::kRead);
+  EXPECT_TRUE(r.hit);
+  EXPECT_TRUE(r.first_use_of_prefetch);
+  EXPECT_EQ(r.fill_source, FillSource::kPrefetchSlp);
+  cache.access(11, AccessType::kRead);
+  cache.access(12, AccessType::kRead);
+  EXPECT_EQ(cache.stats().hits_on_slp, 1u);
+  EXPECT_EQ(cache.stats().hits_on_tlp, 1u);
+  EXPECT_EQ(cache.stats().hits_on_other_pf, 1u);
+  EXPECT_EQ(cache.stats().demand_hits_on_prefetch, 3u);
+}
+
+TEST(SystemCache, SecondHitIsNotFirstUse) {
+  SystemCache cache(tiny_config());
+  cache.fill(10, FillSource::kPrefetchSlp);
+  EXPECT_TRUE(cache.access(10, AccessType::kRead).first_use_of_prefetch);
+  EXPECT_FALSE(cache.access(10, AccessType::kRead).first_use_of_prefetch);
+  EXPECT_EQ(cache.stats().demand_hits_on_prefetch, 1u);
+}
+
+TEST(SystemCache, WriteConsumesPrefetchFlagWithoutCredit) {
+  SystemCache cache(tiny_config());
+  cache.fill(10, FillSource::kPrefetchSlp);
+  cache.access(10, AccessType::kWrite);
+  EXPECT_FALSE(cache.is_unused_prefetch(10));
+  EXPECT_EQ(cache.stats().demand_hits_on_prefetch, 0u);
+}
+
+TEST(SystemCache, UnusedPrefetchEvictionCounted) {
+  auto config = tiny_config();
+  config.ways = 1;
+  SystemCache cache(config);
+  cache.fill(0, FillSource::kPrefetchSlp);
+  cache.fill(config.sets(), FillSource::kDemand);  // evicts unused prefetch
+  EXPECT_EQ(cache.stats().prefetch_unused_evictions, 1u);
+}
+
+TEST(SystemCache, AccuracyAndCoverageFormulas) {
+  SystemCache cache(tiny_config());
+  cache.fill(1, FillSource::kPrefetchSlp);
+  cache.fill(2, FillSource::kPrefetchSlp);
+  cache.access(1, AccessType::kRead);   // useful prefetch
+  cache.access(99, AccessType::kRead);  // demand miss
+  EXPECT_DOUBLE_EQ(cache.stats().prefetch_accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(cache.stats().prefetch_coverage(), 0.5);
+}
+
+TEST(SystemCache, PollutionMissDetected) {
+  auto config = tiny_config();
+  config.ways = 1;
+  SystemCache cache(config);
+  cache.fill(0, FillSource::kDemand);          // useful line
+  cache.fill(config.sets(), FillSource::kPrefetchTlp);  // evicts it
+  EXPECT_FALSE(cache.access(0, AccessType::kRead).hit);
+  EXPECT_EQ(cache.stats().pollution_misses, 1u);
+}
+
+TEST(SystemCache, IsUnusedPrefetchLifecycle) {
+  SystemCache cache(tiny_config());
+  cache.fill(4, FillSource::kPrefetchTlp);
+  EXPECT_TRUE(cache.is_unused_prefetch(4));
+  cache.access(4, AccessType::kRead);
+  EXPECT_FALSE(cache.is_unused_prefetch(4));
+  EXPECT_FALSE(cache.is_unused_prefetch(12345));  // absent block
+}
+
+// -------------------------------------------------------------- replacement
+
+class ReplacementTest : public ::testing::TestWithParam<ReplacementKind> {};
+
+TEST_P(ReplacementTest, VictimInRange) {
+  auto policy = make_replacement(GetParam(), 4, 4, 7);
+  for (std::uint32_t set = 0; set < 4; ++set) {
+    for (int i = 0; i < 4; ++i) policy->on_fill(set, i, false);
+    for (int i = 0; i < 20; ++i) {
+      const int v = policy->victim(set);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 4);
+    }
+  }
+}
+
+TEST_P(ReplacementTest, CacheRunsUnderEveryPolicy) {
+  auto config = tiny_config();
+  config.replacement = GetParam();
+  SystemCache cache(config);
+  // 40 distinct blocks over 16 sets x 4 ways: fits, so every policy must
+  // produce hits after the first pass (a 200-block cyclic sweep would be the
+  // LRU-pathological case instead).
+  for (std::uint64_t b = 0; b < 512; ++b) {
+    if (!cache.access(b % 40, AccessType::kRead).hit) {
+      cache.fill(b % 40, FillSource::kDemand);
+    }
+  }
+  EXPECT_GT(cache.stats().demand_hits, 0u);
+  EXPECT_GT(cache.stats().demand_misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ReplacementTest,
+                         ::testing::Values(ReplacementKind::kLru,
+                                           ReplacementKind::kRandom,
+                                           ReplacementKind::kSrrip,
+                                           ReplacementKind::kDrrip),
+                         [](const auto& param_info) {
+                           return std::string(
+                               replacement_name(param_info.param));
+                         });
+
+TEST(Replacement, SrripPrefetchInsertedAtDistantRrpv) {
+  // A prefetch fill must be the preferred victim over a demand fill.
+  auto policy = make_replacement(ReplacementKind::kSrrip, 1, 2, 1);
+  policy->on_fill(0, 0, /*prefetch=*/false);
+  policy->on_fill(0, 1, /*prefetch=*/true);
+  EXPECT_EQ(policy->victim(0), 1);
+}
+
+TEST(Replacement, LruVictimIsLeastRecent) {
+  auto policy = make_replacement(ReplacementKind::kLru, 1, 3, 1);
+  policy->on_fill(0, 0, false);
+  policy->on_fill(0, 1, false);
+  policy->on_fill(0, 2, false);
+  policy->on_hit(0, 0);
+  EXPECT_EQ(policy->victim(0), 1);
+}
+
+TEST(Replacement, FactoryRejectsBadGeometry) {
+  EXPECT_THROW(make_replacement(ReplacementKind::kLru, 0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(make_replacement(ReplacementKind::kLru, 4, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace planaria::cache

@@ -1,0 +1,389 @@
+// Unit tests for the common substrate: geometry, bitmaps, RNG, stats, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitmap.hpp"
+#include "common/rng.hpp"
+#include "common/set_table.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace planaria {
+namespace {
+
+// ---------------------------------------------------------------- geometry
+
+TEST(AddressGeometry, BlockAlignmentMasksLowBits) {
+  EXPECT_EQ(addr::block_align(0x1234'5678), 0x1234'5640u);
+  EXPECT_EQ(addr::block_align(0x40), 0x40u);
+  EXPECT_EQ(addr::block_align(0x3F), 0x0u);
+}
+
+TEST(AddressGeometry, PageNumberIsAddressOver4K) {
+  EXPECT_EQ(addr::page_number(0x0), 0u);
+  EXPECT_EQ(addr::page_number(0xFFF), 0u);
+  EXPECT_EQ(addr::page_number(0x1000), 1u);
+  EXPECT_EQ(addr::page_number(0xDEAD'F000), 0xDEADFu);
+}
+
+TEST(AddressGeometry, BlockInPageCoversAll64Blocks) {
+  std::set<int> seen;
+  for (Address a = 0; a < kPageBytes; a += kBlockBytes) {
+    seen.insert(addr::block_in_page(a));
+  }
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 63);
+}
+
+TEST(AddressGeometry, ChannelMapSplitsPageIntoFourSegments) {
+  // Blocks 0-15 -> channel 0, 16-31 -> 1, 32-47 -> 2, 48-63 -> 3.
+  for (int block = 0; block < kBlocksPerPage; ++block) {
+    const Address a = addr::compose(7, block);
+    EXPECT_EQ(addr::channel_of(a), block / 16) << "block " << block;
+    EXPECT_EQ(addr::block_in_segment(a), block % 16) << "block " << block;
+  }
+}
+
+TEST(AddressGeometry, ComposeRoundTrips) {
+  const PageNumber pn = 0xABCDE;
+  for (int block = 0; block < kBlocksPerPage; ++block) {
+    const Address a = addr::compose(pn, block);
+    EXPECT_EQ(addr::page_number(a), pn);
+    EXPECT_EQ(addr::block_in_page(a), block);
+  }
+}
+
+TEST(AddressGeometry, ComposeSegmentMatchesCompose) {
+  for (int ch = 0; ch < kChannels; ++ch) {
+    for (int b = 0; b < kBlocksPerSegment; ++b) {
+      const Address a = addr::compose_segment(0x42, ch, b);
+      EXPECT_EQ(addr::channel_of(a), ch);
+      EXPECT_EQ(addr::block_in_segment(a), b);
+    }
+  }
+}
+
+TEST(AddressGeometry, DeviceNamesAreDistinct) {
+  std::set<std::string> names;
+  for (int d = 0; d < static_cast<int>(DeviceId::kCount); ++d) {
+    names.insert(device_name(static_cast<DeviceId>(d)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(DeviceId::kCount));
+}
+
+// ------------------------------------------------------------------ bitmap
+
+TEST(BlockBitmap, StartsEmpty) {
+  SegmentBitmap bm;
+  EXPECT_TRUE(bm.empty());
+  EXPECT_EQ(bm.popcount(), 0);
+  EXPECT_EQ(bm.first_set(), -1);
+}
+
+TEST(BlockBitmap, SetTestClear) {
+  SegmentBitmap bm;
+  bm.set(3);
+  bm.set(15);
+  EXPECT_TRUE(bm.test(3));
+  EXPECT_TRUE(bm.test(15));
+  EXPECT_FALSE(bm.test(4));
+  EXPECT_EQ(bm.popcount(), 2);
+  bm.clear(3);
+  EXPECT_FALSE(bm.test(3));
+  EXPECT_EQ(bm.popcount(), 1);
+}
+
+TEST(BlockBitmap, RawConstructorMasksToWidth) {
+  SegmentBitmap bm(0xFFFF'FFFFull);
+  EXPECT_EQ(bm.popcount(), 16);
+  EXPECT_EQ(bm.raw(), 0xFFFFull);
+}
+
+TEST(BlockBitmap, CommonAndHamming) {
+  SegmentBitmap a(0b1111'0000'1111'0000);
+  SegmentBitmap b(0b1010'0000'1111'1111);
+  EXPECT_EQ(a.common_with(b), 6);
+  EXPECT_EQ(a.hamming_distance(b), 6);
+  EXPECT_EQ(a.hamming_distance(a), 0);
+}
+
+TEST(BlockBitmap, MinusKeepsOnlyExclusiveBits) {
+  SegmentBitmap a(0b1100);
+  SegmentBitmap b(0b1010);
+  EXPECT_EQ(a.minus(b).raw(), 0b0100u);
+  EXPECT_EQ(b.minus(a).raw(), 0b0010u);
+  EXPECT_TRUE(a.minus(a).empty());
+}
+
+TEST(BlockBitmap, ForEachSetVisitsAscending) {
+  SegmentBitmap bm;
+  bm.set(1);
+  bm.set(7);
+  bm.set(14);
+  std::vector<int> visited;
+  bm.for_each_set([&](int i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<int>{1, 7, 14}));
+}
+
+TEST(BlockBitmap, ToStringPutsBitZeroFirst) {
+  BlockBitmap<4> bm;
+  bm.set(0);
+  bm.set(3);
+  EXPECT_EQ(bm.to_string(), "1001");
+}
+
+TEST(BlockBitmap, FullWidth64Works) {
+  PageBitmap bm;
+  for (int i = 0; i < 64; ++i) bm.set(i);
+  EXPECT_EQ(bm.popcount(), 64);
+  EXPECT_EQ(bm.raw(), ~0ull);
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(17);
+  std::uint64_t low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto r = rng.next_zipf(1000, 0.9);
+    ASSERT_LT(r, 1000u);
+    if (r < 100) ++low;
+    if (r >= 900) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(Rng, BurstLengthRespectsCap) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const int len = rng.burst_length(0.9, 5);
+    EXPECT_GE(len, 1);
+    EXPECT_LE(len, 5);
+  }
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, CounterAccumulates) {
+  Counter c;
+  c.add();
+  c.add(10);
+  EXPECT_EQ(c.value(), 11u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AccumulatorTracksMoments) {
+  Accumulator a;
+  EXPECT_EQ(a.mean(), 0.0);
+  a.add(2.0);
+  a.add(4.0);
+  a.add(6.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+}
+
+TEST(Stats, HistogramBucketsAndQuantiles) {
+  Histogram h(10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bucket(0), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+  h.add(1e9);  // overflow lands in the last bucket
+  EXPECT_EQ(h.bucket(9), 11u);
+}
+
+TEST(Stats, StatSetDumpsCountersAndAccumulators) {
+  StatSet set;
+  set.counter("hits").add(5);
+  set.accumulator("latency").add(100.0);
+  set.accumulator("latency").add(200.0);
+  const auto snap = set.dump();
+  EXPECT_EQ(snap.at("hits"), 5.0);
+  EXPECT_EQ(snap.at("latency.count"), 2.0);
+  EXPECT_EQ(snap.at("latency.mean"), 150.0);
+}
+
+// --------------------------------------------------------------- LruTable
+
+TEST(LruTable, FindMissOnEmpty) {
+  LruTable<int, int> t(4);
+  EXPECT_EQ(t.find(1), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(LruTable, InsertThenFind) {
+  LruTable<int, int> t(4);
+  EXPECT_FALSE(t.insert(1, 100).has_value());
+  ASSERT_NE(t.find(1), nullptr);
+  EXPECT_EQ(*t.find(1), 100);
+}
+
+TEST(LruTable, InsertOverwritesExistingKey) {
+  LruTable<int, int> t(4);
+  t.insert(1, 100);
+  EXPECT_FALSE(t.insert(1, 200).has_value());
+  EXPECT_EQ(*t.find(1), 200);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(LruTable, EvictsLeastRecentlyUsed) {
+  LruTable<int, int> t(2);
+  t.insert(1, 10);
+  t.insert(2, 20);
+  t.find(1);  // refresh 1; victim should be 2
+  const auto evicted = t.insert(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, 2);
+  EXPECT_EQ(evicted->payload, 20);
+  EXPECT_NE(t.find(1), nullptr);
+  EXPECT_EQ(t.find(2), nullptr);
+}
+
+TEST(LruTable, EraseReturnsPayload) {
+  LruTable<int, int> t(2);
+  t.insert(5, 55);
+  const auto erased = t.erase(5);
+  ASSERT_TRUE(erased.has_value());
+  EXPECT_EQ(*erased, 55);
+  EXPECT_EQ(t.find(5), nullptr);
+  EXPECT_FALSE(t.erase(5).has_value());
+}
+
+TEST(LruTable, EvictIfRemovesMatching) {
+  LruTable<int, int> t(4);
+  for (int i = 0; i < 4; ++i) t.insert(i, i * 10);
+  std::vector<int> evicted;
+  t.evict_if([](int k, const int&) { return k % 2 == 0; },
+             [&](int k, int&&) { evicted.push_back(k); });
+  EXPECT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.find(0), nullptr);
+  EXPECT_NE(t.find(1), nullptr);
+}
+
+TEST(LruTable, PeekDoesNotRefreshLru) {
+  LruTable<int, int> t(2);
+  t.insert(1, 10);
+  t.insert(2, 20);
+  t.peek(1);  // does NOT refresh: 1 stays LRU
+  const auto evicted = t.insert(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, 1);
+}
+
+// ----------------------------------------------------------- SetAssocTable
+
+TEST(SetAssocTable, InsertFindErase) {
+  SetAssocTable<std::uint64_t, int> t(8, 2);
+  EXPECT_EQ(t.capacity(), 16u);
+  t.insert(100, 1);
+  ASSERT_NE(t.find(100), nullptr);
+  EXPECT_EQ(*t.find(100), 1);
+  EXPECT_TRUE(t.erase(100).has_value());
+  EXPECT_EQ(t.find(100), nullptr);
+}
+
+TEST(SetAssocTable, EvictsWithinSetOnly) {
+  // 1 set x 2 ways: third insert must evict the LRU of the two.
+  SetAssocTable<std::uint64_t, int> t(1, 2);
+  t.insert(1, 10);
+  t.insert(2, 20);
+  t.find(1);
+  const auto evicted = t.insert(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 2u);
+}
+
+TEST(SetAssocTable, SizeCountsValidEntries) {
+  SetAssocTable<std::uint64_t, int> t(4, 4);
+  for (std::uint64_t k = 0; k < 10; ++k) t.insert(k, 1);
+  EXPECT_LE(t.size(), 10u);
+  // Even if every key hashed to one set, that set retains its 4 ways.
+  EXPECT_GE(t.size(), 4u);
+}
+
+TEST(SetAssocTable, ForEachVisitsAll) {
+  SetAssocTable<std::uint64_t, int> t(4, 2);
+  t.insert(1, 1);
+  t.insert(2, 2);
+  int sum = 0;
+  t.for_each([&](std::uint64_t, int& v) { sum += v; });
+  EXPECT_EQ(sum, 3);
+}
+
+TEST(SetAssocTable, EvictIfSweeps) {
+  SetAssocTable<std::uint64_t, int> t(4, 2);
+  for (std::uint64_t k = 0; k < 6; ++k) t.insert(k, static_cast<int>(k));
+  std::size_t evicted = 0;
+  t.evict_if([](std::uint64_t, const int& v) { return v >= 3; },
+             [&](std::uint64_t, int&&) { ++evicted; });
+  t.for_each([](std::uint64_t, int& v) { EXPECT_LT(v, 3); });
+  EXPECT_GE(evicted, 1u);
+}
+
+}  // namespace
+}  // namespace planaria

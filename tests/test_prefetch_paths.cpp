@@ -1,0 +1,155 @@
+// Targeted tests for deeper baseline-prefetcher paths: BOP's prefetch-fill
+// RR insertion and timeliness semantics, SPP's cross-page GHR bootstrap,
+// and the saturating-counter aging in SPP's pattern table.
+#include <gtest/gtest.h>
+
+#include "prefetch/bop.hpp"
+#include "prefetch/spp.hpp"
+
+namespace planaria::prefetch {
+namespace {
+
+DemandEvent miss_at(std::uint64_t block, Cycle now = 0) {
+  DemandEvent e;
+  e.local_block = block;
+  e.page = block / kBlocksPerSegment;
+  e.block_in_segment = static_cast<int>(block % kBlocksPerSegment);
+  e.now = now;
+  e.sc_hit = false;
+  return e;
+}
+
+// ----------------------------------------------------------------- BOP fills
+
+TEST(BopFillPath, PrefetchFillsInsertShiftedBase) {
+  // Per Michaud: when a *prefetched* line Y completes, insert Y - D so that a
+  // later trigger at Y scores offset D only if prefetching was timely.
+  // Construct: train offset 1 on with demand fills, then verify prefetch
+  // fills keep the offset scoring (the stream stays covered).
+  BopConfig config;
+  config.score_max = 20;
+  BestOffsetPrefetcher pf(config);
+  std::vector<PrefetchRequest> out;
+  // Phase 1: demand-fill training.
+  for (std::uint64_t b = 0; b < 3000; ++b) {
+    pf.on_fill(b, /*was_prefetch=*/false, b * 10);
+    out.clear();
+    pf.on_demand(miss_at(b + 1, b * 10 + 5), out);
+  }
+  ASSERT_TRUE(pf.prefetch_enabled());
+  ASSERT_EQ(pf.best_offset(), 1);
+  // Phase 2: now every fill is a prefetch fill (steady covered stream);
+  // the prefetcher must stay on through multiple rounds.
+  for (std::uint64_t b = 3000; b < 12000; ++b) {
+    pf.on_fill(b, /*was_prefetch=*/true, b * 10);
+    out.clear();
+    auto e = miss_at(b + 1, b * 10 + 5);
+    e.sc_hit = true;
+    e.hit_was_prefetch = true;  // covered stream: prefetched-hit triggers
+    pf.on_demand(e, out);
+  }
+  // The shifted insertion (Y - D) makes the measured best offset drift in
+  // this open-loop harness (real prefetch fills would track the offset and
+  // close the loop); the meaningful property is that a fully covered stream
+  // keeps the prefetcher ON rather than mistraining it off.
+  EXPECT_TRUE(pf.prefetch_enabled());
+  EXPECT_GE(pf.best_offset(), 1);
+}
+
+TEST(BopFillPath, PrefetchFillBelowOffsetIsIgnored) {
+  // A prefetch fill whose address is smaller than the current offset cannot
+  // underflow the RR insertion.
+  BestOffsetPrefetcher pf;
+  pf.on_fill(0, /*was_prefetch=*/true, 10);  // best_offset starts at 1 > 0
+  SUCCEED();  // no crash / UB is the assertion
+}
+
+TEST(BopFillPath, StaleRrEntriesStopScoring) {
+  // RR is direct-mapped: a conflicting insertion must overwrite, so an old
+  // address no longer scores. Use two addresses that alias in the RR table.
+  BopConfig config;
+  config.rr_entries = 16;
+  BestOffsetPrefetcher pf(config);
+  std::vector<PrefetchRequest> out;
+  // Fill X, then fill X + 16 (same RR slot). Trigger at X+1 tests offset 1
+  // against a slot that now holds X+16 -> no score.
+  pf.on_fill(100, false, 1);
+  pf.on_fill(116, false, 2);
+  // We can't observe scores directly; drive many aliased rounds and confirm
+  // the prefetcher does NOT enable (nothing consistent to learn).
+  std::uint64_t x = 7;
+  for (int i = 0; i < 20000; ++i) {
+    x = x * 2862933555777941757ull + 3037000493ull;
+    const std::uint64_t fill_block = (x >> 32) % 1000000;
+    pf.on_fill(fill_block, false, 0);
+    out.clear();
+    pf.on_demand(miss_at((fill_block + 5000) % 1000000), out);
+  }
+  EXPECT_FALSE(pf.prefetch_enabled());
+}
+
+// ------------------------------------------------------------------ SPP GHR
+
+TEST(SppGhr, CrossPageBootstrapPrefetchesImmediately) {
+  SignaturePathPrefetcher pf;
+  std::vector<PrefetchRequest> out;
+  // Train +1 streams that run off the end of their page: the lookahead walk
+  // records the boundary crossing in the GHR.
+  for (std::uint64_t page = 0; page < 300; ++page) {
+    for (int b = 0; b < kBlocksPerSegment; ++b) {
+      out.clear();
+      pf.on_demand(miss_at(page * kBlocksPerSegment +
+                           static_cast<std::uint64_t>(b)), out);
+    }
+  }
+  // A brand-new page whose first access matches the GHR's predicted landing
+  // offset (block 0 after a +1 walk) must issue prefetches on its very first
+  // access — the warm-start SPP's GHR exists for.
+  out.clear();
+  pf.on_demand(miss_at(5000 * kBlocksPerSegment), out);
+  EXPECT_FALSE(out.empty())
+      << "GHR bootstrap should prefetch on the first access of a new page";
+}
+
+TEST(SppGhr, UnrelatedFirstAccessStaysQuiet) {
+  SignaturePathPrefetcher pf;
+  std::vector<PrefetchRequest> out;
+  // Without any page-boundary-crossing training, a new page's first access
+  // has no GHR match and the pattern table has no entry for its bootstrap
+  // signature.
+  pf.on_demand(miss_at(42 * kBlocksPerSegment + 7), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SppAging, SaturationHalvesCounters) {
+  // Drive one signature's counter to saturation with delta +1, then switch
+  // the behaviour to delta +2: the aging path must let the new delta win
+  // within a bounded number of observations.
+  SppConfig config;
+  config.counter_max = 15;
+  SignaturePathPrefetcher pf(config);
+  std::vector<PrefetchRequest> out;
+  // Page visits: 0, +1 repeatedly (re-allocating the page each time via a
+  // long run of pages with the same two-access pattern).
+  for (std::uint64_t page = 0; page < 400; ++page) {
+    pf.on_demand(miss_at(page * kBlocksPerSegment + 0), out);
+    pf.on_demand(miss_at(page * kBlocksPerSegment + 1), out);
+  }
+  // Now the same bootstrap signature observes +2 instead.
+  for (std::uint64_t page = 1000; page < 1400; ++page) {
+    pf.on_demand(miss_at(page * kBlocksPerSegment + 0), out);
+    pf.on_demand(miss_at(page * kBlocksPerSegment + 2), out);
+  }
+  // Fresh page, first delta unknown: after the +2 retraining, a trigger at
+  // block 0 should predict +2 (i.e. prefetch block 2, not block 1).
+  out.clear();
+  pf.on_demand(miss_at(9999 * kBlocksPerSegment + 0), out);
+  bool predicts_plus2 = false;
+  for (const auto& r : out) {
+    if (r.local_block % kBlocksPerSegment == 2) predicts_plus2 = true;
+  }
+  EXPECT_TRUE(predicts_plus2);
+}
+
+}  // namespace
+}  // namespace planaria::prefetch
