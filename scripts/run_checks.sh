@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Local mirror of the CI pipeline (.github/workflows/ci.yml).
+#
+# Runs, in order:
+#   1. release  — -Werror build of everything + full ctest suite
+#   2. sanitize — ASan+UBSan build (arms PLANARIA_DASSERT) + full ctest suite
+#   3. audit    — planaria-audit invariant gate (from the sanitizer build, so
+#                 the replay stage runs instrumented)
+#   4. tidy     — clang-tidy over src/ against the compilation database
+#                 (skipped with a notice if clang-tidy is not installed)
+#
+# Usage: scripts/run_checks.sh [--skip-sanitize] [--skip-tidy]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_SANITIZE=0
+SKIP_TIDY=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitize) SKIP_SANITIZE=1 ;;
+    --skip-tidy) SKIP_TIDY=1 ;;
+    *) echo "usage: $0 [--skip-sanitize] [--skip-tidy]" >&2; exit 1 ;;
+  esac
+done
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "release: -Werror build + tests"
+cmake -B build-release -S . -DPLANARIA_WERROR=ON >/dev/null
+cmake --build build-release -j "$JOBS"
+ctest --test-dir build-release --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_SANITIZE" -eq 0 ]]; then
+  step "sanitize: ASan+UBSan build + tests"
+  cmake -B build-sanitize -S . -DPLANARIA_WERROR=ON \
+    -DPLANARIA_SANITIZE=address,undefined >/dev/null
+  cmake --build build-sanitize -j "$JOBS"
+  ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+
+  step "audit: planaria-audit (sanitized)"
+  ./build-sanitize/tools/planaria-audit
+else
+  step "audit: planaria-audit (release; sanitize skipped)"
+  ./build-release/tools/planaria-audit
+fi
+
+if [[ "$SKIP_TIDY" -eq 0 ]] && command -v clang-tidy >/dev/null 2>&1; then
+  step "tidy: clang-tidy over src/"
+  mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+  clang-tidy -p build-release --quiet "${sources[@]}"
+elif [[ "$SKIP_TIDY" -eq 0 ]]; then
+  step "tidy: clang-tidy not installed — skipped (CI runs it)"
+fi
+
+step "all checks passed"

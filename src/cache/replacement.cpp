@@ -135,7 +135,7 @@ const char* replacement_name(ReplacementKind kind) {
     case ReplacementKind::kSrrip: return "srrip";
     case ReplacementKind::kDrrip: return "drrip";
   }
-  return "unknown";
+  PLANARIA_UNREACHABLE();
 }
 
 std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind,
@@ -154,7 +154,7 @@ std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind,
     case ReplacementKind::kDrrip:
       return std::make_unique<DrripPolicy>(sets, ways, seed);
   }
-  throw std::invalid_argument("replacement: unknown kind");
+  PLANARIA_UNREACHABLE();
 }
 
 }  // namespace planaria::cache

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "common/assert.hpp"
 
 namespace planaria::cache {
@@ -114,7 +115,10 @@ AccessResult SystemCache::fill(std::uint64_t block, FillSource source) {
   }
   if (way < 0) {
     way = policy_->victim(set);
-    PLANARIA_ASSERT(way >= 0 && way < config_.ways);
+    // The policy owns recency state only; the way index it hands back must
+    // stay inside the set it was asked about.
+    PLANARIA_ENSURE_MSG(kTableOccupancy, way >= 0 && way < config_.ways,
+                        "replacement policy returned an out-of-set victim");
     Line& victim = base[way];
     if (victim.prefetched) ++stats_.prefetch_unused_evictions;
     if (victim.dirty) {
@@ -135,6 +139,8 @@ AccessResult SystemCache::fill(std::uint64_t block, FillSource source) {
   line.prefetched = is_prefetch;
   line.source = source;
   policy_->on_fill(set, way, is_prefetch);
+  PLANARIA_ENSURE_MSG(kTableOccupancy, contains(block),
+                      "filled block must be resident on return");
   return result;
 }
 
@@ -158,6 +164,12 @@ void SystemCache::track_pollution_eviction(std::uint64_t block) {
   pollution_fifo_[pollution_head_] = block;
   pollution_set_.insert(block);
   pollution_head_ = (pollution_head_ + 1) % kPollutionFilterCap;
+  // The FIFO and the membership set shadow each other; duplicates in the
+  // FIFO would let the set shrink below it and break O(1) membership.
+  PLANARIA_INVARIANT_MSG(kTableOccupancy,
+                         pollution_fifo_.size() <= kPollutionFilterCap &&
+                             pollution_set_.size() <= pollution_fifo_.size(),
+                         "pollution filter FIFO/set lost synchronization");
 }
 
 }  // namespace planaria::cache

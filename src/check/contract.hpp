@@ -1,0 +1,124 @@
+// Invariant contract layer.
+//
+// The paper's correctness argument rests on structural invariants the
+// simulator previously only spot-checked with PLANARIA_ASSERT: bounded table
+// occupancy in the FT -> AT -> PHT pipeline, monotone simulated time,
+// "parallel training, serial issuing" (exactly one sub-prefetcher disposition
+// per trigger), and bit-exact hardware storage budgets. This header gives
+// those checks names, categories, and a pluggable response:
+//
+//   PLANARIA_REQUIRE(category, expr)    — precondition at a subsystem boundary
+//   PLANARIA_ENSURE(category, expr)     — postcondition before returning
+//   PLANARIA_INVARIANT(category, expr)  — structural property mid-operation
+//
+// All three stay enabled in release builds (predicates on hot paths are
+// integer compares, same policy as PLANARIA_ASSERT). The default handler
+// prints and aborts; fuzz/audit runs install the counting handler instead,
+// which logs the first few violations and keeps per-category counters that
+// `planaria-audit` and tests inspect. Counters are exported through
+// common/stats so a violation tally can ride along any stat dump.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace planaria::check {
+
+/// Contract families, mirroring the invariant classes the paper's design
+/// leans on. Index bounds and lifecycle checks map onto the nearest family
+/// (a way index is table occupancy; "step after finish" is a time ordering).
+enum class Category : std::uint8_t {
+  kTableOccupancy = 0,      ///< entry counts/indices within configured bounds
+  kTimingMonotonicity,      ///< simulated clocks and arrivals never run backward
+  kCoordinatorExclusivity,  ///< exactly one SLP/TLP disposition per trigger
+  kStorageBudget,           ///< bit-exact accounting matches hardware budget
+  kCount,
+};
+
+inline constexpr int kCategoryCount = static_cast<int>(Category::kCount);
+
+const char* category_name(Category category);
+
+enum class Kind : std::uint8_t { kRequire = 0, kEnsure, kInvariant };
+
+const char* kind_name(Kind kind);
+
+/// Everything a handler learns about one failed contract.
+struct Violation {
+  Category category = Category::kTableOccupancy;
+  Kind kind = Kind::kRequire;
+  const char* expr = nullptr;
+  const char* file = nullptr;
+  int line = 0;
+  const char* message = nullptr;  ///< optional, may be null
+};
+
+/// What happens after the per-category counter is bumped.
+enum class Mode : std::uint8_t {
+  kAbort = 0,  ///< print and abort (default; a violation is a bug)
+  kCount,      ///< log the first few, keep counting, continue (fuzz/audit)
+};
+
+void set_mode(Mode mode);
+Mode mode();
+
+/// A custom handler overrides the mode entirely (counters still update
+/// first). Pass nullptr to fall back to the mode-selected behaviour. The
+/// handler may return in kCount-style use; returning is safe at every
+/// contract site.
+using Handler = void (*)(const Violation&);
+void set_handler(Handler handler);
+Handler handler();
+
+/// Scoped arming of the counting mode, restoring the previous mode/handler on
+/// destruction; used by the audit replay and the contract tests.
+class CountingScope {
+ public:
+  CountingScope();
+  ~CountingScope();
+  CountingScope(const CountingScope&) = delete;
+  CountingScope& operator=(const CountingScope&) = delete;
+
+ private:
+  Mode saved_mode_;
+  Handler saved_handler_;
+};
+
+std::uint64_t violation_count(Category category);
+std::uint64_t total_violations();
+void reset_violations();
+
+/// Mirrors the per-category counters into `stats` as absolute values under
+/// "contract.violations.<category>", so a stat dump carries the tally.
+void export_violations(StatSet& stats);
+
+namespace detail {
+
+void report(Category category, Kind kind, const char* expr, const char* file,
+            int line, const char* message);
+
+}  // namespace detail
+}  // namespace planaria::check
+
+#define PLANARIA_CONTRACT_CHECK_(category_, kind_, expr_, msg_)               \
+  ((expr_) ? static_cast<void>(0)                                             \
+           : ::planaria::check::detail::report(                               \
+                 ::planaria::check::Category::category_,                      \
+                 ::planaria::check::Kind::kind_, #expr_, __FILE__, __LINE__,  \
+                 (msg_)))
+
+#define PLANARIA_REQUIRE(category, expr) \
+  PLANARIA_CONTRACT_CHECK_(category, kRequire, expr, nullptr)
+#define PLANARIA_REQUIRE_MSG(category, expr, msg) \
+  PLANARIA_CONTRACT_CHECK_(category, kRequire, expr, (msg))
+
+#define PLANARIA_ENSURE(category, expr) \
+  PLANARIA_CONTRACT_CHECK_(category, kEnsure, expr, nullptr)
+#define PLANARIA_ENSURE_MSG(category, expr, msg) \
+  PLANARIA_CONTRACT_CHECK_(category, kEnsure, expr, (msg))
+
+#define PLANARIA_INVARIANT(category, expr) \
+  PLANARIA_CONTRACT_CHECK_(category, kInvariant, expr, nullptr)
+#define PLANARIA_INVARIANT_MSG(category, expr, msg) \
+  PLANARIA_CONTRACT_CHECK_(category, kInvariant, expr, (msg))

@@ -19,6 +19,12 @@ namespace planaria::detail {
   std::abort();
 }
 
+[[noreturn]] inline void unreachable_fail(const char* file, int line) {
+  std::fprintf(stderr, "planaria: reached unreachable code\n  at %s:%d\n", file,
+               line);
+  std::abort();
+}
+
 }  // namespace planaria::detail
 
 #define PLANARIA_ASSERT(expr)                                                  \
@@ -28,3 +34,23 @@ namespace planaria::detail {
 #define PLANARIA_ASSERT_MSG(expr, msg)                                         \
   ((expr) ? static_cast<void>(0)                                               \
           : ::planaria::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+// Marks switch fall-throughs and states the surrounding logic has already
+// excluded. Unlike __builtin_unreachable(), reaching it is defined behaviour:
+// it prints the location and aborts, in every build type.
+#define PLANARIA_UNREACHABLE() \
+  ::planaria::detail::unreachable_fail(__FILE__, __LINE__)
+
+// Debug-only assertion for hot-path checks too expensive for release builds
+// (full-table scans, O(n^2) symmetry sweeps). Enabled in Debug builds and in
+// any build compiled with PLANARIA_DEBUG_CHECKS (the sanitizer configurations
+// define it); elsewhere the predicate is not evaluated but stays
+// semantically checked via sizeof, so variables it names never read as
+// unused.
+#if !defined(NDEBUG) || defined(PLANARIA_DEBUG_CHECKS)
+#define PLANARIA_DASSERT(expr) PLANARIA_ASSERT(expr)
+#define PLANARIA_DASSERT_MSG(expr, msg) PLANARIA_ASSERT_MSG(expr, (msg))
+#else
+#define PLANARIA_DASSERT(expr) static_cast<void>(sizeof(!(expr)))
+#define PLANARIA_DASSERT_MSG(expr, msg) static_cast<void>(sizeof(!(expr)))
+#endif

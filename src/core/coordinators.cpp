@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace planaria::core {
 
 void SerialCoordinatorConfig::validate() const {
@@ -50,6 +52,11 @@ void SerialComposite::on_demand(const prefetch::DemandEvent& event,
       slp_failures_ = 0;
       ++switches_;
     }
+    // The failure streak resets on every switch and every successful issue,
+    // so it can never accumulate past the switch threshold.
+    PLANARIA_INVARIANT_MSG(kCoordinatorExclusivity,
+                           slp_failures_ < config_.switch_after,
+                           "serial coordinator missed its switch point");
     return;
   }
 
@@ -57,6 +64,7 @@ void SerialComposite::on_demand(const prefetch::DemandEvent& event,
   // trigger (the hardwired "boundary of expertise" heuristic).
   if (slp_.has_pattern(event.page)) {
     slp_active_ = true;
+    slp_failures_ = 0;
     ++switches_;
     slp_.issue(event, out);
     return;

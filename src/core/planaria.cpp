@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace planaria::core {
 
 void PlanariaConfig::validate() const {
@@ -30,15 +32,31 @@ void PlanariaPrefetcher::on_demand(const prefetch::DemandEvent& event,
   if (event.sc_hit) return;
   ++stats_.triggers;
 
+  // "Parallel training, serial issuing": SLP issues exactly when it holds
+  // history for the page; TLP is consulted only on SLP's abstention; and
+  // every trigger takes exactly one of the three dispositions.
+  const bool slp_has_history =
+      config_.enable_slp && slp_.has_pattern(event.page);
+  const std::size_t out_before = out.size();
+
   if (config_.enable_slp && slp_.issue(event, out)) {
+    PLANARIA_ENSURE_MSG(kCoordinatorExclusivity, slp_has_history,
+                        "SLP issued without history for the trigger page");
     ++stats_.slp_issues;
-    return;
-  }
-  if (config_.enable_tlp && tlp_.issue(event, out)) {
+  } else if (config_.enable_tlp && tlp_.issue(event, out)) {
+    PLANARIA_ENSURE_MSG(kCoordinatorExclusivity, !slp_has_history,
+                        "TLP issued on a trigger SLP was entitled to");
     ++stats_.tlp_issues;
-    return;
+  } else {
+    PLANARIA_ENSURE_MSG(kCoordinatorExclusivity, out.size() == out_before,
+                        "abstaining trigger appended prefetch requests");
+    ++stats_.no_issues;
   }
-  ++stats_.no_issues;
+  PLANARIA_INVARIANT_MSG(
+      kCoordinatorExclusivity,
+      stats_.triggers ==
+          stats_.slp_issues + stats_.tlp_issues + stats_.no_issues,
+      "trigger dispositions must partition the trigger count");
 }
 
 const char* PlanariaPrefetcher::name() const {

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "common/assert.hpp"
+#include "core/storage_layout.hpp"
 
 namespace planaria::core {
 
@@ -11,12 +13,21 @@ void SlpConfig::validate() const {
       pt_sets <= 0 || pt_ways <= 0) {
     throw std::invalid_argument("slp config: table sizes must be positive");
   }
-  if (promote_threshold < 1 || promote_threshold > 3) {
+  const auto pow2 = [](int v) { return (v & (v - 1)) == 0; };
+  if (!pow2(ft_sets) || !pow2(at_sets) || !pow2(pt_sets)) {
+    throw std::invalid_argument(
+        "slp config: set counts must be powers of two (hardware set index)");
+  }
+  if (promote_threshold < 1 || promote_threshold > layout::kFtOffsetSlots) {
     throw std::invalid_argument(
         "slp config: promote_threshold must be 1..3 (FT stores 3 offsets)");
   }
   if (at_timeout == 0 || sweep_interval == 0) {
     throw std::invalid_argument("slp config: timeouts must be positive");
+  }
+  if (at_timeout >= (Cycle{1} << layout::kAtTimeBits)) {
+    throw std::invalid_argument(
+        "slp config: at_timeout must fit the AT's 20-bit time field");
   }
 }
 
@@ -57,6 +68,11 @@ void Slp::sweep_timeouts(Cycle now) {
 }
 
 void Slp::learn(const prefetch::DemandEvent& event) {
+  PLANARIA_REQUIRE_MSG(kTableOccupancy,
+                       event.block_in_segment >= 0 &&
+                           event.block_in_segment < kBlocksPerSegment,
+                       "segment block offset outside the 16-block bitmap");
+
   // Lazy timeout sweep (Step 4): scanning the whole AT on every access would
   // be both unrealistic hardware and a simulation hotspot, so the timeout is
   // checked every sweep_interval accesses — a slack far below at_timeout.
@@ -84,7 +100,11 @@ void Slp::learn(const prefetch::DemandEvent& event) {
       }
     }
     if (!known) {
-      PLANARIA_ASSERT(ft->count < 3);
+      // The FT only holds pages below the promotion threshold, so a distinct
+      // offset always has a free probation slot.
+      PLANARIA_INVARIANT_MSG(kTableOccupancy,
+                             ft->count < layout::kFtOffsetSlots,
+                             "FT entry survived past the promotion threshold");
       ft->offsets[ft->count++] = offset;
     }
     if (ft->count >= config_.promote_threshold) {
@@ -98,6 +118,12 @@ void Slp::learn(const prefetch::DemandEvent& event) {
         transfer_to_pt(evicted->first, evicted->second.bitmap);
       }
       ++stats_.promotions;
+      // Promotion moves the page FT -> AT; it must never live in both.
+      PLANARIA_ENSURE_MSG(kTableOccupancy,
+                          ft_.peek(event.page) == nullptr &&
+                              at_.peek(event.page) != nullptr,
+                          "promoted page must leave the FT and enter the AT");
+      PLANARIA_DASSERT(at_.size() <= at_.capacity());
     }
     return;
   }
@@ -139,16 +165,14 @@ bool Slp::issue(const prefetch::DemandEvent& event,
 }
 
 std::uint64_t Slp::storage_bits() const {
-  // Field widths per entry (one channel):
-  //   FT: tag(28) + 3 offsets x 4b + count(2) + LRU(3)            = 45 bits
-  //   AT: tag(28) + bitmap(16) + last-access time(20) + LRU(3)    = 67 bits
-  //   PT: tag(28) + bitmap(16) + LRU(4)                           = 48 bits
-  const std::uint64_t ft_bits =
-      static_cast<std::uint64_t>(config_.ft_sets) * config_.ft_ways * 45;
-  const std::uint64_t at_bits =
-      static_cast<std::uint64_t>(config_.at_sets) * config_.at_ways * 67;
-  const std::uint64_t pt_bits =
-      static_cast<std::uint64_t>(config_.pt_sets) * config_.pt_ways * 48;
+  // Field widths per entry come from core/storage_layout.hpp, the single
+  // source both this accounting and the storage-bench breakdown derive from.
+  const std::uint64_t ft_bits = static_cast<std::uint64_t>(config_.ft_sets) *
+                                config_.ft_ways * layout::kFtEntryBits;
+  const std::uint64_t at_bits = static_cast<std::uint64_t>(config_.at_sets) *
+                                config_.at_ways * layout::kAtEntryBits;
+  const std::uint64_t pt_bits = static_cast<std::uint64_t>(config_.pt_sets) *
+                                config_.pt_ways * layout::kPtEntryBits;
   return ft_bits + at_bits + pt_bits;
 }
 

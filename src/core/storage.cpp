@@ -1,5 +1,8 @@
 #include "core/storage.hpp"
 
+#include "check/contract.hpp"
+#include "core/storage_layout.hpp"
+
 namespace planaria::core {
 
 std::uint64_t StorageBreakdown::per_channel_bits() const {
@@ -29,31 +32,38 @@ StorageBreakdown planaria_storage(const PlanariaConfig& config) {
   const auto& slp = config.slp;
   const auto& tlp = config.tlp;
   if (config.enable_slp) {
-    // Field widths mirror Slp::storage_bits(); kept in one visible table so
-    // the storage bench can print the breakdown the paper summarizes.
+    // Entry widths come from core/storage_layout.hpp, the same constants
+    // Slp::storage_bits() consumes, so the bench breakdown and the
+    // per-instance accounting cannot drift apart.
     b.items.push_back(StorageItem{
         "FT (filter table): tag28 + 3*offset4 + count2 + lru3",
         static_cast<std::uint64_t>(slp.ft_sets) *
             static_cast<std::uint64_t>(slp.ft_ways),
-        45});
+        layout::kFtEntryBits});
     b.items.push_back(StorageItem{
         "AT (accumulation table): tag28 + bitmap16 + time20 + lru3",
         static_cast<std::uint64_t>(slp.at_sets) *
             static_cast<std::uint64_t>(slp.at_ways),
-        67});
+        layout::kAtEntryBits});
     b.items.push_back(StorageItem{
         "PT (pattern history table): tag28 + bitmap16 + lru4",
         static_cast<std::uint64_t>(slp.pt_sets) *
             static_cast<std::uint64_t>(slp.pt_ways),
-        48});
+        layout::kPtEntryBits});
   }
   if (config.enable_tlp) {
     const auto n = static_cast<std::uint64_t>(tlp.rpt_entries);
     b.items.push_back(StorageItem{
         "RPT (recent page table): tag28 + bitmap16 + ref" +
             std::to_string(n - 1) + " + lru7",
-        n, 28 + 16 + (n - 1) + 7});
+        n, layout::rpt_entry_bits(n)});
   }
+  // Cross-check the breakdown against the independent accounting path in
+  // slp.cpp/tlp.cpp: the same bits, summed by a different code path.
+  PLANARIA_ENSURE_MSG(
+      kStorageBudget,
+      b.per_channel_bits() == PlanariaPrefetcher(config).storage_bits(),
+      "storage breakdown disagrees with the component accounting");
   return b;
 }
 

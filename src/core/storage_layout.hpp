@@ -1,0 +1,68 @@
+// Hardware field widths for Planaria's metadata tables, in one place.
+//
+// Slp::storage_bits() / Tlp::storage_bits() (the per-instance accounting the
+// SRAM power model consumes) and core/storage.cpp (the field-by-field
+// breakdown the storage bench prints) must agree bit for bit — the paper's
+// 345.2KB budget claim is only as good as that agreement. Both now derive
+// from these constants, and the static_asserts pin each derived entry width
+// to the documented value so an edit to one field cannot silently change a
+// total. planaria-audit additionally cross-checks the two code paths against
+// each other at runtime for every registered configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace planaria::core::layout {
+
+/// Page-number tag stored by every table. 28 bits covers 2^28 4KB pages
+/// (1TB of physical address space), the regime mobile SoCs live in.
+inline constexpr int kPageTagBits = 28;
+
+/// A block offset within the 16-block per-channel segment.
+inline constexpr int kOffsetBits = 4;
+static_assert((1 << kOffsetBits) == kBlocksPerSegment,
+              "offset field must index every block of a segment");
+
+/// One bit per segment block, the footprint-snapshot currency.
+inline constexpr int kBitmapBits = kBlocksPerSegment;
+
+// Filter Table: tag + 3 probation offsets + a count + per-way LRU.
+inline constexpr int kFtOffsetSlots = 3;
+inline constexpr int kFtCountBits = 2;
+inline constexpr int kFtLruBits = 3;
+inline constexpr int kFtEntryBits =
+    kPageTagBits + kFtOffsetSlots * kOffsetBits + kFtCountBits + kFtLruBits;
+static_assert(kFtEntryBits == 45, "FT entry layout drifted from the design");
+static_assert((1 << kFtCountBits) > kFtOffsetSlots,
+              "FT count field must represent 0..kFtOffsetSlots");
+
+// Accumulation Table: tag + current-visit bitmap + last-access time + LRU.
+inline constexpr int kAtTimeBits = 20;
+inline constexpr int kAtLruBits = 3;
+inline constexpr int kAtEntryBits =
+    kPageTagBits + kBitmapBits + kAtTimeBits + kAtLruBits;
+static_assert(kAtEntryBits == 67, "AT entry layout drifted from the design");
+
+// Pattern History Table: tag + learned bitmap + LRU (12 ways need 4 bits).
+inline constexpr int kPtLruBits = 4;
+inline constexpr int kPtEntryBits = kPageTagBits + kBitmapBits + kPtLruBits;
+static_assert(kPtEntryBits == 48, "PT entry layout drifted from the design");
+
+// Recent Page Table: tag + recent-access bitmap + one Ref bit per *other*
+// entry + LRU (128 fully-associative entries need 7 bits).
+inline constexpr int kRptLruBits = 7;
+constexpr std::uint64_t rpt_entry_bits(std::uint64_t rpt_entries) {
+  return static_cast<std::uint64_t>(kPageTagBits + kBitmapBits + kRptLruBits) +
+         (rpt_entries - 1);
+}
+static_assert(rpt_entry_bits(128) == 178,
+              "RPT entry layout drifted from the design");
+
+/// The paper's reported hardware budget for the default 4-channel
+/// configuration (Verilog synthesis, Section 6). planaria-audit gates every
+/// registered configuration against this.
+inline constexpr double kPaperBudgetKb = 345.2;
+
+}  // namespace planaria::core::layout

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "common/assert.hpp"
+#include "core/storage_layout.hpp"
 
 namespace planaria::core {
 
@@ -69,13 +71,42 @@ int Tlp::allocate(PageNumber page) {
     e.ref[j] = near;
     other.ref[static_cast<std::size_t>(victim)] = near;
   }
+  // The neighbor matrix is irreflexive (no entry references itself) and,
+  // after the bidirectional wiring above, symmetric.
+  PLANARIA_ENSURE_MSG(kTableOccupancy, !e.ref[static_cast<std::size_t>(victim)],
+                      "RPT entry must not reference itself");
+  // The full O(N^2) sweep is too expensive for every allocation under
+  // sanitizers; sample it instead. A corrupted Ref bit persists until one of
+  // the involved entries is evicted, so periodic sweeps still catch drift.
+  PLANARIA_DASSERT_MSG(
+      (stats_.allocations & 255u) != 0 || ref_matrix_consistent(),
+      "RPT Ref matrix lost symmetry on allocation");
   ++stats_.allocations;
   return victim;
 }
 
+bool Tlp::ref_matrix_consistent() const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].valid && entries_[i].ref[i]) return false;
+    for (std::size_t j = 0; j < entries_.size(); ++j) {
+      const bool ij = entries_[i].valid && entries_[i].ref[j];
+      const bool ji = entries_[j].valid && entries_[j].ref[i];
+      if (ij != ji) return false;
+      if (ij && (!entries_[i].valid || !entries_[j].valid)) return false;
+    }
+  }
+  return true;
+}
+
 void Tlp::learn(const prefetch::DemandEvent& event) {
+  PLANARIA_REQUIRE_MSG(kTableOccupancy,
+                       event.block_in_segment >= 0 &&
+                           event.block_in_segment < kBlocksPerSegment,
+                       "segment block offset outside the 16-block bitmap");
   int slot = find_slot(event.page);
   if (slot < 0) slot = allocate(event.page);
+  PLANARIA_INVARIANT(kTableOccupancy,
+                     slot >= 0 && slot < config_.rpt_entries);
   auto& e = entries_[static_cast<std::size_t>(slot)];
   e.bitmap.set(event.block_in_segment);
   e.last_use = ++tick_;
@@ -105,6 +136,11 @@ bool Tlp::issue(const prefetch::DemandEvent& event,
     }
   }
   if (best == nullptr) return false;
+  // The transfer source must clear the similarity floor — that is the whole
+  // qualification rule the loop above implements.
+  PLANARIA_INVARIANT_MSG(kCoordinatorExclusivity,
+                         best_common >= config_.min_common_bits,
+                         "TLP transferred from a below-threshold neighbor");
 
   const SegmentBitmap to_fetch = best->bitmap.minus(self.bitmap);
   if (to_fetch.empty()) return false;
@@ -124,9 +160,9 @@ const SegmentBitmap* Tlp::bitmap_of(PageNumber page) const {
 }
 
 std::uint64_t Tlp::storage_bits() const {
-  // Per entry: tag(28) + bitmap(16) + (N-1) Ref bits + LRU(7).
+  // Per entry: tag + bitmap + (N-1) Ref bits + LRU (core/storage_layout.hpp).
   const auto n = static_cast<std::uint64_t>(config_.rpt_entries);
-  return n * (28 + 16 + (n - 1) + 7);
+  return n * layout::rpt_entry_bits(n);
 }
 
 }  // namespace planaria::core

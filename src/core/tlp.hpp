@@ -75,6 +75,10 @@ class Tlp {
   int find_slot(PageNumber page) const;
   int allocate(PageNumber page);
 
+  /// Debug-only structural check: the Ref matrix is symmetric, irreflexive,
+  /// and only links valid entries. O(N^2); used under PLANARIA_DASSERT.
+  bool ref_matrix_consistent() const;
+
   TlpConfig config_;
   std::vector<RptEntry> entries_;
   std::uint64_t tick_ = 0;

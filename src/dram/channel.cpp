@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contract.hpp"
 #include "common/assert.hpp"
 
 namespace planaria::dram {
@@ -55,6 +56,8 @@ bool DramChannel::submit(const DramRequest& request) {
       c.finish = request.arrival + static_cast<Cycle>(config_.timing.tCL);
       c.is_prefetch = request.is_prefetch;
       c.forwarded = true;
+      PLANARIA_ENSURE_MSG(kTimingMonotonicity, c.finish >= c.arrival,
+                          "forwarded read completed before it arrived");
       completions_.push_back(c);
       ++counters_.forwarded_reads;
       if (request.is_prefetch) {
@@ -373,8 +376,13 @@ void DramChannel::advance(Cycle until) {
     issue(active, cand);
   }
 
+  const Cycle before = now_;
   now_ = std::max(now_, until);
   counters_.elapsed = now_;
+  // The channel clock never runs backward and always reaches the requested
+  // horizon (the request flow in sim/simulator relies on both).
+  PLANARIA_ENSURE_MSG(kTimingMonotonicity, now_ >= before && now_ >= until,
+                      "channel clock regressed in advance()");
 }
 
 void DramChannel::drain() {
@@ -384,6 +392,9 @@ void DramChannel::drain() {
     advance(now_ + 64);
   }
   counters_.elapsed = now_;
+  PLANARIA_ENSURE_MSG(kTimingMonotonicity,
+                      read_q_.empty() && write_q_.empty(),
+                      "drain() returned with queued requests");
 }
 
 std::vector<DramCompletion> DramChannel::take_completions() {
@@ -391,6 +402,13 @@ std::vector<DramCompletion> DramChannel::take_completions() {
             [](const DramCompletion& a, const DramCompletion& b) {
               return a.finish < b.finish;
             });
+  // Command scheduling clamps issue to max(now, arrival), so no burst can
+  // complete before its request reached the controller. Each completion is
+  // checked exactly once across the channel's lifetime.
+  for (const auto& c : completions_) {
+    PLANARIA_ENSURE_MSG(kTimingMonotonicity, c.finish >= c.arrival,
+                        "data burst completed before its request arrived");
+  }
   std::vector<DramCompletion> out;
   out.swap(completions_);
   return out;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "cache/system_cache.hpp"
 #include "core/planaria.hpp"
@@ -89,5 +90,9 @@ enum class PrefetcherKind {
 
 const char* prefetcher_kind_name(PrefetcherKind kind);
 PrefetcherKind prefetcher_kind_from_name(const std::string& name);
+
+/// Every registered kind, in sweep order; planaria-audit instantiates and
+/// gates each one.
+const std::vector<PrefetcherKind>& all_prefetcher_kinds();
 
 }  // namespace planaria::sim

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "common/assert.hpp"
 #include "core/coordinators.hpp"
 #include "prefetch/simple.hpp"
@@ -23,19 +24,26 @@ const char* prefetcher_kind_name(PrefetcherKind kind) {
     case PrefetcherKind::kNextLine: return "next-line";
     case PrefetcherKind::kStride: return "stride";
   }
-  return "unknown";
+  PLANARIA_UNREACHABLE();
 }
 
 PrefetcherKind prefetcher_kind_from_name(const std::string& name) {
-  for (PrefetcherKind k :
-       {PrefetcherKind::kNone, PrefetcherKind::kBop, PrefetcherKind::kSpp,
-        PrefetcherKind::kSms, PrefetcherKind::kPlanaria,
-        PrefetcherKind::kPlanariaSlpOnly, PrefetcherKind::kPlanariaTlpOnly,
-        PrefetcherKind::kSerialComposite, PrefetcherKind::kParallelComposite,
-        PrefetcherKind::kNextLine, PrefetcherKind::kStride}) {
+  for (PrefetcherKind k : all_prefetcher_kinds()) {
     if (name == prefetcher_kind_name(k)) return k;
   }
   throw std::invalid_argument("unknown prefetcher kind: " + name);
+}
+
+/// Every registered kind, in sweep order; audit tooling iterates this.
+const std::vector<PrefetcherKind>& all_prefetcher_kinds() {
+  static const std::vector<PrefetcherKind> kinds = {
+      PrefetcherKind::kNone,          PrefetcherKind::kBop,
+      PrefetcherKind::kSpp,           PrefetcherKind::kSms,
+      PrefetcherKind::kPlanaria,      PrefetcherKind::kPlanariaSlpOnly,
+      PrefetcherKind::kPlanariaTlpOnly, PrefetcherKind::kSerialComposite,
+      PrefetcherKind::kParallelComposite, PrefetcherKind::kNextLine,
+      PrefetcherKind::kStride};
+  return kinds;
 }
 
 PrefetcherFactory make_prefetcher_factory(PrefetcherKind kind,
@@ -92,7 +100,7 @@ PrefetcherFactory make_prefetcher_factory(PrefetcherKind kind,
     case PrefetcherKind::kStride:
       return [](int) { return std::make_unique<prefetch::StridePrefetcher>(); };
   }
-  throw std::invalid_argument("unknown prefetcher kind");
+  PLANARIA_UNREACHABLE();
 }
 
 Simulator::Simulator(const SimConfig& config, PrefetcherFactory factory,
@@ -215,12 +223,19 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
     ++prefetch_issued_;
     ++issued_this_trigger;
   }
+  // The per-trigger degree cap is the throttle the paper's traffic numbers
+  // assume; overshooting it would silently inflate every prefetcher's issue
+  // rate.
+  PLANARIA_ENSURE_MSG(kCoordinatorExclusivity,
+                      issued_this_trigger <= config_.max_prefetches_per_trigger,
+                      "prefetch degree cap exceeded on one trigger");
 }
 
 void Simulator::step(const trace::TraceRecord& record) {
-  PLANARIA_ASSERT_MSG(!finished_, "step() after finish()");
-  PLANARIA_ASSERT_MSG(record.arrival >= last_arrival_,
-                      "trace records must be time-ordered");
+  PLANARIA_REQUIRE_MSG(kTimingMonotonicity, !finished_,
+                       "step() after finish()");
+  PLANARIA_REQUIRE_MSG(kTimingMonotonicity, record.arrival >= last_arrival_,
+                       "trace records must be time-ordered");
   last_arrival_ = record.arrival;
   Channel& ch = channels_[static_cast<std::size_t>(addr::channel_of(record.address))];
   ch.dram->advance(record.arrival);
@@ -229,7 +244,8 @@ void Simulator::step(const trace::TraceRecord& record) {
 }
 
 SimResult Simulator::finish() {
-  PLANARIA_ASSERT_MSG(!finished_, "finish() called twice");
+  PLANARIA_REQUIRE_MSG(kTimingMonotonicity, !finished_,
+                       "finish() called twice");
   finished_ = true;
 
   SimResult r;
@@ -250,7 +266,7 @@ SimResult Simulator::finish() {
     process_completions(ch);
     // Any still-unresolved in-flight entries would indicate lost completions.
     for (const auto& [block, fly] : ch.in_flight) {
-      PLANARIA_ASSERT_MSG(fly.demand_waiters.empty(),
+      PLANARIA_ENSURE_MSG(kTimingMonotonicity, fly.demand_waiters.empty(),
                           "demand read never completed");
     }
     ch.in_flight.clear();
