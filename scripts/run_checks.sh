@@ -5,22 +5,27 @@
 #   1. release  — -Werror build of everything + full ctest suite
 #   2. sanitize — ASan+UBSan build (arms PLANARIA_DASSERT) + full ctest suite
 #   3. audit    — planaria-audit invariant gate (from the sanitizer build, so
-#                 the replay stage runs instrumented)
-#   4. tidy     — clang-tidy over src/ against the compilation database
+#                 the replay stage runs instrumented; includes the serial-vs-
+#                 parallel bit-identity replay)
+#   4. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
+#                 PLANARIA_THREADS pool
+#   5. tidy     — clang-tidy over src/ against the compilation database
 #                 (skipped with a notice if clang-tidy is not installed)
 #
-# Usage: scripts/run_checks.sh [--skip-sanitize] [--skip-tidy]
+# Usage: scripts/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-tidy]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_SANITIZE=0
+SKIP_TSAN=0
 SKIP_TIDY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-sanitize) SKIP_SANITIZE=1 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
     --skip-tidy) SKIP_TIDY=1 ;;
-    *) echo "usage: $0 [--skip-sanitize] [--skip-tidy]" >&2; exit 1 ;;
+    *) echo "usage: $0 [--skip-sanitize] [--skip-tsan] [--skip-tidy]" >&2; exit 1 ;;
   esac
 done
 
@@ -45,6 +50,15 @@ if [[ "$SKIP_SANITIZE" -eq 0 ]]; then
 else
   step "audit: planaria-audit (release; sanitize skipped)"
   ./build-release/tools/planaria-audit
+fi
+
+if [[ "$SKIP_TSAN" -eq 0 ]]; then
+  step "tsan: thread-pooled sweep tests under ThreadSanitizer"
+  cmake -B build-tsan -S . -DPLANARIA_WERROR=ON \
+    -DPLANARIA_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_parallel test_sim test_sim_edge
+  PLANARIA_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan -R 'test_parallel|test_sim' --output-on-failure
 fi
 
 if [[ "$SKIP_TIDY" -eq 0 ]] && command -v clang-tidy >/dev/null 2>&1; then

@@ -17,6 +17,15 @@
 // which logs the first few violations and keeps per-category counters that
 // `planaria-audit` and tests inspect. Counters are exported through
 // common/stats so a violation tally can ride along any stat dump.
+//
+// Concurrency contract: the parallel sweep engine (common/thread_pool,
+// sim/experiment) fires contracts from many threads at once, and this layer
+// is the only cross-thread mutable state in the pipeline. The per-category
+// counters, mode, and handler are std::atomic — concurrent violations are
+// counted exactly (tests/test_parallel.cpp proves it under TSan) — and a
+// custom Handler must itself be thread-safe. CountingScope saves/restores
+// process-global state, so scopes belong at the orchestration level (a test
+// body, an audit stage), never inside concurrently executing tasks.
 #pragma once
 
 #include <cstdint>

@@ -28,10 +28,13 @@ class SetAssocTable {
 
   std::size_t capacity() const { return entries_.size(); }
 
+  /// Live entry count, maintained incrementally (size() used to rescan all
+  /// entries, an O(capacity) cost per call that dwarfed the operation being
+  /// checked when contracts probe occupancy on hot paths). Debug builds
+  /// cross-check the counter against a full scan.
   std::size_t size() const {
-    std::size_t n = 0;
-    for (const auto& e : entries_) n += e.valid ? 1 : 0;
-    return n;
+    PLANARIA_DASSERT(live_ == scanned_size());
+    return live_;
   }
 
   Payload* find(const Key& key) {
@@ -76,6 +79,8 @@ class SetAssocTable {
     std::optional<std::pair<Key, Payload>> evicted;
     if (victim->valid) {
       evicted.emplace(victim->key, std::move(victim->payload));
+    } else {
+      ++live_;
     }
     victim->key = key;
     victim->payload = std::move(payload);
@@ -89,6 +94,7 @@ class SetAssocTable {
     for (int w = 0; w < ways_; ++w) {
       if (base[w].valid && base[w].key == key) {
         base[w].valid = false;
+        --live_;
         return std::move(base[w].payload);
       }
     }
@@ -97,6 +103,7 @@ class SetAssocTable {
 
   void clear() {
     for (auto& e : entries_) e.valid = false;
+    live_ = 0;
   }
 
   template <typename Fn>
@@ -113,12 +120,18 @@ class SetAssocTable {
     for (auto& e : entries_) {
       if (e.valid && pred(e.key, e.payload)) {
         e.valid = false;
+        --live_;
         on_evict(e.key, std::move(e.payload));
       }
     }
   }
 
  private:
+  std::size_t scanned_size() const {
+    std::size_t n = 0;
+    for (const auto& e : entries_) n += e.valid ? 1 : 0;
+    return n;
+  }
   struct Entry {
     Key key{};
     Payload payload{};
@@ -147,6 +160,7 @@ class SetAssocTable {
   int ways_;
   std::vector<Entry> entries_;
   std::uint64_t tick_ = 0;
+  std::size_t live_ = 0;
 };
 
 }  // namespace planaria

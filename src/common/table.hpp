@@ -35,10 +35,12 @@ class LruTable {
 
   std::size_t capacity() const { return entries_.size(); }
 
+  /// Live entry count, maintained incrementally (a rescan here is O(capacity)
+  /// per call; occupancy contracts probe this on hot paths). Debug builds
+  /// cross-check the counter against a full scan.
   std::size_t size() const {
-    std::size_t n = 0;
-    for (const auto& e : entries_) n += e.valid ? 1 : 0;
-    return n;
+    PLANARIA_DASSERT(live_ == scanned_size());
+    return live_;
   }
 
   /// Looks up `key`; refreshes LRU on hit. Returns nullptr on miss.
@@ -81,7 +83,11 @@ class LruTable {
     }
     PLANARIA_ASSERT(victim != nullptr);
     std::optional<Entry> evicted;
-    if (victim->valid) evicted = std::move(*victim);
+    if (victim->valid) {
+      evicted = std::move(*victim);
+    } else {
+      ++live_;
+    }
     victim->key = key;
     victim->payload = std::move(payload);
     victim->last_use = ++tick_;
@@ -94,6 +100,7 @@ class LruTable {
     for (auto& e : entries_) {
       if (e.valid && e.key == key) {
         e.valid = false;
+        --live_;
         return std::move(e.payload);
       }
     }
@@ -103,6 +110,7 @@ class LruTable {
   void clear() {
     for (auto& e : entries_) e.valid = false;
     tick_ = 0;
+    live_ = 0;
   }
 
   /// Calls fn(key, payload&) for every valid entry. Iteration order is slot
@@ -128,14 +136,22 @@ class LruTable {
     for (auto& e : entries_) {
       if (e.valid && pred(e.key, e.payload)) {
         e.valid = false;
+        --live_;
         on_evict(e.key, std::move(e.payload));
       }
     }
   }
 
  private:
+  std::size_t scanned_size() const {
+    std::size_t n = 0;
+    for (const auto& e : entries_) n += e.valid ? 1 : 0;
+    return n;
+  }
+
   std::vector<Entry> entries_;
   std::uint64_t tick_ = 0;
+  std::size_t live_ = 0;
 };
 
 }  // namespace planaria

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 #include "trace/generator.hpp"
 
@@ -20,40 +21,90 @@ std::uint64_t records_from_env(std::uint64_t fallback) {
   return static_cast<std::uint64_t>(v);
 }
 
-ExperimentRunner::ExperimentRunner(SimConfig config, std::uint64_t records)
+ExperimentRunner::ExperimentRunner(SimConfig config, std::uint64_t records,
+                                   std::size_t threads)
     : config_(config), records_(records) {
   config_.validate();
   if (records_ == 0) throw std::invalid_argument("experiment: records == 0");
+  if (threads == 0) throw std::invalid_argument("experiment: threads == 0");
+  if (threads > 1) pool_ = std::make_unique<common::ThreadPool>(threads);
 }
 
 const std::vector<trace::TraceRecord>& ExperimentRunner::trace_for(
     const std::string& app) {
-  auto it = traces_.find(app);
-  if (it != traces_.end()) return it->second;
-  const auto& profile = trace::app_by_name(app);
-  auto [pos, inserted] =
-      traces_.emplace(app, trace::generate_app_trace(profile, records_));
-  return pos->second;
+  TraceEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(traces_mutex_);
+    entry = &traces_[app];
+  }
+  std::call_once(entry->once, [&] {
+    entry->records = trace::generate_app_trace(trace::app_by_name(app), records_);
+  });
+  return entry->records;
+}
+
+void ExperimentRunner::clear_trace_cache() {
+  std::lock_guard<std::mutex> lock(traces_mutex_);
+  traces_.clear();
+}
+
+SimResult ExperimentRunner::run_cell(const std::string& app,
+                                     PrefetcherKind kind,
+                                     const PrefetcherFactory& factory) {
+  const auto& records = trace_for(app);
+  return Simulator::run(config_, factory, prefetcher_kind_name(kind), records,
+                        pool_.get());
 }
 
 SimResult ExperimentRunner::run(const std::string& app, PrefetcherKind kind) {
-  const auto& records = trace_for(app);
-  auto factory = make_prefetcher_factory(kind, planaria_, bop_, spp_);
-  return Simulator::run(config_, std::move(factory),
-                        prefetcher_kind_name(kind), records);
+  return run_cell(app, kind,
+                  make_prefetcher_factory(kind, planaria_, bop_, spp_));
 }
 
 std::map<std::string, std::map<std::string, SimResult>> ExperimentRunner::sweep(
     const std::vector<PrefetcherKind>& kinds, bool verbose) {
-  std::map<std::string, std::map<std::string, SimResult>> out;
-  for (const auto& app : trace::app_names()) {
-    for (PrefetcherKind kind : kinds) {
-      if (verbose) {
-        std::fprintf(stderr, "  running %s / %s...\n", app.c_str(),
-                     prefetcher_kind_name(kind));
-      }
-      out[app][prefetcher_kind_name(kind)] = run(app, kind);
+  const auto apps = trace::app_names();
+
+  // Factories depend only on (kind, configs): build each once per sweep
+  // instead of once per cell, and share them read-only across the grid.
+  std::vector<PrefetcherFactory> factories;
+  factories.reserve(kinds.size());
+  for (PrefetcherKind kind : kinds) {
+    factories.push_back(make_prefetcher_factory(kind, planaria_, bop_, spp_));
+  }
+
+  // Warm the trace cache with app-level parallel generation first; without
+  // this, the first kinds.size() cells (all of app 0) would serialize behind
+  // a single generating thread.
+  if (pool_) {
+    pool_->parallel_for(apps.size(),
+                        [&](std::size_t i) { trace_for(apps[i]); });
+  }
+
+  // Flatten the grid so the pool can claim cells; results land in a
+  // preallocated slot per cell, which keeps the output independent of
+  // completion order.
+  std::vector<SimResult> results(apps.size() * kinds.size());
+  const auto run_one = [&](std::size_t i) {
+    const std::string& app = apps[i / kinds.size()];
+    const std::size_t k = i % kinds.size();
+    if (verbose) {
+      std::fprintf(stderr, "  running %s / %s...\n", app.c_str(),
+                   prefetcher_kind_name(kinds[k]));
     }
+    results[i] = run_cell(app, kinds[k], factories[k]);
+  };
+  if (pool_) {
+    pool_->parallel_for(results.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < results.size(); ++i) run_one(i);
+  }
+
+  std::map<std::string, std::map<std::string, SimResult>> out;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& per_app = out[apps[i / kinds.size()]];
+    per_app.try_emplace(prefetcher_kind_name(kinds[i % kinds.size()]),
+                        std::move(results[i]));
   }
   return out;
 }

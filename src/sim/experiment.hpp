@@ -5,13 +5,24 @@
 // figure printers. Record counts default to a laptop-friendly length and can
 // be scaled with the PLANARIA_RECORDS environment variable to approach the
 // paper's 67-71M-record traces.
+//
+// The grid is embarrassingly parallel (no state crosses cells, and inside a
+// cell no state crosses channels), so the runner owns an optional
+// common::ThreadPool sized by PLANARIA_THREADS: sweep() fans the cells out
+// over the pool, each cell additionally shards its simulation by channel on
+// the same pool, and the trace cache hands concurrent cells one shared
+// generation per app through std::call_once. Results are bit-identical to the
+// serial path at every thread count (tests/test_parallel.cpp holds this).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sim/simulator.hpp"
 #include "trace/apps.hpp"
 
@@ -22,21 +33,29 @@ std::uint64_t records_from_env(std::uint64_t fallback);
 
 class ExperimentRunner {
  public:
-  explicit ExperimentRunner(SimConfig config = {},
-                            std::uint64_t records = records_from_env(400000));
+  explicit ExperimentRunner(
+      SimConfig config = {},
+      std::uint64_t records = records_from_env(400000),
+      std::size_t threads = common::ThreadPool::threads_from_env(1));
 
-  /// Generated (and cached) bus trace for one paper app.
+  /// Generated (and cached) bus trace for one paper app. Thread-safe:
+  /// concurrent sweep cells block on one std::call_once generation instead of
+  /// racing to generate their own copies.
   const std::vector<trace::TraceRecord>& trace_for(const std::string& app);
 
-  /// One cell of the grid.
+  /// One cell of the grid (channel-sharded across the pool when one exists).
   SimResult run(const std::string& app, PrefetcherKind kind);
 
-  /// Runs `kinds` on every paper app. Results keyed [app][kind-name].
+  /// Runs `kinds` on every paper app, fanning the (app x kind) cells over the
+  /// thread pool when `threads > 1`. Results keyed [app][kind-name] and
+  /// bit-identical to the serial sweep at any thread count.
   std::map<std::string, std::map<std::string, SimResult>> sweep(
       const std::vector<PrefetcherKind>& kinds, bool verbose = false);
 
   const SimConfig& config() const { return config_; }
   std::uint64_t records() const { return records_; }
+  std::size_t threads() const { return pool_ ? pool_->size() : 1; }
+  common::ThreadPool* pool() { return pool_.get(); }
 
   /// Planaria table configuration used for the planaria/* kinds; mutable so
   /// ablation benches can sweep its parameters.
@@ -44,15 +63,27 @@ class ExperimentRunner {
   prefetch::BopConfig& bop_config() { return bop_; }
   prefetch::SppConfig& spp_config() { return spp_; }
 
-  void clear_trace_cache() { traces_.clear(); }
+  void clear_trace_cache();
 
  private:
+  /// Map node holding one lazily generated trace; std::map guarantees the
+  /// node (and its once_flag) stays put while cells share it.
+  struct TraceEntry {
+    std::once_flag once;
+    std::vector<trace::TraceRecord> records;
+  };
+
+  SimResult run_cell(const std::string& app, PrefetcherKind kind,
+                     const PrefetcherFactory& factory);
+
   SimConfig config_;
   std::uint64_t records_;
   core::PlanariaConfig planaria_;
   prefetch::BopConfig bop_;
   prefetch::SppConfig spp_;
-  std::map<std::string, std::vector<trace::TraceRecord>> traces_;
+  std::unique_ptr<common::ThreadPool> pool_;  ///< null when threads == 1
+  std::mutex traces_mutex_;                   ///< guards map shape only
+  std::map<std::string, TraceEntry> traces_;
 };
 
 /// Geometric-mean helper for "average over apps" rows (the paper's averages

@@ -132,9 +132,8 @@ void Simulator::process_completions(Channel& ch) {
     for (const Cycle waiter_arrival : fly.demand_waiters) {
       const Cycle dram_part =
           done.finish > waiter_arrival ? done.finish - waiter_arrival : 0;
-      demand_read_latency_sum_ +=
-          static_cast<double>(config_.sc_hit_latency + dram_part);
-      ++resolved_demand_reads_;
+      ch.acct.demand_read_latency_sum += config_.sc_hit_latency + dram_part;
+      ++ch.acct.resolved_demand_reads;
     }
 
     // A prefetch that a demand caught up with no longer counts as
@@ -161,13 +160,13 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
   const auto result = ch.sc->access(block, record.type);
 
   if (record.type == AccessType::kRead) {
-    ++demand_reads_;
+    ++ch.acct.demand_reads;
     if (result.hit) {
-      demand_read_latency_sum_ += static_cast<double>(config_.sc_hit_latency);
-      ++resolved_demand_reads_;
+      ch.acct.demand_read_latency_sum += config_.sc_hit_latency;
+      ++ch.acct.resolved_demand_reads;
     } else if (auto it = ch.in_flight.find(block); it != ch.in_flight.end()) {
       // Merge with the airborne fill (hit under miss / late prefetch).
-      if (it->second.was_prefetch) ++late_prefetch_merges_;
+      if (it->second.was_prefetch) ++ch.acct.late_prefetch_merges;
       it->second.demand_waiters.push_back(record.arrival);
     } else {
       dram::DramRequest req;
@@ -180,7 +179,7 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
           InFlight{cache::FillSource::kDemand, false, {record.arrival}});
     }
   } else {
-    ++demand_writes_;
+    ++ch.acct.demand_writes;
     if (!result.hit) {
       // Write-around: the burst goes to DRAM.
       dram::DramRequest req;
@@ -203,11 +202,11 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
   event.sc_hit = result.hit;
   event.hit_was_prefetch = result.first_use_of_prefetch;
 
-  scratch_requests_.clear();
-  ch.pf->on_demand(event, scratch_requests_);
+  ch.scratch.clear();
+  ch.pf->on_demand(event, ch.scratch);
 
   int issued_this_trigger = 0;
-  for (const auto& pf : scratch_requests_) {
+  for (const auto& pf : ch.scratch) {
     if (issued_this_trigger >= config_.max_prefetches_per_trigger) break;
     const std::uint64_t target = pf.local_block;
     if (target == block) continue;
@@ -220,7 +219,7 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
     req.tag = target;
     if (!ch.dram->submit(req)) continue;  // dropped: channel saturated
     ch.in_flight.emplace(target, InFlight{pf.source, true, {}});
-    ++prefetch_issued_;
+    ++ch.acct.prefetch_issued;
     ++issued_this_trigger;
   }
   // The per-trigger degree cap is the throttle the paper's traffic numbers
@@ -231,16 +230,57 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
                       "prefetch degree cap exceeded on one trigger");
 }
 
+void Simulator::step_channel(Channel& ch, const trace::TraceRecord& record) {
+  ch.dram->advance(record.arrival);
+  process_completions(ch);
+  handle_demand(ch, record);
+}
+
 void Simulator::step(const trace::TraceRecord& record) {
   PLANARIA_REQUIRE_MSG(kTimingMonotonicity, !finished_,
                        "step() after finish()");
   PLANARIA_REQUIRE_MSG(kTimingMonotonicity, record.arrival >= last_arrival_,
                        "trace records must be time-ordered");
   last_arrival_ = record.arrival;
-  Channel& ch = channels_[static_cast<std::size_t>(addr::channel_of(record.address))];
-  ch.dram->advance(record.arrival);
-  process_completions(ch);
-  handle_demand(ch, record);
+  step_channel(
+      channels_[static_cast<std::size_t>(addr::channel_of(record.address))],
+      record);
+}
+
+void Simulator::run_sharded(const std::vector<trace::TraceRecord>& records,
+                            common::ThreadPool* pool) {
+  PLANARIA_REQUIRE_MSG(kTimingMonotonicity, !finished_,
+                       "run_sharded() after finish()");
+  if (records.empty()) return;
+
+  // One pass replaces the per-record addr::channel_of dispatch: validate the
+  // global time order once, then split into per-channel streams. Each stream
+  // is a subsequence of a non-decreasing sequence, so per-channel
+  // monotonicity is inherited.
+  std::vector<std::vector<trace::TraceRecord>> shards(
+      static_cast<std::size_t>(kChannels));
+  for (auto& shard : shards) shard.reserve(records.size() / kChannels + 1);
+  Cycle prev = last_arrival_;
+  for (const auto& rec : records) {
+    PLANARIA_REQUIRE_MSG(kTimingMonotonicity, rec.arrival >= prev,
+                         "trace records must be time-ordered");
+    prev = rec.arrival;
+    shards[static_cast<std::size_t>(addr::channel_of(rec.address))]
+        .push_back(rec);
+  }
+  last_arrival_ = prev;
+
+  const auto run_channel = [&](std::size_t c) {
+    Channel& ch = channels_[c];
+    for (const auto& rec : shards[c]) step_channel(ch, rec);
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(static_cast<std::size_t>(kChannels), run_channel);
+  } else {
+    for (std::size_t c = 0; c < static_cast<std::size_t>(kChannels); ++c) {
+      run_channel(c);
+    }
+  }
 }
 
 SimResult Simulator::finish() {
@@ -310,18 +350,32 @@ SimResult Simulator::finish() {
     r.storage_bits += ch.pf->storage_bits();
   }
 
-  r.demand_reads = demand_reads_;
-  r.demand_writes = demand_writes_;
+  // Post-join reduction: channels may have been simulated concurrently, but
+  // the partials are merged here in channel order after the horizon sync
+  // above, and the demand accounting is integer (cycle sums, not floating
+  // point), so the result is independent of execution order.
+  Accounting total;
+  for (const auto& ch : channels_) {
+    total.demand_reads += ch.acct.demand_reads;
+    total.demand_writes += ch.acct.demand_writes;
+    total.demand_read_latency_sum += ch.acct.demand_read_latency_sum;
+    total.resolved_demand_reads += ch.acct.resolved_demand_reads;
+    total.prefetch_issued += ch.acct.prefetch_issued;
+    total.late_prefetch_merges += ch.acct.late_prefetch_merges;
+  }
+
+  r.demand_reads = total.demand_reads;
+  r.demand_writes = total.demand_writes;
   r.sc_hit_rate = demand_accesses == 0
                       ? 0.0
                       : static_cast<double>(demand_hits) /
                             static_cast<double>(demand_accesses);
-  r.amat_cycles = resolved_demand_reads_ == 0
+  r.amat_cycles = total.resolved_demand_reads == 0
                       ? 0.0
-                      : demand_read_latency_sum_ /
-                            static_cast<double>(resolved_demand_reads_);
-  r.prefetch_issued = prefetch_issued_;
-  r.late_prefetch_merges = late_prefetch_merges_;
+                      : static_cast<double>(total.demand_read_latency_sum) /
+                            static_cast<double>(total.resolved_demand_reads);
+  r.prefetch_issued = total.prefetch_issued;
+  r.late_prefetch_merges = total.late_prefetch_merges;
   r.prefetch_accuracy =
       pf_fills == 0 ? 0.0
                     : static_cast<double>(useful_pf) / static_cast<double>(pf_fills);
@@ -355,7 +409,7 @@ SimResult Simulator::finish() {
     const double amat_cpu_cycles =
         r.amat_cycles * cpu.cpu_clock_ghz / cpu.mem_clock_ghz;
     const double cycles =
-        instr * cpu.base_cpi + static_cast<double>(demand_reads_) *
+        instr * cpu.base_cpi + static_cast<double>(total.demand_reads) *
                                    amat_cpu_cycles * cpu.stall_overlap;
     r.ipc = instr / cycles;
   }
@@ -364,9 +418,10 @@ SimResult Simulator::finish() {
 
 SimResult Simulator::run(const SimConfig& config, PrefetcherFactory factory,
                          std::string prefetcher_name,
-                         const std::vector<trace::TraceRecord>& records) {
+                         const std::vector<trace::TraceRecord>& records,
+                         common::ThreadPool* pool) {
   Simulator sim(config, std::move(factory), std::move(prefetcher_name));
-  for (const auto& rec : records) sim.step(rec);
+  sim.run_sharded(records, pool);
   return sim.finish();
 }
 

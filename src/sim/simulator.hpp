@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cache/system_cache.hpp"
+#include "common/thread_pool.hpp"
 #include "core/planaria.hpp"
 #include "dram/channel.hpp"
 #include "prefetch/prefetcher.hpp"
@@ -89,13 +90,28 @@ class Simulator {
   /// Feeds one demand record; records must arrive in non-decreasing time.
   void step(const trace::TraceRecord& record);
 
+  /// Feeds a whole time-ordered trace by pre-sharding it into kChannels
+  /// per-channel record streams (channel = address bits [11:10]; no state
+  /// crosses channels) and simulating each slice independently — on `pool`
+  /// when one is supplied, serially in channel order otherwise. Because every
+  /// channel sees exactly the subsequence it would have seen through step()
+  /// and all accounting is kept per channel in integer cycles, the merged
+  /// result is bit-identical to the serial per-record dispatch in every mode
+  /// (see DESIGN.md §9). May be called repeatedly before finish().
+  void run_sharded(const std::vector<trace::TraceRecord>& records,
+                   common::ThreadPool* pool = nullptr);
+
   /// Drains all in-flight traffic and produces the aggregate result.
+  /// Per-channel partials are merged in channel order, so the reduction is
+  /// deterministic regardless of how the channels were executed.
   SimResult finish();
 
-  /// Convenience: run a whole trace front to back.
+  /// Convenience: run a whole trace front to back (sharded; parallel across
+  /// channels when `pool` is non-null and has more than one lane).
   static SimResult run(const SimConfig& config, PrefetcherFactory factory,
                        std::string prefetcher_name,
-                       const std::vector<trace::TraceRecord>& records);
+                       const std::vector<trace::TraceRecord>& records,
+                       common::ThreadPool* pool = nullptr);
 
   const cache::SystemCache& cache_slice(int channel) const;
   const prefetch::Prefetcher& prefetcher(int channel) const;
@@ -107,28 +123,37 @@ class Simulator {
     std::vector<Cycle> demand_waiters;  ///< arrival times of merged demands
   };
 
+  /// Per-channel accounting partials. Everything is an integer so the
+  /// channel-order merge in finish() is exact: summing integer cycle counts
+  /// is associative, unlike the floating-point running sum it replaces, which
+  /// is what makes sharded execution bit-identical to per-record dispatch.
+  struct Accounting {
+    std::uint64_t demand_reads = 0;
+    std::uint64_t demand_writes = 0;
+    Cycle demand_read_latency_sum = 0;  ///< integer mem cycles
+    std::uint64_t resolved_demand_reads = 0;
+    std::uint64_t prefetch_issued = 0;
+    std::uint64_t late_prefetch_merges = 0;
+  };
+
   struct Channel {
     std::unique_ptr<cache::SystemCache> sc;
     std::unique_ptr<prefetch::Prefetcher> pf;
     std::unique_ptr<dram::DramChannel> dram;
     std::unordered_map<std::uint64_t, InFlight> in_flight;  ///< by local block
+    Accounting acct;
+    std::vector<prefetch::PrefetchRequest> scratch;  ///< per-channel: shards
+                                                     ///< run concurrently
   };
 
   void process_completions(Channel& ch);
   void handle_demand(Channel& ch, const trace::TraceRecord& record);
+  void step_channel(Channel& ch, const trace::TraceRecord& record);
 
   SimConfig config_;
   std::string name_;
   std::vector<Channel> channels_;
-  std::vector<prefetch::PrefetchRequest> scratch_requests_;
 
-  // Aggregate accounting.
-  std::uint64_t demand_reads_ = 0;
-  std::uint64_t demand_writes_ = 0;
-  double demand_read_latency_sum_ = 0.0;
-  std::uint64_t resolved_demand_reads_ = 0;
-  std::uint64_t prefetch_issued_ = 0;
-  std::uint64_t late_prefetch_merges_ = 0;
   Cycle last_arrival_ = 0;
   bool finished_ = false;
 };

@@ -421,4 +421,19 @@ std::vector<TraceRecord> generate_app_trace(const AppProfile& app,
   return merge_sorted(streams);
 }
 
+std::vector<std::vector<TraceRecord>> generate_app_traces(
+    const std::vector<AppProfile>& apps, std::uint64_t records,
+    common::ThreadPool* pool) {
+  std::vector<std::vector<TraceRecord>> out(apps.size());
+  const auto generate = [&](std::size_t i) {
+    out[i] = generate_app_trace(apps[i], records);
+  };
+  if (pool != nullptr && pool->size() > 1 && apps.size() > 1) {
+    pool->parallel_for(apps.size(), generate);
+  } else {
+    for (std::size_t i = 0; i < apps.size(); ++i) generate(i);
+  }
+  return out;
+}
+
 }  // namespace planaria::trace

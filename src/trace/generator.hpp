@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "trace/record.hpp"
 
@@ -133,8 +134,17 @@ struct AppProfile {
 };
 
 /// Generates a complete merged bus trace of `records` entries for `app`.
-/// Throws std::invalid_argument on non-positive weights/records.
+/// Throws std::invalid_argument on non-positive weights/records. Pure: all
+/// RNG state is derived locally from app.seed, so concurrent calls are safe
+/// and output depends only on (app, records).
 std::vector<TraceRecord> generate_app_trace(const AppProfile& app,
                                             std::uint64_t records);
+
+/// Generates one trace per profile, in profile order, fanning the
+/// per-profile generation out over `pool` when one is supplied (each profile
+/// seeds its own RNGs, so the result is identical at any thread count).
+std::vector<std::vector<TraceRecord>> generate_app_traces(
+    const std::vector<AppProfile>& apps, std::uint64_t records,
+    common::ThreadPool* pool = nullptr);
 
 }  // namespace planaria::trace

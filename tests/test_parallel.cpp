@@ -1,0 +1,286 @@
+// Parallel execution engine tests.
+//
+// The contract the sweep engine sells is not "roughly the same results,
+// faster" but *bit-identical* results at every thread count: the trace is
+// sharded by channel (a pure function of address bits [11:10]), no simulator
+// state crosses channels, and every merged quantity is either integer or
+// reduced in fixed channel order. These tests hold that contract for every
+// registered prefetcher kind, and cover the thread pool primitive itself plus
+// the PLANARIA_THREADS validation and the contract-counter atomicity the
+// concurrent paths rely on. Run them under PLANARIA_SANITIZE=thread to let
+// TSan vet the synchronization.
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/contract.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "trace/apps.hpp"
+#include "trace/generator.hpp"
+
+namespace planaria {
+namespace {
+
+using common::ThreadPool;
+
+// ---------------------------------------------------------------------------
+// Thread pool unit tests
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, StartupAndShutdownAcrossSizes) {
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+  }  // destructor joins cleanly with no tasks ever submitted
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool pool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(3);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForZeroTasksIsANoOp) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "body ran for n == 0"; });
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("unlucky");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must survive a failed batch.
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Mirrors the sweep shape: grid cells fan out on the pool and each cell
+  // shards its channels on the same pool. The caller-participation design
+  // must drain the inner batches even when every worker is busy.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { leaves.fetch_add(1); });
+  });
+  EXPECT_EQ(leaves.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// PLANARIA_THREADS validation
+// ---------------------------------------------------------------------------
+
+class ThreadsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prior = std::getenv("PLANARIA_THREADS");
+    if (prior != nullptr) saved_ = prior;
+    unsetenv("PLANARIA_THREADS");
+  }
+  void TearDown() override {
+    if (saved_.empty()) {
+      unsetenv("PLANARIA_THREADS");
+    } else {
+      setenv("PLANARIA_THREADS", saved_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST_F(ThreadsEnvTest, UnsetAndEmptyFallBack) {
+  EXPECT_EQ(ThreadPool::threads_from_env(3), 3u);
+  setenv("PLANARIA_THREADS", "", 1);
+  EXPECT_EQ(ThreadPool::threads_from_env(5), 5u);
+}
+
+TEST_F(ThreadsEnvTest, ParsesValidCounts) {
+  setenv("PLANARIA_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::threads_from_env(7), 1u);
+  setenv("PLANARIA_THREADS", "16", 1);
+  EXPECT_EQ(ThreadPool::threads_from_env(7), 16u);
+}
+
+TEST_F(ThreadsEnvTest, RejectsMalformedValues) {
+  for (const char* bad : {"0", "abc", "12x", "4.5", "-4", "999999999"}) {
+    setenv("PLANARIA_THREADS", bad, 1);
+    EXPECT_THROW(ThreadPool::threads_from_env(1), std::invalid_argument)
+        << "accepted PLANARIA_THREADS=" << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contract counters under concurrency (the PR 1 atomics, exercised in anger)
+// ---------------------------------------------------------------------------
+
+TEST(ContractConcurrency, CountersAreExactUnderParallelViolations) {
+  check::CountingScope scope;
+  check::reset_violations();
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 2000;
+  pool.parallel_for(kN, [](std::size_t) {
+    PLANARIA_INVARIANT_MSG(kTableOccupancy, false,
+                           "deliberate violation for the concurrency test");
+  });
+  EXPECT_EQ(check::violation_count(check::Category::kTableOccupancy), kN);
+  EXPECT_EQ(check::total_violations(), kN);
+  check::reset_violations();
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical simulation results
+// ---------------------------------------------------------------------------
+
+/// Field-by-field exact comparison; doubles compared with == on purpose —
+/// the determinism contract is bit-identity, not tolerance.
+void expect_bit_identical(const sim::SimResult& a, const sim::SimResult& b,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.prefetcher, b.prefetcher);
+  EXPECT_EQ(a.demand_reads, b.demand_reads);
+  EXPECT_EQ(a.demand_writes, b.demand_writes);
+  EXPECT_EQ(a.amat_cycles, b.amat_cycles);
+  EXPECT_EQ(a.sc_hit_rate, b.sc_hit_rate);
+  EXPECT_EQ(a.prefetch_accuracy, b.prefetch_accuracy);
+  EXPECT_EQ(a.prefetch_coverage, b.prefetch_coverage);
+  EXPECT_EQ(a.prefetch_issued, b.prefetch_issued);
+  EXPECT_EQ(a.prefetch_dropped, b.prefetch_dropped);
+  EXPECT_EQ(a.dram_reads, b.dram_reads);
+  EXPECT_EQ(a.dram_writes, b.dram_writes);
+  EXPECT_EQ(a.dram_traffic_blocks, b.dram_traffic_blocks);
+  EXPECT_EQ(a.dram_power_mw, b.dram_power_mw);
+  EXPECT_EQ(a.sram_power_mw, b.sram_power_mw);
+  EXPECT_EQ(a.total_power_mw, b.total_power_mw);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.hits_on_slp, b.hits_on_slp);
+  EXPECT_EQ(a.hits_on_tlp, b.hits_on_tlp);
+  EXPECT_EQ(a.hits_on_other_pf, b.hits_on_other_pf);
+  EXPECT_EQ(a.pollution_misses, b.pollution_misses);
+  EXPECT_EQ(a.slp_issues, b.slp_issues);
+  EXPECT_EQ(a.tlp_issues, b.tlp_issues);
+  EXPECT_EQ(a.late_prefetch_merges, b.late_prefetch_merges);
+  EXPECT_EQ(a.data_bus_utilization, b.data_bus_utilization);
+  EXPECT_EQ(a.storage_bits, b.storage_bits);
+}
+
+std::vector<trace::TraceRecord> test_trace(std::uint64_t records) {
+  return trace::generate_app_trace(trace::paper_apps().front(), records);
+}
+
+TEST(ParallelSimulation, ShardedRunMatchesStepLoopForAllKinds) {
+  const auto records = test_trace(30000);
+  ThreadPool pool(4);
+  for (sim::PrefetcherKind kind : sim::all_prefetcher_kinds()) {
+    const char* name = sim::prefetcher_kind_name(kind);
+
+    // Reference: the incremental per-record dispatch through the public
+    // step() API, the original serial execution model.
+    sim::Simulator serial(sim::SimConfig{}, sim::make_prefetcher_factory(kind),
+                          name);
+    for (const auto& rec : records) serial.step(rec);
+    const sim::SimResult expected = serial.finish();
+
+    const sim::SimResult sharded = sim::Simulator::run(
+        sim::SimConfig{}, sim::make_prefetcher_factory(kind), name, records);
+    expect_bit_identical(expected, sharded, std::string(name) + " sharded");
+
+    const sim::SimResult parallel =
+        sim::Simulator::run(sim::SimConfig{}, sim::make_prefetcher_factory(kind),
+                            name, records, &pool);
+    expect_bit_identical(expected, parallel, std::string(name) + " parallel");
+  }
+}
+
+TEST(ParallelSimulation, RepeatedParallelRunsAreStable) {
+  // Scheduling nondeterminism must never leak into results: run the same
+  // configuration several times on a pool and demand identical output.
+  const auto records = test_trace(20000);
+  ThreadPool pool(4);
+  const auto factory = [] {
+    return sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria);
+  };
+  const sim::SimResult first =
+      sim::Simulator::run(sim::SimConfig{}, factory(), "planaria", records, &pool);
+  for (int i = 0; i < 3; ++i) {
+    const sim::SimResult again = sim::Simulator::run(
+        sim::SimConfig{}, factory(), "planaria", records, &pool);
+    expect_bit_identical(first, again, "repeat " + std::to_string(i));
+  }
+}
+
+TEST(ParallelSweep, MatchesSerialSweepBitForBit) {
+  const std::vector<sim::PrefetcherKind> kinds = {
+      sim::PrefetcherKind::kNone, sim::PrefetcherKind::kBop,
+      sim::PrefetcherKind::kPlanaria};
+  sim::ExperimentRunner serial(sim::SimConfig{}, 15000, 1);
+  sim::ExperimentRunner parallel(sim::SimConfig{}, 15000, 4);
+  EXPECT_EQ(serial.threads(), 1u);
+  EXPECT_EQ(parallel.threads(), 4u);
+
+  const auto a = serial.sweep(kinds);
+  const auto b = parallel.sweep(kinds);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [app, per_kind] : a) {
+    ASSERT_TRUE(b.count(app)) << app;
+    ASSERT_EQ(per_kind.size(), b.at(app).size());
+    for (const auto& [kind_name, result] : per_kind) {
+      ASSERT_TRUE(b.at(app).count(kind_name)) << app << "/" << kind_name;
+      expect_bit_identical(result, b.at(app).at(kind_name),
+                           app + "/" + kind_name);
+    }
+  }
+}
+
+TEST(ParallelSweep, SharedTraceCacheGeneratesOncePerApp) {
+  // trace_for from many threads must hand back the same generated trace
+  // object (one call_once generation per app, no racing copies).
+  sim::ExperimentRunner runner(sim::SimConfig{}, 5000, 4);
+  const std::string app = trace::app_names().front();
+  std::vector<const std::vector<trace::TraceRecord>*> seen(16, nullptr);
+  runner.pool()->parallel_for(seen.size(), [&](std::size_t i) {
+    seen[i] = &runner.trace_for(app);
+  });
+  for (const auto* p : seen) EXPECT_EQ(p, seen.front());
+  EXPECT_EQ(seen.front()->size(), 5000u);
+}
+
+TEST(ParallelSimulation, RunnerRejectsZeroThreads) {
+  EXPECT_THROW(sim::ExperimentRunner(sim::SimConfig{}, 1000, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace planaria

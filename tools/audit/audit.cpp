@@ -13,7 +13,10 @@
 //   3. Replay audit: runs every kind over randomized synthetic traces with
 //      all contracts armed in log-and-count mode; any violation anywhere in
 //      the FT/AT/PHT pipeline, the RPT, the coordinator, the cache, or the
-//      DRAM timing model fails the gate.
+//      DRAM timing model fails the gate. Each replay also runs on the
+//      channel-sharded parallel path (4-lane thread pool) and must produce a
+//      bit-identical SimResult — the parallel engine's determinism contract
+//      is part of the gate.
 //
 // Exit codes: 0 = clean, 1 = an audit check failed, 2 = self-test failed.
 
@@ -24,6 +27,7 @@
 
 #include "check/contract.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "core/storage.hpp"
 #include "core/storage_layout.hpp"
 #include "sim/simulator.hpp"
@@ -54,6 +58,32 @@ bool expect(bool ok, const std::string& what) {
 /// reproduction configuration lands a few percent under it, and a config
 /// drifting past this bound has outgrown the hardware the paper costed.
 constexpr double kBudgetSlack = 1.05;
+
+/// Exact (bit-identical) SimResult comparison for the parallel replay stage.
+/// Doubles are compared with == on purpose: the parallel engine's contract is
+/// bit-identity with the serial path, not numeric tolerance.
+bool results_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  return a.prefetcher == b.prefetcher && a.demand_reads == b.demand_reads &&
+         a.demand_writes == b.demand_writes && a.amat_cycles == b.amat_cycles &&
+         a.sc_hit_rate == b.sc_hit_rate &&
+         a.prefetch_accuracy == b.prefetch_accuracy &&
+         a.prefetch_coverage == b.prefetch_coverage &&
+         a.prefetch_issued == b.prefetch_issued &&
+         a.prefetch_dropped == b.prefetch_dropped &&
+         a.dram_reads == b.dram_reads && a.dram_writes == b.dram_writes &&
+         a.dram_traffic_blocks == b.dram_traffic_blocks &&
+         a.dram_power_mw == b.dram_power_mw &&
+         a.sram_power_mw == b.sram_power_mw &&
+         a.total_power_mw == b.total_power_mw && a.ipc == b.ipc &&
+         a.elapsed == b.elapsed && a.hits_on_slp == b.hits_on_slp &&
+         a.hits_on_tlp == b.hits_on_tlp &&
+         a.hits_on_other_pf == b.hits_on_other_pf &&
+         a.pollution_misses == b.pollution_misses &&
+         a.slp_issues == b.slp_issues && a.tlp_issues == b.tlp_issues &&
+         a.late_prefetch_merges == b.late_prefetch_merges &&
+         a.data_bus_utilization == b.data_bus_utilization &&
+         a.storage_bits == b.storage_bits;
+}
 
 /// The storage contract applied to one configuration: the field-by-field
 /// breakdown must equal the component accounting bit for bit, and the
@@ -189,9 +219,15 @@ void replay_audit(std::uint64_t records, std::uint64_t seed) {
   fuzz.footprint.mutate_p = 0.3;
   fuzz.neighbor.new_page_rate = 0.8;
 
-  const trace::AppProfile profiles[] = {trace::paper_apps().front(), fuzz};
-  for (const auto& app : profiles) {
-    const auto trace_records = trace::generate_app_trace(app, records);
+  const std::vector<trace::AppProfile> profiles = {trace::paper_apps().front(),
+                                                   fuzz};
+  planaria::common::ThreadPool pool(4);
+  // Profile-level parallel generation (deterministic: each profile owns its
+  // seeds); also exercises the generator under the pool for the TSan build.
+  const auto traces = trace::generate_app_traces(profiles, records, &pool);
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const auto& app = profiles[p];
+    const auto& trace_records = traces[p];
     for (sim::PrefetcherKind kind : sim::all_prefetcher_kinds()) {
       const std::uint64_t before = check::total_violations();
       const auto result =
@@ -201,6 +237,17 @@ void replay_audit(std::uint64_t records, std::uint64_t seed) {
                  result.demand_reads + result.demand_writes ==
                      trace_records.size(),
              app.name + " x " + result.prefetcher + ": replay clean");
+
+      // Parallel path: same trace through the channel-sharded engine on a
+      // thread pool must replay clean AND bit-identical to the serial run.
+      const std::uint64_t before_par = check::total_violations();
+      const auto par = sim::Simulator::run(
+          sim::SimConfig{}, sim::make_prefetcher_factory(kind),
+          sim::prefetcher_kind_name(kind), trace_records, &pool);
+      expect(check::total_violations() == before_par &&
+                 results_identical(result, par),
+             app.name + " x " + result.prefetcher +
+                 ": parallel replay clean and bit-identical");
     }
   }
 
