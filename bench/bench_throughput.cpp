@@ -60,7 +60,14 @@ bool bit_identical(const sim::SimResult& a, const sim::SimResult& b) {
          a.slp_issues == b.slp_issues && a.tlp_issues == b.tlp_issues &&
          a.late_prefetch_merges == b.late_prefetch_merges &&
          a.data_bus_utilization == b.data_bus_utilization &&
-         a.storage_bits == b.storage_bits;
+         a.storage_bits == b.storage_bits &&
+         a.fault_injected_total == b.fault_injected_total &&
+         a.fault_trace_corruptions == b.fault_trace_corruptions &&
+         a.fault_slp_flips == b.fault_slp_flips &&
+         a.fault_tlp_flips == b.fault_tlp_flips &&
+         a.fault_prefetch_drops == b.fault_prefetch_drops &&
+         a.fault_prefetch_delays == b.fault_prefetch_delays &&
+         a.fault_dram_stalls == b.fault_dram_stalls;
 }
 
 }  // namespace

@@ -7,9 +7,13 @@
 #   3. audit    — planaria-audit invariant gate (from the sanitizer build, so
 #                 the replay stage runs instrumented; includes the serial-vs-
 #                 parallel bit-identity replay)
-#   4. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
+#   4. chaos    — planaria-audit --stage chaos: every (app x kind) cell under
+#                 each fault class with contracts in recover mode; exits
+#                 nonzero on any abort or injected-vs-recovered counter
+#                 mismatch
+#   5. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
 #                 PLANARIA_THREADS pool
-#   5. tidy     — clang-tidy over src/ against the compilation database
+#   6. tidy     — clang-tidy over src/ against the compilation database
 #                 (skipped with a notice if clang-tidy is not installed)
 #
 # Usage: scripts/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-tidy]
@@ -44,13 +48,17 @@ if [[ "$SKIP_SANITIZE" -eq 0 ]]; then
     -DPLANARIA_SANITIZE=address,undefined >/dev/null
   cmake --build build-sanitize -j "$JOBS"
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
-
-  step "audit: planaria-audit (sanitized)"
-  ./build-sanitize/tools/planaria-audit
+  AUDIT=./build-sanitize/tools/planaria-audit
 else
-  step "audit: planaria-audit (release; sanitize skipped)"
-  ./build-release/tools/planaria-audit
+  AUDIT=./build-release/tools/planaria-audit
 fi
+
+step "audit: planaria-audit static + replay ($AUDIT)"
+"$AUDIT" --stage static
+"$AUDIT" --stage replay
+
+step "chaos: planaria-audit fault-injection gate"
+"$AUDIT" --stage chaos
 
 if [[ "$SKIP_TSAN" -eq 0 ]]; then
   step "tsan: thread-pooled sweep tests under ThreadSanitizer"

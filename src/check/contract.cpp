@@ -9,8 +9,10 @@ namespace planaria::check {
 namespace {
 
 std::atomic<std::uint64_t> g_counts[kCategoryCount];
+std::atomic<std::uint64_t> g_recoveries[kCategoryCount];
 std::atomic<Mode> g_mode{Mode::kAbort};
 std::atomic<Handler> g_handler{nullptr};
+std::atomic<RecoveryHook> g_recovery_hooks[kCategoryCount];
 
 /// The counting handler stays quiet after this many logged violations so a
 /// fuzz run with a systematic bug does not drown its own output.
@@ -57,12 +59,35 @@ void set_handler(Handler handler) {
 
 Handler handler() { return g_handler.load(std::memory_order_relaxed); }
 
+void set_recovery_hook(Category category, RecoveryHook hook) {
+  const auto i = static_cast<int>(category);
+  if (i < 0 || i >= kCategoryCount) return;
+  g_recovery_hooks[i].store(hook, std::memory_order_relaxed);
+}
+
+RecoveryHook recovery_hook(Category category) {
+  const auto i = static_cast<int>(category);
+  if (i < 0 || i >= kCategoryCount) return nullptr;
+  return g_recovery_hooks[i].load(std::memory_order_relaxed);
+}
+
 CountingScope::CountingScope() : saved_mode_(mode()), saved_handler_(handler()) {
   set_handler(nullptr);
   set_mode(Mode::kCount);
 }
 
 CountingScope::~CountingScope() {
+  set_mode(saved_mode_);
+  set_handler(saved_handler_);
+}
+
+RecoveryScope::RecoveryScope()
+    : saved_mode_(mode()), saved_handler_(handler()) {
+  set_handler(nullptr);
+  set_mode(Mode::kRecover);
+}
+
+RecoveryScope::~RecoveryScope() {
   set_mode(saved_mode_);
   set_handler(saved_handler_);
 }
@@ -84,6 +109,22 @@ void reset_violations() {
   g_logged.store(0, std::memory_order_relaxed);
 }
 
+std::uint64_t recovery_count(Category category) {
+  const auto i = static_cast<int>(category);
+  if (i < 0 || i >= kCategoryCount) return 0;
+  return g_recoveries[i].load(std::memory_order_relaxed);
+}
+
+std::uint64_t total_recoveries() {
+  std::uint64_t total = 0;
+  for (const auto& c : g_recoveries) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void reset_recoveries() {
+  for (auto& c : g_recoveries) c.store(0, std::memory_order_relaxed);
+}
+
 void export_violations(StatSet& stats) {
   for (int i = 0; i < kCategoryCount; ++i) {
     const auto category = static_cast<Category>(i);
@@ -91,6 +132,16 @@ void export_violations(StatSet& stats) {
                                category_name(category));
     c.reset();
     c.add(violation_count(category));
+  }
+}
+
+void export_recoveries(StatSet& stats) {
+  for (int i = 0; i < kCategoryCount; ++i) {
+    const auto category = static_cast<Category>(i);
+    Counter& c = stats.counter(std::string("contract.recoveries.") +
+                               category_name(category));
+    c.reset();
+    c.add(recovery_count(category));
   }
 }
 
@@ -108,7 +159,23 @@ void report(Category category, Kind kind, const char* expr, const char* file,
     h(v);
     return;
   }
-  if (mode() == Mode::kCount) {
+  const Mode m = mode();
+  if (m == Mode::kRecover) {
+    if (i >= 0 && i < kCategoryCount) {
+      g_recoveries[i].fetch_add(1, std::memory_order_relaxed);
+      if (RecoveryHook hook =
+              g_recovery_hooks[i].load(std::memory_order_relaxed);
+          hook != nullptr) {
+        hook(v);
+      }
+    }
+    if (g_logged.fetch_add(1, std::memory_order_relaxed) <
+        kMaxLoggedViolations) {
+      print_violation(v);
+    }
+    return;
+  }
+  if (m == Mode::kCount) {
     if (g_logged.fetch_add(1, std::memory_order_relaxed) <
         kMaxLoggedViolations) {
       print_violation(v);

@@ -15,8 +15,13 @@
 // integer compares, same policy as PLANARIA_ASSERT). The default handler
 // prints and aborts; fuzz/audit runs install the counting handler instead,
 // which logs the first few violations and keeps per-category counters that
-// `planaria-audit` and tests inspect. Counters are exported through
-// common/stats so a violation tally can ride along any stat dump.
+// `planaria-audit` and tests inspect. A third policy, kRecover, additionally
+// tallies a per-category recovery counter and notifies an optional recovery
+// hook, then returns so the call site's repair path runs (clamp a regressed
+// clock, drop a corrupted table entry, skip a malformed request) — this is
+// the graceful-degradation mode the fault-injection harness (src/fault,
+// DESIGN.md §10) runs under. Counters are exported through common/stats so a
+// violation tally can ride along any stat dump.
 //
 // Concurrency contract: the parallel sweep engine (common/thread_pool,
 // sim/experiment) fires contracts from many threads at once, and this layer
@@ -67,6 +72,9 @@ struct Violation {
 enum class Mode : std::uint8_t {
   kAbort = 0,  ///< print and abort (default; a violation is a bug)
   kCount,      ///< log the first few, keep counting, continue (fuzz/audit)
+  kRecover,    ///< count, bump the recovery tally, notify the per-category
+               ///< recovery hook, continue — the call site repairs locally
+               ///< (clamp the clock, drop the entry, skip the request)
 };
 
 void set_mode(Mode mode);
@@ -79,6 +87,16 @@ Mode mode();
 using Handler = void (*)(const Violation&);
 void set_handler(Handler handler);
 Handler handler();
+
+/// Observability hook for kRecover mode: called once per recovered violation
+/// of its category, after the violation and recovery counters update. The
+/// hook must be thread-safe (violations fire from pooled channel tasks) and
+/// must not throw. Structural repair itself happens at the call site, which
+/// is the only place with access to the offending entry; the hook exists so
+/// harnesses can trace or veto-log recoveries centrally.
+using RecoveryHook = void (*)(const Violation&);
+void set_recovery_hook(Category category, RecoveryHook hook);
+RecoveryHook recovery_hook(Category category);
 
 /// Scoped arming of the counting mode, restoring the previous mode/handler on
 /// destruction; used by the audit replay and the contract tests.
@@ -94,13 +112,38 @@ class CountingScope {
   Handler saved_handler_;
 };
 
+/// Scoped arming of kRecover — violations are counted, recoveries tallied,
+/// and execution continues through the call sites' repair paths. Used by the
+/// audit chaos stage and the fault-injection tests.
+class RecoveryScope {
+ public:
+  RecoveryScope();
+  ~RecoveryScope();
+  RecoveryScope(const RecoveryScope&) = delete;
+  RecoveryScope& operator=(const RecoveryScope&) = delete;
+
+ private:
+  Mode saved_mode_;
+  Handler saved_handler_;
+};
+
 std::uint64_t violation_count(Category category);
 std::uint64_t total_violations();
 void reset_violations();
 
+/// Recoveries performed per category (kRecover mode only). A healthy
+/// fault-injection run keeps recovery_count == violation_count for every
+/// category the armed fault class manifests through.
+std::uint64_t recovery_count(Category category);
+std::uint64_t total_recoveries();
+void reset_recoveries();
+
 /// Mirrors the per-category counters into `stats` as absolute values under
 /// "contract.violations.<category>", so a stat dump carries the tally.
 void export_violations(StatSet& stats);
+
+/// Same for recoveries, under "contract.recoveries.<category>".
+void export_recoveries(StatSet& stats);
 
 namespace detail {
 

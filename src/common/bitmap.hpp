@@ -43,6 +43,10 @@ class BlockBitmap {
     PLANARIA_ASSERT(i >= 0 && i < N);
     return (bits_ >> i) & 1u;
   }
+  constexpr void flip(int i) {
+    PLANARIA_ASSERT(i >= 0 && i < N);
+    bits_ ^= Word{1} << i;
+  }
   constexpr void reset() { bits_ = 0; }
 
   constexpr int popcount() const { return std::popcount(bits_); }

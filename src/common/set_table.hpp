@@ -113,6 +113,14 @@ class SetAssocTable {
     }
   }
 
+  /// Raw slot access for fault injection and diagnostics: the payload stored
+  /// in slot `i` (0..capacity()), or nullptr when that slot is invalid. Does
+  /// not touch LRU state — a corrupted entry must not look recently used.
+  Payload* payload_at(std::size_t i) {
+    PLANARIA_ASSERT(i < entries_.size());
+    return entries_[i].valid ? &entries_[i].payload : nullptr;
+  }
+
   /// Removes entries matching pred and hands them to on_evict. O(capacity);
   /// callers amortize by sweeping periodically.
   template <typename Pred, typename OnEvict>

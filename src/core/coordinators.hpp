@@ -41,6 +41,11 @@ class SerialComposite final : public prefetch::Prefetcher {
   const char* name() const override { return "serial-composite"; }
   std::uint64_t storage_bits() const override;
 
+  void set_fault_injector(fault::FaultInjector* injector) override {
+    slp_.set_fault_injector(injector);
+    tlp_.set_fault_injector(injector);
+  }
+
   bool slp_active() const { return slp_active_; }
   std::uint64_t switches() const { return switches_; }
 
@@ -73,6 +78,11 @@ class ParallelComposite final : public prefetch::Prefetcher {
                  std::vector<prefetch::PrefetchRequest>& out) override;
   const char* name() const override { return "parallel-composite"; }
   std::uint64_t storage_bits() const override;
+
+  void set_fault_injector(fault::FaultInjector* injector) override {
+    slp_.set_fault_injector(injector);
+    tlp_.set_fault_injector(injector);
+  }
 
  private:
   ParallelCoordinatorConfig config_;

@@ -34,17 +34,20 @@ void PlanariaPrefetcher::on_demand(const prefetch::DemandEvent& event,
 
   // "Parallel training, serial issuing": SLP issues exactly when it holds
   // history for the page; TLP is consulted only on SLP's abstention; and
-  // every trigger takes exactly one of the three dispositions.
-  const bool slp_has_history =
-      config_.enable_slp && slp_.has_pattern(event.page);
+  // every trigger takes exactly one of the three dispositions. has_pattern is
+  // re-queried AFTER each issue() call, not cached before: under fault
+  // injection SLP's issue() may recover from a corrupted PT entry by erasing
+  // it and abstaining, and a pre-issue snapshot would then fire the TLP-branch
+  // ENSURE on a trigger that was handled correctly.
   const std::size_t out_before = out.size();
 
   if (config_.enable_slp && slp_.issue(event, out)) {
-    PLANARIA_ENSURE_MSG(kCoordinatorExclusivity, slp_has_history,
+    PLANARIA_ENSURE_MSG(kCoordinatorExclusivity, slp_.has_pattern(event.page),
                         "SLP issued without history for the trigger page");
     ++stats_.slp_issues;
   } else if (config_.enable_tlp && tlp_.issue(event, out)) {
-    PLANARIA_ENSURE_MSG(kCoordinatorExclusivity, !slp_has_history,
+    PLANARIA_ENSURE_MSG(kCoordinatorExclusivity,
+                        !config_.enable_slp || !slp_.has_pattern(event.page),
                         "TLP issued on a trigger SLP was entitled to");
     ++stats_.tlp_issues;
   } else {

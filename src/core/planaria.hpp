@@ -49,6 +49,11 @@ class PlanariaPrefetcher final : public prefetch::Prefetcher {
   const char* name() const override;
   std::uint64_t storage_bits() const override;
 
+  void set_fault_injector(fault::FaultInjector* injector) override {
+    slp_.set_fault_injector(injector);
+    tlp_.set_fault_injector(injector);
+  }
+
   const Slp& slp() const { return slp_; }
   const Tlp& tlp() const { return tlp_; }
   const PlanariaStats& stats() const { return stats_; }

@@ -5,6 +5,7 @@
 #include "check/contract.hpp"
 #include "common/assert.hpp"
 #include "core/storage_layout.hpp"
+#include "fault/fault.hpp"
 
 namespace planaria::core {
 
@@ -67,7 +68,28 @@ void Slp::sweep_timeouts(Cycle now) {
       });
 }
 
+void Slp::maybe_inject_fault() {
+  if (fault_ == nullptr || !fault_->roll(fault::FaultClass::kSlpPatternFlip)) {
+    return;
+  }
+  // Flip one bit in a random resident PT pattern. The scan wraps from a
+  // random start so every resident entry is equally likely over time; an
+  // empty PT simply means the roll applied to nothing and is not recorded.
+  Rng& rng = fault_->rng(fault::FaultClass::kSlpPatternFlip);
+  const std::size_t cap = pt_.capacity();
+  const std::size_t start = static_cast<std::size_t>(rng.next_below(cap));
+  for (std::size_t k = 0; k < cap; ++k) {
+    const std::size_t i = (start + k) % cap;
+    if (SegmentBitmap* pattern = pt_.payload_at(i); pattern != nullptr) {
+      pattern->flip(static_cast<int>(rng.next_below(kBlocksPerSegment)));
+      fault_->record(fault::FaultClass::kSlpPatternFlip);
+      return;
+    }
+  }
+}
+
 void Slp::learn(const prefetch::DemandEvent& event) {
+  maybe_inject_fault();
   PLANARIA_REQUIRE_MSG(kTableOccupancy,
                        event.block_in_segment >= 0 &&
                            event.block_in_segment < kBlocksPerSegment,
@@ -143,6 +165,18 @@ bool Slp::issue(const prefetch::DemandEvent& event,
                 std::vector<prefetch::PrefetchRequest>& out) {
   SegmentBitmap* pattern = pt_.find(event.page);
   if (pattern == nullptr) return false;
+  // transfer_to_pt never stores a pattern below the promotion threshold, so a
+  // sub-threshold pattern here means the entry was corrupted after learning
+  // (fault injection, or a real soft error the model emulates). Recovery:
+  // drop the entry — it carries too little signal to act on — and decline the
+  // trigger so the coordinator falls through to TLP or nothing.
+  const int pop = pattern->popcount();
+  PLANARIA_INVARIANT_MSG(kTableOccupancy, pop >= config_.promote_threshold,
+                         "PT pattern below promotion threshold (corrupted entry)");
+  if (pop < config_.promote_threshold) {
+    pt_.erase(event.page);
+    return false;
+  }
   ++stats_.issue_triggers;
 
   // Prefetch every pattern block except those this visit already touched

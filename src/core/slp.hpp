@@ -80,6 +80,12 @@ class Slp {
   const SlpStats& stats() const { return stats_; }
   const SlpConfig& config() const { return config_; }
 
+  /// Attaches a fault injector (src/fault): each learn() call may flip one
+  /// bit in a random resident PT pattern, modelling a metadata soft error.
+  /// nullptr (the default) disables injection with zero overhead on the
+  /// learn path beyond one pointer test.
+  void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
+
  private:
   struct FtEntry {
     std::uint8_t offsets[3] = {0, 0, 0};  ///< first distinct offsets seen
@@ -93,6 +99,7 @@ class Slp {
 
   void transfer_to_pt(PageNumber page, const SegmentBitmap& bitmap);
   void sweep_timeouts(Cycle now);
+  void maybe_inject_fault();
 
   SlpConfig config_;
   SetAssocTable<PageNumber, FtEntry> ft_;
@@ -100,6 +107,7 @@ class Slp {
   SetAssocTable<PageNumber, SegmentBitmap> pt_;
   SlpStats stats_;
   std::uint64_t accesses_since_sweep_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace planaria::core

@@ -5,6 +5,7 @@
 #include "check/contract.hpp"
 #include "common/assert.hpp"
 #include "core/storage_layout.hpp"
+#include "fault/fault.hpp"
 
 namespace planaria::core {
 
@@ -98,7 +99,28 @@ bool Tlp::ref_matrix_consistent() const {
   return true;
 }
 
+void Tlp::maybe_inject_fault() {
+  if (fault_ == nullptr || !fault_->roll(fault::FaultClass::kTlpPatternFlip)) {
+    return;
+  }
+  // Flip one recent-access bitmap bit in a random resident RPT entry (wrap
+  // scan from a random start). Only the bitmap is touched: a flipped bit
+  // perturbs similarity scoring and the transferred pattern, which is the
+  // failure mode of interest, while the Ref matrix stays consistent.
+  Rng& rng = fault_->rng(fault::FaultClass::kTlpPatternFlip);
+  const std::size_t n = entries_.size();
+  const std::size_t start = static_cast<std::size_t>(rng.next_below(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (start + k) % n;
+    if (!entries_[i].valid) continue;
+    entries_[i].bitmap.flip(static_cast<int>(rng.next_below(kBlocksPerSegment)));
+    fault_->record(fault::FaultClass::kTlpPatternFlip);
+    return;
+  }
+}
+
 void Tlp::learn(const prefetch::DemandEvent& event) {
+  maybe_inject_fault();
   PLANARIA_REQUIRE_MSG(kTableOccupancy,
                        event.block_in_segment >= 0 &&
                            event.block_in_segment < kBlocksPerSegment,

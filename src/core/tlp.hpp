@@ -63,6 +63,13 @@ class Tlp {
   /// Test hook: the bitmap currently recorded for `page`, if resident.
   const SegmentBitmap* bitmap_of(PageNumber page) const;
 
+  /// Attaches a fault injector (src/fault): each learn() call may flip one
+  /// recent-access bitmap bit in a random resident RPT entry. Ref bits are
+  /// deliberately out of scope — the Ref matrix has its own consistency
+  /// DASSERT and repairing it would require a full rebuild, not a local
+  /// recovery. nullptr (the default) disables injection.
+  void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
+
  private:
   struct RptEntry {
     PageNumber page = 0;
@@ -74,6 +81,7 @@ class Tlp {
 
   int find_slot(PageNumber page) const;
   int allocate(PageNumber page);
+  void maybe_inject_fault();
 
   /// Debug-only structural check: the Ref matrix is symmetric, irreflexive,
   /// and only links valid entries. O(N^2); used under PLANARIA_DASSERT.
@@ -83,6 +91,7 @@ class Tlp {
   std::vector<RptEntry> entries_;
   std::uint64_t tick_ = 0;
   TlpStats stats_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace planaria::core

@@ -15,6 +15,7 @@
 // monopolizing the channel.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -77,6 +78,14 @@ class DramChannel {
 
   /// Simulates until every queued request has completed.
   void drain();
+
+  /// Fault-injection hook: holds the command bus idle for `cycles` from the
+  /// current time, modelling a transient controller stall (thermal throttle,
+  /// link retrain). Queued requests are preserved and issue once the stall
+  /// lifts; only timing shifts, so no contract can fire from this class.
+  void inject_stall(Cycle cycles) {
+    next_cmd_ok_ = std::max(next_cmd_ok_, now_ + cycles);
+  }
 
   /// Completions accumulated since the last call (sorted by finish cycle).
   std::vector<DramCompletion> take_completions();

@@ -1,0 +1,122 @@
+// Deterministic seeded fault injection.
+//
+// The paper positions Planaria as hardware sitting on a phone SoC's memory
+// path: a glitched metadata bit or a malformed request must degrade prefetch
+// accuracy, never crash the memory system. This layer makes that property
+// testable. A FaultPlan names which fault classes are armed and at what
+// per-opportunity rate; a FaultInjector turns the plan into deterministic
+// Bernoulli decisions drawn from per-class xoshiro streams, so the same seed
+// reproduces the same fault sequence on every platform, at every thread
+// count, on every rerun.
+//
+// Determinism contract:
+//   * Each fault class owns TWO private streams — one for the inject/skip
+//     decision, one for choosing the corruption target (which entry, which
+//     bit). A decision that does not fire never consumes target randomness,
+//     and arming one class never perturbs another class's stream.
+//   * Injectors are instantiated per deterministic execution domain: the
+//     simulator keeps one per DRAM channel (channels are simulated
+//     independently, possibly concurrently) plus one for the serial trace
+//     ingest pass. Within a domain, fault opportunities arrive in a fixed
+//     order, so the decision sequence is fixed too.
+//   * A class with rate 0 consumes no randomness at all; a Simulator whose
+//     plan has no class enabled allocates no injectors, so zero-fault builds
+//     are bit-identical to pre-fault builds (the PR 2 identity gate holds).
+//
+// Counting contract: roll() only decides; the site that actually applies the
+// fault calls record(), so injected() counts *applied* faults (a PHT flip
+// that found an empty table, for example, is a decision but not a fault).
+// planaria-audit's chaos stage checks these counters against the recovery
+// side's accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace planaria::fault {
+
+/// Every injectable fault, one per hook point in the pipeline.
+enum class FaultClass : std::uint8_t {
+  kTraceCorruption = 0,  ///< corrupt a trace record's arrival in flight
+  kSlpPatternFlip,       ///< flip one bit of one SLP PHT pattern bitmap
+  kTlpPatternFlip,       ///< flip one bit of one TLP RPT recent-access bitmap
+  kPrefetchDrop,         ///< silently drop an issued prefetch request
+  kPrefetchDelay,        ///< delay an issued prefetch by a fixed interval
+  kDramStall,            ///< stall a DRAM channel's command bus for N cycles
+  kCount,
+};
+
+inline constexpr int kFaultClassCount = static_cast<int>(FaultClass::kCount);
+
+const char* fault_class_name(FaultClass fault_class);
+
+/// Which faults to inject, how often, and from which seed. A default plan
+/// injects nothing.
+struct FaultPlan {
+  std::uint64_t seed = 0x5EEDED;
+  /// Per-opportunity injection probability per class, in [0, 1].
+  double rate[kFaultClassCount] = {};
+  Cycle dram_stall_cycles = 2048;     ///< stall length per kDramStall fault
+  Cycle prefetch_delay_cycles = 512;  ///< added latency per kPrefetchDelay
+
+  bool enabled(FaultClass fault_class) const {
+    return rate[static_cast<int>(fault_class)] > 0.0;
+  }
+  bool any_enabled() const;
+
+  /// Throws std::invalid_argument on out-of-range rates or zero-length
+  /// stall/delay intervals while their class is armed.
+  void validate() const;
+
+  /// Plan with exactly one class armed — the chaos audit's unit of isolation.
+  static FaultPlan single(FaultClass fault_class, double rate,
+                          std::uint64_t seed);
+};
+
+/// Turns a FaultPlan into a deterministic decision sequence for one execution
+/// domain (one DRAM channel, or the serial ingest pass). Not thread-safe by
+/// design: each concurrent domain owns its own injector.
+class FaultInjector {
+ public:
+  /// `stream` names the execution domain (channel index, or kIngestStream)
+  /// so sibling injectors built from the same plan draw disjoint sequences.
+  FaultInjector(const FaultPlan& plan, std::uint64_t stream);
+
+  /// Stream id the simulator uses for the trace ingest injector, chosen well
+  /// away from any channel index.
+  static constexpr std::uint64_t kIngestStream = 0xF417;
+
+  /// One Bernoulli decision on the class's private stream. Consumes no
+  /// randomness when the class is disabled.
+  bool roll(FaultClass fault_class);
+
+  /// Target-selection stream for a fired decision (which entry, which bit,
+  /// how far to corrupt). Never consumed by roll().
+  Rng& rng(FaultClass fault_class) {
+    return aux_[static_cast<int>(fault_class)];
+  }
+
+  /// The applying site acknowledges one injected fault. Separated from
+  /// roll() so inapplicable decisions (e.g. a flip against an empty table)
+  /// are not counted as injected.
+  void record(FaultClass fault_class) {
+    ++injected_[static_cast<int>(fault_class)];
+  }
+
+  std::uint64_t injected(FaultClass fault_class) const {
+    return injected_[static_cast<int>(fault_class)];
+  }
+  std::uint64_t total_injected() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng decision_[kFaultClassCount];
+  Rng aux_[kFaultClassCount];
+  std::uint64_t injected_[kFaultClassCount] = {};
+};
+
+}  // namespace planaria::fault

@@ -19,6 +19,10 @@
 #include "cache/system_cache.hpp"
 #include "common/types.hpp"
 
+namespace planaria::fault {
+class FaultInjector;
+}  // namespace planaria::fault
+
 namespace planaria::prefetch {
 
 /// One demand access as observed by a channel's prefetcher.
@@ -57,6 +61,15 @@ class Prefetcher {
   /// Metadata storage this prefetcher requires per channel, in bits. Used by
   /// the Table "storage overhead" bench and the SRAM power model.
   virtual std::uint64_t storage_bits() const = 0;
+
+  /// Attaches the channel's fault injector (src/fault) so metadata-corruption
+  /// fault classes can flip bits in this prefetcher's tables. Default: the
+  /// prefetcher has no injectable storage and ignores the hook. Passing
+  /// nullptr detaches. The injector outlives the prefetcher's use of it (the
+  /// simulator owns both with channel lifetime).
+  virtual void set_fault_injector(fault::FaultInjector* injector) {
+    (void)injector;
+  }
 };
 
 inline void Prefetcher::on_fill(std::uint64_t, bool, Cycle) {}

@@ -10,6 +10,7 @@
 #include "core/planaria.hpp"
 #include "dram/config.hpp"
 #include "dram/power.hpp"
+#include "fault/fault.hpp"
 #include "prefetch/bop.hpp"
 #include "prefetch/spp.hpp"
 
@@ -60,6 +61,10 @@ struct SimConfig {
   CpuModelParams cpu;
   Cycle sc_hit_latency = 24;     ///< SC lookup + data return (15ns)
   int max_prefetches_per_trigger = 16;
+  /// Fault-injection plan (src/fault). The default injects nothing, and a
+  /// simulator built from an all-zero plan allocates no injectors at all —
+  /// zero-fault runs stay bit-identical to builds without this field.
+  fault::FaultPlan fault;
 
   void validate() const {
     cache.validate();
@@ -67,6 +72,7 @@ struct SimConfig {
     dram_power.validate();
     sram_power.validate();
     cpu.validate();
+    fault.validate();
     if (sc_hit_latency == 0 || max_prefetches_per_trigger <= 0) {
       throw std::invalid_argument("sim config: latency/limits must be positive");
     }

@@ -62,7 +62,8 @@ SimResult ExperimentRunner::run(const std::string& app, PrefetcherKind kind) {
 }
 
 std::map<std::string, std::map<std::string, SimResult>> ExperimentRunner::sweep(
-    const std::vector<PrefetcherKind>& kinds, bool verbose) {
+    const std::vector<PrefetcherKind>& kinds, bool verbose,
+    std::vector<FailureReport>* failures) {
   const auto apps = trace::app_names();
 
   // Factories depend only on (kind, configs): build each once per sweep
@@ -83,8 +84,11 @@ std::map<std::string, std::map<std::string, SimResult>> ExperimentRunner::sweep(
 
   // Flatten the grid so the pool can claim cells; results land in a
   // preallocated slot per cell, which keeps the output independent of
-  // completion order.
+  // completion order. Failure slots are likewise per-cell (unique_ptr, one
+  // writer each — never a shared vector push from pooled tasks) and compacted
+  // in cell order after the join, so the report is deterministic too.
   std::vector<SimResult> results(apps.size() * kinds.size());
+  std::vector<std::unique_ptr<FailureReport>> failed(results.size());
   const auto run_one = [&](std::size_t i) {
     const std::string& app = apps[i / kinds.size()];
     const std::size_t k = i % kinds.size();
@@ -92,12 +96,36 @@ std::map<std::string, std::map<std::string, SimResult>> ExperimentRunner::sweep(
       std::fprintf(stderr, "  running %s / %s...\n", app.c_str(),
                    prefetcher_kind_name(kinds[k]));
     }
-    results[i] = run_cell(app, kinds[k], factories[k]);
+    if (failures == nullptr) {
+      results[i] = run_cell(app, kinds[k], factories[k]);
+      return;
+    }
+    // Isolated mode: one retry covers transient causes (OOM pressure,
+    // filesystem hiccups behind the trace cache); a deterministic failure
+    // fails both attempts and is reported once, with the cell's slot left
+    // default-constructed so the rest of the grid still lands.
+    constexpr int kMaxAttempts = 2;
+    for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+      try {
+        results[i] = run_cell(app, kinds[k], factories[k]);
+        return;
+      } catch (const std::exception& e) {
+        if (attempt == kMaxAttempts) {
+          failed[i] = std::make_unique<FailureReport>(FailureReport{
+              app, prefetcher_kind_name(kinds[k]), attempt, e.what()});
+        }
+      }
+    }
   };
   if (pool_) {
     pool_->parallel_for(results.size(), run_one);
   } else {
     for (std::size_t i = 0; i < results.size(); ++i) run_one(i);
+  }
+  if (failures != nullptr) {
+    for (auto& f : failed) {
+      if (f != nullptr) failures->push_back(std::move(*f));
+    }
   }
 
   std::map<std::string, std::map<std::string, SimResult>> out;

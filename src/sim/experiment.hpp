@@ -31,6 +31,16 @@ namespace planaria::sim {
 /// Reads PLANARIA_RECORDS (decimal, e.g. "2000000") or returns `fallback`.
 std::uint64_t records_from_env(std::uint64_t fallback);
 
+/// One sweep cell that failed after its bounded retry. The sweep result map
+/// still contains the cell's key with a default-constructed SimResult, so
+/// figure printers keep their shape; consumers that care check the report.
+struct FailureReport {
+  std::string app;
+  std::string kind;
+  int attempts = 0;   ///< how many times the cell was tried (1 + retries)
+  std::string what;   ///< message of the last attempt's exception
+};
+
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(
@@ -49,8 +59,17 @@ class ExperimentRunner {
   /// Runs `kinds` on every paper app, fanning the (app x kind) cells over the
   /// thread pool when `threads > 1`. Results keyed [app][kind-name] and
   /// bit-identical to the serial sweep at any thread count.
+  ///
+  /// Failure isolation is opt-in: with `failures` null (the default), the
+  /// first cell exception propagates exactly as before. With a sink supplied,
+  /// each cell runs isolated — a throwing cell gets one bounded retry, and if
+  /// that also throws, the cell's slot stays default-constructed and one
+  /// FailureReport is appended (deterministic cell order) while every other
+  /// cell runs to completion. A 44-cell overnight sweep no longer forfeits 43
+  /// results to one poisoned cell.
   std::map<std::string, std::map<std::string, SimResult>> sweep(
-      const std::vector<PrefetcherKind>& kinds, bool verbose = false);
+      const std::vector<PrefetcherKind>& kinds, bool verbose = false,
+      std::vector<FailureReport>* failures = nullptr);
 
   const SimConfig& config() const { return config_; }
   std::uint64_t records() const { return records_; }

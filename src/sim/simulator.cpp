@@ -108,6 +108,14 @@ Simulator::Simulator(const SimConfig& config, PrefetcherFactory factory,
     : config_(config), name_(std::move(prefetcher_name)) {
   config_.validate();
   if (!factory) throw std::invalid_argument("simulator: null prefetcher factory");
+  // Injectors exist only when a fault class is armed: a disabled plan leaves
+  // every fault pointer null, so the zero-fault hot path pays one pointer
+  // test per hook and stays bit-identical to the pre-fault pipeline.
+  const bool faults_armed = config_.fault.any_enabled();
+  if (faults_armed) {
+    ingest_fault_ = std::make_unique<fault::FaultInjector>(
+        config_.fault, fault::FaultInjector::kIngestStream);
+  }
   channels_.reserve(kChannels);
   for (int c = 0; c < kChannels; ++c) {
     Channel ch;
@@ -116,6 +124,11 @@ Simulator::Simulator(const SimConfig& config, PrefetcherFactory factory,
     ch.sc = std::make_unique<cache::SystemCache>(slice);
     ch.pf = factory(c);
     ch.dram = std::make_unique<dram::DramChannel>(config_.dram);
+    if (faults_armed) {
+      ch.fault = std::make_unique<fault::FaultInjector>(
+          config_.fault, static_cast<std::uint64_t>(c));
+      ch.pf->set_fault_injector(ch.fault.get());
+    }
     channels_.push_back(std::move(ch));
   }
 }
@@ -212,9 +225,24 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
     if (target == block) continue;
     if (ch.sc->contains(target)) continue;
     if (ch.in_flight.count(target) != 0) continue;
+    // Fault hooks fire only for prefetches that survived deduplication — the
+    // ones that would actually reach the channel. A dropped prefetch takes
+    // the same exit as a saturated-queue drop (no issue accounting, no
+    // in-flight entry); a delayed one issues late by a fixed interval.
+    Cycle issue_at = record.arrival;
+    if (ch.fault != nullptr) {
+      if (ch.fault->roll(fault::FaultClass::kPrefetchDrop)) {
+        ch.fault->record(fault::FaultClass::kPrefetchDrop);
+        continue;
+      }
+      if (ch.fault->roll(fault::FaultClass::kPrefetchDelay)) {
+        ch.fault->record(fault::FaultClass::kPrefetchDelay);
+        issue_at += config_.fault.prefetch_delay_cycles;
+      }
+    }
     dram::DramRequest req;
     req.local_block = target;
-    req.arrival = record.arrival;
+    req.arrival = issue_at;
     req.is_prefetch = true;
     req.tag = target;
     if (!ch.dram->submit(req)) continue;  // dropped: channel saturated
@@ -231,20 +259,46 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
 }
 
 void Simulator::step_channel(Channel& ch, const trace::TraceRecord& record) {
+  if (ch.fault != nullptr && ch.fault->roll(fault::FaultClass::kDramStall)) {
+    ch.dram->inject_stall(config_.fault.dram_stall_cycles);
+    ch.fault->record(fault::FaultClass::kDramStall);
+  }
   ch.dram->advance(record.arrival);
   process_completions(ch);
   handle_demand(ch, record);
 }
 
+void Simulator::corrupt_and_admit(trace::TraceRecord& rec) {
+  // The corruption regresses the arrival strictly below the running maximum
+  // (next_below(last_arrival_) < last_arrival_), so every applied injection
+  // fires the time-order contract exactly once — the chaos audit's
+  // injected == violations equality depends on that. The first record (time
+  // zero) has nothing to regress below and is exempt before the roll, keeping
+  // the decision-stream consumption identical between step() and
+  // run_sharded() paths.
+  if (ingest_fault_ != nullptr && last_arrival_ > 0 &&
+      ingest_fault_->roll(fault::FaultClass::kTraceCorruption)) {
+    rec.arrival = ingest_fault_->rng(fault::FaultClass::kTraceCorruption)
+                      .next_below(last_arrival_);
+    ingest_fault_->record(fault::FaultClass::kTraceCorruption);
+  }
+  PLANARIA_REQUIRE_MSG(kTimingMonotonicity, rec.arrival >= last_arrival_,
+                       "trace records must be time-ordered");
+  // Recovery (kRecover mode reaches here; kAbort never returns from the
+  // contract): clamp the regressed arrival to the running maximum so
+  // downstream per-channel monotonicity holds by construction.
+  if (rec.arrival < last_arrival_) rec.arrival = last_arrival_;
+  last_arrival_ = rec.arrival;
+}
+
 void Simulator::step(const trace::TraceRecord& record) {
   PLANARIA_REQUIRE_MSG(kTimingMonotonicity, !finished_,
                        "step() after finish()");
-  PLANARIA_REQUIRE_MSG(kTimingMonotonicity, record.arrival >= last_arrival_,
-                       "trace records must be time-ordered");
-  last_arrival_ = record.arrival;
+  trace::TraceRecord rec = record;
+  corrupt_and_admit(rec);
   step_channel(
-      channels_[static_cast<std::size_t>(addr::channel_of(record.address))],
-      record);
+      channels_[static_cast<std::size_t>(addr::channel_of(rec.address))],
+      rec);
 }
 
 void Simulator::run_sharded(const std::vector<trace::TraceRecord>& records,
@@ -253,22 +307,20 @@ void Simulator::run_sharded(const std::vector<trace::TraceRecord>& records,
                        "run_sharded() after finish()");
   if (records.empty()) return;
 
-  // One pass replaces the per-record addr::channel_of dispatch: validate the
-  // global time order once, then split into per-channel streams. Each stream
-  // is a subsequence of a non-decreasing sequence, so per-channel
-  // monotonicity is inherited.
+  // One pass replaces the per-record addr::channel_of dispatch: apply ingest
+  // faults and validate the global time order once (corrupt_and_admit, the
+  // same serial admission step() uses), then split into per-channel streams.
+  // Each stream is a subsequence of a non-decreasing (post-clamp) sequence,
+  // so per-channel monotonicity is inherited.
   std::vector<std::vector<trace::TraceRecord>> shards(
       static_cast<std::size_t>(kChannels));
   for (auto& shard : shards) shard.reserve(records.size() / kChannels + 1);
-  Cycle prev = last_arrival_;
-  for (const auto& rec : records) {
-    PLANARIA_REQUIRE_MSG(kTimingMonotonicity, rec.arrival >= prev,
-                         "trace records must be time-ordered");
-    prev = rec.arrival;
+  for (const auto& original : records) {
+    trace::TraceRecord rec = original;
+    corrupt_and_admit(rec);
     shards[static_cast<std::size_t>(addr::channel_of(rec.address))]
         .push_back(rec);
   }
-  last_arrival_ = prev;
 
   const auto run_channel = [&](std::size_t c) {
     Channel& ch = channels_[c];
@@ -348,7 +400,24 @@ SimResult Simulator::finish() {
       r.tlp_issues += planaria->stats().tlp_issues;
     }
     r.storage_bits += ch.pf->storage_bits();
+
+    if (ch.fault != nullptr) {
+      r.fault_slp_flips += ch.fault->injected(fault::FaultClass::kSlpPatternFlip);
+      r.fault_tlp_flips += ch.fault->injected(fault::FaultClass::kTlpPatternFlip);
+      r.fault_prefetch_drops +=
+          ch.fault->injected(fault::FaultClass::kPrefetchDrop);
+      r.fault_prefetch_delays +=
+          ch.fault->injected(fault::FaultClass::kPrefetchDelay);
+      r.fault_dram_stalls += ch.fault->injected(fault::FaultClass::kDramStall);
+    }
   }
+  if (ingest_fault_ != nullptr) {
+    r.fault_trace_corruptions =
+        ingest_fault_->injected(fault::FaultClass::kTraceCorruption);
+  }
+  r.fault_injected_total = r.fault_trace_corruptions + r.fault_slp_flips +
+                           r.fault_tlp_flips + r.fault_prefetch_drops +
+                           r.fault_prefetch_delays + r.fault_dram_stalls;
 
   // Post-join reduction: channels may have been simulated concurrently, but
   // the partials are merged here in channel order after the horizon sync

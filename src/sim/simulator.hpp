@@ -67,6 +67,18 @@ struct SimResult {
                                       ///< averaged over channels
   std::uint64_t storage_bits = 0;  ///< metadata per channel summed over 4
 
+  /// Applied fault-injection counts (all zero unless SimConfig::fault arms a
+  /// class). The chaos audit cross-checks these against the contract layer's
+  /// violation/recovery tallies; the same seed reproduces the same counts at
+  /// any thread count.
+  std::uint64_t fault_injected_total = 0;
+  std::uint64_t fault_trace_corruptions = 0;
+  std::uint64_t fault_slp_flips = 0;
+  std::uint64_t fault_tlp_flips = 0;
+  std::uint64_t fault_prefetch_drops = 0;
+  std::uint64_t fault_prefetch_delays = 0;
+  std::uint64_t fault_dram_stalls = 0;
+
   double traffic_overhead_vs(const SimResult& baseline) const;
   double amat_reduction_vs(const SimResult& baseline) const;
   double power_increase_vs(const SimResult& baseline) const;
@@ -144,7 +156,17 @@ class Simulator {
     Accounting acct;
     std::vector<prefetch::PrefetchRequest> scratch;  ///< per-channel: shards
                                                      ///< run concurrently
+    /// Per-channel fault injector (null when no class is armed). Channel
+    /// faults draw from a channel-indexed stream, so injection stays
+    /// deterministic however the channels are scheduled.
+    std::unique_ptr<fault::FaultInjector> fault;
   };
+
+  /// Applies the armed trace-corruption fault to `rec`, enforces the global
+  /// time-order contract, and clamps a regressed arrival back to the running
+  /// maximum (the kRecover repair). Shared by step() and run_sharded() so the
+  /// ingest decision stream is consumed identically in both paths.
+  void corrupt_and_admit(trace::TraceRecord& rec);
 
   void process_completions(Channel& ch);
   void handle_demand(Channel& ch, const trace::TraceRecord& record);
@@ -153,6 +175,10 @@ class Simulator {
   SimConfig config_;
   std::string name_;
   std::vector<Channel> channels_;
+
+  /// Injector for the serial ingest pass (trace corruption); null when no
+  /// class is armed.
+  std::unique_ptr<fault::FaultInjector> ingest_fault_;
 
   Cycle last_arrival_ = 0;
   bool finished_ = false;

@@ -16,9 +16,24 @@ namespace {
                            ": " + what);
 }
 
+/// Per-line defect: throw under kThrow, otherwise skip-and-count against the
+/// shared error budget (same policy as the native readers in trace/io.cpp).
+void defect(RecoveryPolicy policy, TraceReadReport& report,
+            std::size_t line_no, const std::string& what) {
+  if (policy == RecoveryPolicy::kThrow) fail(line_no, what);
+  report.note("line " + std::to_string(line_no) + ": " + what);
+  if (report.errors > kDefaultErrorBudget) {
+    fail(line_no, "error budget exhausted (" + std::to_string(report.errors) +
+                      " defects)");
+  }
+}
+
 }  // namespace
 
-std::vector<TraceRecord> read_dramsim2(std::istream& is) {
+std::vector<TraceRecord> read_dramsim2(std::istream& is, RecoveryPolicy policy,
+                                       TraceReadReport* report) {
+  TraceReadReport local;
+  TraceReadReport& rep = report != nullptr ? *report : local;
   std::vector<TraceRecord> out;
   std::string line;
   std::size_t line_no = 0;
@@ -27,18 +42,24 @@ std::vector<TraceRecord> read_dramsim2(std::istream& is) {
     // DRAMSim2 traces allow blank lines and ';' comments.
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == ';') continue;
+    if (line.size() > kMaxLineBytes) {
+      defect(policy, rep, line_no, "overlong line");
+      continue;
+    }
 
     std::istringstream ls(line);
     std::string addr_s, type_s;
     std::uint64_t cycle = 0;
     if (!(ls >> addr_s >> type_s >> cycle)) {
-      fail(line_no, "expected '<address> <type> <cycle>'");
+      defect(policy, rep, line_no, "expected '<address> <type> <cycle>'");
+      continue;
     }
     TraceRecord r;
     try {
       r.address = addr::block_align(std::stoull(addr_s, nullptr, 16));
     } catch (const std::exception&) {
-      fail(line_no, "bad address '" + addr_s + "'");
+      defect(policy, rep, line_no, "bad address '" + addr_s + "'");
+      continue;
     }
     r.arrival = cycle;
     r.device = DeviceId::kCpuBig;
@@ -47,7 +68,8 @@ std::vector<TraceRecord> read_dramsim2(std::istream& is) {
     } else if (type_s == "P_MEM_WR") {
       r.type = AccessType::kWrite;
     } else {
-      fail(line_no, "unknown transaction type '" + type_s + "'");
+      defect(policy, rep, line_no, "unknown transaction type '" + type_s + "'");
+      continue;
     }
     out.push_back(r);
   }
@@ -57,13 +79,16 @@ std::vector<TraceRecord> read_dramsim2(std::istream& is) {
                    [](const TraceRecord& a, const TraceRecord& b) {
                      return a.arrival < b.arrival;
                    });
+  rep.records = out.size();
   return out;
 }
 
-std::vector<TraceRecord> read_dramsim2_file(const std::string& path) {
+std::vector<TraceRecord> read_dramsim2_file(const std::string& path,
+                                            RecoveryPolicy policy,
+                                            TraceReadReport* report) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("trace import: cannot open " + path);
-  return read_dramsim2(is);
+  return read_dramsim2(is, policy, report);
 }
 
 void write_dramsim2(std::ostream& os, const std::vector<TraceRecord>& records) {
@@ -75,23 +100,33 @@ void write_dramsim2(std::ostream& os, const std::vector<TraceRecord>& records) {
   if (!os) throw std::runtime_error("trace import: dramsim2 write failed");
 }
 
-std::vector<TraceRecord> read_champsim_csv(std::istream& is) {
+std::vector<TraceRecord> read_champsim_csv(std::istream& is,
+                                           RecoveryPolicy policy,
+                                           TraceReadReport* report) {
+  TraceReadReport local;
+  TraceReadReport& rep = report != nullptr ? *report : local;
   std::vector<TraceRecord> out;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     // Optional header: any line whose first field is not a number.
     if (line_no == 1 && line.find_first_of("0123456789") != 0 &&
         line.compare(0, 2, "0x") != 0) {
       continue;
     }
+    if (line.size() > kMaxLineBytes) {
+      defect(policy, rep, line_no, "overlong line");
+      continue;
+    }
     std::istringstream ls(line);
     std::string addr_s, write_s, cycle_s;
     if (!std::getline(ls, addr_s, ',') || !std::getline(ls, write_s, ',') ||
         !std::getline(ls, cycle_s)) {
-      fail(line_no, "expected 'address,is_write,cycle'");
+      defect(policy, rep, line_no, "expected 'address,is_write,cycle'");
+      continue;
     }
     TraceRecord r;
     try {
@@ -99,7 +134,8 @@ std::vector<TraceRecord> read_champsim_csv(std::istream& is) {
       r.type = std::stoul(write_s) != 0 ? AccessType::kWrite : AccessType::kRead;
       r.arrival = std::stoull(cycle_s);
     } catch (const std::exception&) {
-      fail(line_no, "bad field in '" + line + "'");
+      defect(policy, rep, line_no, "bad field in '" + line + "'");
+      continue;
     }
     r.device = DeviceId::kCpuBig;
     out.push_back(r);
@@ -108,6 +144,7 @@ std::vector<TraceRecord> read_champsim_csv(std::istream& is) {
                    [](const TraceRecord& a, const TraceRecord& b) {
                      return a.arrival < b.arrival;
                    });
+  rep.records = out.size();
   return out;
 }
 

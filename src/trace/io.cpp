@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace planaria::trace {
 
 namespace {
@@ -34,7 +36,39 @@ static_assert(sizeof(BinaryRecord) == 24);
   throw std::runtime_error("trace IO: " + what);
 }
 
+/// One defect: throw under kThrow, otherwise tally it into `report` and check
+/// the budget — a stream that keeps producing garbage past the budget is the
+/// wrong format, and pressing on would only manufacture a bogus trace.
+void defect(RecoveryPolicy policy, TraceReadReport& report,
+            const std::string& what) {
+  if (policy == RecoveryPolicy::kThrow) fail(what);
+  report.note(what);
+  if (report.errors > kDefaultErrorBudget) {
+    fail("error budget exhausted (" + std::to_string(report.errors) +
+         " defects; last: " + what + ")");
+  }
+}
+
+/// Bytes left in `is` past the current position, or npos-style -1 for
+/// non-seekable streams.
+std::int64_t remaining_bytes(std::istream& is) {
+  const std::istream::pos_type cur = is.tellg();
+  if (cur == std::istream::pos_type(-1)) return -1;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(cur);
+  if (end == std::istream::pos_type(-1) || end < cur) return -1;
+  return static_cast<std::int64_t>(end - cur);
+}
+
 }  // namespace
+
+void TraceReadReport::note(std::string message) {
+  ++errors;
+  if (messages.size() < kMaxReportedErrors) {
+    messages.push_back(std::move(message));
+  }
+}
 
 void write_binary(std::ostream& os, const std::vector<TraceRecord>& records) {
   BinaryHeader h{kTraceMagic, kTraceVersion, 0, records.size()};
@@ -57,35 +91,84 @@ void write_binary_file(const std::string& path,
   write_binary(os, records);
 }
 
-std::vector<TraceRecord> read_binary(std::istream& is) {
+std::vector<TraceRecord> read_binary(std::istream& is, RecoveryPolicy policy,
+                                     TraceReadReport* report) {
+  TraceReadReport local;
+  TraceReadReport& rep = report != nullptr ? *report : local;
+
   BinaryHeader h{};
   is.read(reinterpret_cast<char*>(&h), sizeof(h));
   if (!is || is.gcount() != sizeof(h)) fail("truncated header");
+  // A stream whose identity bytes are wrong is not a damaged trace, it is not
+  // a trace: there is no salvageable prefix, so these throw in every policy.
   if (h.magic != kTraceMagic) fail("bad magic (not a planaria trace)");
   if (h.version != kTraceVersion) {
     fail("unsupported trace version " + std::to_string(h.version));
   }
+
+  // The header's record count is untrusted input: bound it by the bytes the
+  // stream actually holds BEFORE sizing any allocation from it. A 16-byte
+  // file claiming 2^61 records previously drove a multi-GB reserve; now it is
+  // a precise error (kThrow) or a salvage of what is really there (kRecover).
+  std::uint64_t expect = h.count;
+  const std::int64_t avail = remaining_bytes(is);
+  if (avail >= 0) {
+    const auto whole_records =
+        static_cast<std::uint64_t>(avail) / sizeof(BinaryRecord);
+    if (h.count > whole_records) {
+      if (policy == RecoveryPolicy::kThrow) {
+        fail("header claims " + std::to_string(h.count) +
+             " records but the stream holds only " +
+             std::to_string(whole_records) + " (" + std::to_string(avail) +
+             " bytes)");
+      }
+      rep.note("truncated: header claims " + std::to_string(h.count) +
+               " records, stream holds " + std::to_string(whole_records));
+      rep.truncated = true;
+      expect = whole_records;
+    }
+  }
+
   std::vector<TraceRecord> out;
-  out.reserve(h.count);
-  for (std::uint64_t i = 0; i < h.count; ++i) {
+  // For a non-seekable stream the count could not be validated; cap the
+  // upfront reservation and let the vector grow against real data instead.
+  constexpr std::uint64_t kBlindReserveCap = 1u << 20;
+  out.reserve(avail >= 0 ? expect : std::min(expect, kBlindReserveCap));
+  for (std::uint64_t i = 0; i < expect; ++i) {
     BinaryRecord b{};
     is.read(reinterpret_cast<char*>(&b), sizeof(b));
-    if (!is || is.gcount() != sizeof(b)) fail("truncated payload");
-    if (b.type > 1) fail("corrupt record: bad access type");
+    if (!is || is.gcount() != sizeof(b)) {
+      // Reachable when the byte count was unknowable (non-seekable stream) or
+      // the stream shrank mid-read; the complete-record prefix stands.
+      if (policy == RecoveryPolicy::kThrow) fail("truncated payload");
+      rep.note("truncated payload at record " + std::to_string(i));
+      rep.truncated = true;
+      break;
+    }
+    if (b.type > 1) {
+      defect(policy, rep,
+             "corrupt record " + std::to_string(i) + ": bad access type");
+      continue;
+    }
     if (b.device >= static_cast<std::uint8_t>(DeviceId::kCount)) {
-      fail("corrupt record: bad device id");
+      defect(policy, rep,
+             "corrupt record " + std::to_string(i) + ": bad device id");
+      continue;
     }
     out.push_back(TraceRecord{addr::block_align(b.address), b.arrival,
                               static_cast<AccessType>(b.type),
                               static_cast<DeviceId>(b.device)});
   }
+  rep.records = out.size();
   return out;
 }
 
-std::vector<TraceRecord> read_binary_file(const std::string& path) {
+std::vector<TraceRecord> read_binary_file(const std::string& path,
+                                          RecoveryPolicy policy,
+                                          TraceReadReport* report) {
   std::ifstream is(path, std::ios::binary);
   if (!is) fail("cannot open for read: " + path);
-  return read_binary(is);
+  return read_binary(is, policy, report);
 }
 
 void write_csv(std::ostream& os, const std::vector<TraceRecord>& records) {
@@ -98,30 +181,54 @@ void write_csv(std::ostream& os, const std::vector<TraceRecord>& records) {
   if (!os) fail("csv write failed");
 }
 
-std::vector<TraceRecord> read_csv(std::istream& is) {
+std::vector<TraceRecord> read_csv(std::istream& is, RecoveryPolicy policy,
+                                  TraceReadReport* report) {
+  TraceReadReport local;
+  TraceReadReport& rep = report != nullptr ? *report : local;
   std::vector<TraceRecord> out;
   std::string line;
-  if (!std::getline(is, line)) fail("empty csv");
+  if (!std::getline(is, line)) {
+    if (policy == RecoveryPolicy::kThrow) fail("empty csv");
+    rep.note("empty csv");
+    return out;
+  }
   // Header row is required but its exact spelling is not enforced.
   std::size_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
+    // Tolerate Windows line endings: getline keeps the '\r' of a CRLF pair,
+    // which used to poison the device-name match of every row.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    const std::string where = " at line " + std::to_string(line_no);
+    if (line.size() > kMaxLineBytes) {
+      defect(policy, rep, "csv overlong line" + where);
+      continue;
+    }
     std::istringstream ls(line);
     std::string addr_s, arrival_s, type_s, device_s;
     if (!std::getline(ls, addr_s, ',') || !std::getline(ls, arrival_s, ',') ||
         !std::getline(ls, type_s, ',') || !std::getline(ls, device_s)) {
-      fail("csv parse error at line " + std::to_string(line_no));
+      defect(policy, rep, "csv parse error" + where);
+      continue;
     }
     TraceRecord r;
-    r.address = addr::block_align(std::stoull(addr_s, nullptr, 0));
-    r.arrival = std::stoull(arrival_s);
+    try {
+      r.address = addr::block_align(std::stoull(addr_s, nullptr, 0));
+      r.arrival = std::stoull(arrival_s);
+    } catch (const std::exception&) {
+      // stoull's own invalid_argument/out_of_range carry no location; rethrow
+      // as the reader's uniform defect with the line number.
+      defect(policy, rep, "csv bad number" + where);
+      continue;
+    }
     if (type_s == "R") {
       r.type = AccessType::kRead;
     } else if (type_s == "W") {
       r.type = AccessType::kWrite;
     } else {
-      fail("csv bad access type at line " + std::to_string(line_no));
+      defect(policy, rep, "csv bad access type" + where);
+      continue;
     }
     r.device = DeviceId::kCpuBig;
     bool matched = false;
@@ -132,9 +239,13 @@ std::vector<TraceRecord> read_csv(std::istream& is) {
         break;
       }
     }
-    if (!matched) fail("csv bad device at line " + std::to_string(line_no));
+    if (!matched) {
+      defect(policy, rep, "csv bad device" + where);
+      continue;
+    }
     out.push_back(r);
   }
+  rep.records = out.size();
   return out;
 }
 
@@ -163,6 +274,15 @@ std::vector<TraceRecord> merge_sorted(
     out.push_back(streams[h.stream][h.pos]);
     const std::size_t next = h.pos + 1;
     if (next < streams[h.stream].size()) {
+      // The documented precondition ("inputs must each already be sorted")
+      // was never checked; an unsorted stream silently produced an unsorted
+      // merge that the simulator then rejected far from the cause. O(1) per
+      // record: each element is compared against its stream predecessor once,
+      // when it becomes the stream head. Under kRecover the merge proceeds
+      // best-effort, placing the record by its claimed arrival.
+      PLANARIA_REQUIRE_MSG(kTimingMonotonicity,
+                           streams[h.stream][next].arrival >= h.arrival,
+                           "merge_sorted input stream is not sorted by arrival");
       heap.push(Head{streams[h.stream][next].arrival, h.stream, next});
     }
   }

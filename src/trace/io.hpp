@@ -4,8 +4,21 @@
 // Binary layout: 16-byte header {magic "PLTR", u16 version, u16 flags,
 // u64 record count}, then packed 24-byte records {u64 address, u64 arrival,
 // u8 type, u8 device, 6B pad}. Little-endian, as every supported target is.
+//
+// Every reader hardens the same boundary: trace files are external input
+// (captures copied off devices, tool output, downloads), so nothing from the
+// byte stream is trusted before it is bounds-checked — in particular the
+// binary header's record count is validated against the bytes the stream
+// actually holds *before* any allocation sized from it. Beyond that, each
+// reader takes a RecoveryPolicy: kThrow (default) raises std::runtime_error
+// with a precise location on the first defect, while kRecover salvages what
+// is intact — the complete-record prefix of a truncated binary file, every
+// well-formed line of a damaged text file — and tallies what it skipped in a
+// TraceReadReport, up to an error budget that distinguishes a damaged file
+// from a wrong-format one.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -18,24 +31,69 @@ namespace planaria::trace {
 inline constexpr std::uint32_t kTraceMagic = 0x52544C50;  // "PLTR"
 inline constexpr std::uint16_t kTraceVersion = 1;
 
+/// How a reader responds to malformed input.
+enum class RecoveryPolicy : std::uint8_t {
+  kThrow = 0,  ///< std::runtime_error on the first defect (default)
+  kRecover,    ///< skip/salvage, count in a TraceReadReport, keep reading
+};
+
+/// Damaged records a kRecover read tolerates before concluding the input is
+/// not merely corrupted but the wrong format entirely, and throwing.
+inline constexpr std::uint64_t kDefaultErrorBudget = 256;
+
+/// Error messages retained verbatim in a report; later defects only count.
+inline constexpr std::size_t kMaxReportedErrors = 8;
+
+/// Longest text line any reader accepts. A line past this bound is malformed
+/// input (or not a text trace at all), not data — rejecting it early keeps a
+/// binary blob fed to a text reader from ballooning one std::string.
+inline constexpr std::size_t kMaxLineBytes = 4096;
+
+/// What a kRecover read skipped; also usable with kThrow (stays all-zero on
+/// the success path, since the first defect throws).
+struct TraceReadReport {
+  std::uint64_t records = 0;  ///< records delivered to the caller
+  std::uint64_t errors = 0;   ///< malformed records/lines skipped
+  bool truncated = false;     ///< stream ended before the declared payload
+  std::vector<std::string> messages;  ///< first kMaxReportedErrors defects
+
+  /// Counts one defect, retaining the message while under the cap.
+  void note(std::string message);
+};
+
 /// Writes `records` in binary format. Throws std::runtime_error on IO failure.
 void write_binary(std::ostream& os, const std::vector<TraceRecord>& records);
 void write_binary_file(const std::string& path,
                        const std::vector<TraceRecord>& records);
 
-/// Reads a binary trace. Throws std::runtime_error on malformed input
-/// (bad magic, version mismatch, truncated payload).
-std::vector<TraceRecord> read_binary(std::istream& is);
-std::vector<TraceRecord> read_binary_file(const std::string& path);
+/// Reads a binary trace. kThrow: std::runtime_error on malformed input (bad
+/// magic, version mismatch, header count exceeding the stream's bytes,
+/// truncated payload, bad enum bytes). kRecover: salvages the complete-record
+/// prefix of a truncated stream and skips records with bad enum bytes; a bad
+/// magic or version still throws — a file this reader cannot even identify
+/// has no salvageable prefix.
+std::vector<TraceRecord> read_binary(std::istream& is,
+                                     RecoveryPolicy policy = RecoveryPolicy::kThrow,
+                                     TraceReadReport* report = nullptr);
+std::vector<TraceRecord> read_binary_file(const std::string& path,
+                                          RecoveryPolicy policy = RecoveryPolicy::kThrow,
+                                          TraceReadReport* report = nullptr);
 
 /// CSV: one "address,arrival,type,device" row per record, with a header row.
-/// type is R|W; device is the device_name() string.
+/// type is R|W; device is the device_name() string. Windows line endings are
+/// accepted. kRecover skips malformed rows (within the error budget) instead
+/// of throwing.
 void write_csv(std::ostream& os, const std::vector<TraceRecord>& records);
-std::vector<TraceRecord> read_csv(std::istream& is);
+std::vector<TraceRecord> read_csv(std::istream& is,
+                                  RecoveryPolicy policy = RecoveryPolicy::kThrow,
+                                  TraceReadReport* report = nullptr);
 
 /// Merges multiple per-device streams into one arrival-time-ordered trace.
 /// Records with equal arrival keep their relative input-stream order
-/// (stable). Inputs must each already be sorted by arrival.
+/// (stable). Inputs must each already be sorted by arrival; that precondition
+/// is now enforced with an O(1)-per-record timing-monotonicity contract that
+/// fires on the first out-of-order pair (under kRecover the merge proceeds
+/// best-effort, placing the offending record by its claimed arrival).
 std::vector<TraceRecord> merge_sorted(
     const std::vector<std::vector<TraceRecord>>& streams);
 

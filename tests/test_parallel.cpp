@@ -194,6 +194,13 @@ void expect_bit_identical(const sim::SimResult& a, const sim::SimResult& b,
   EXPECT_EQ(a.late_prefetch_merges, b.late_prefetch_merges);
   EXPECT_EQ(a.data_bus_utilization, b.data_bus_utilization);
   EXPECT_EQ(a.storage_bits, b.storage_bits);
+  EXPECT_EQ(a.fault_injected_total, b.fault_injected_total);
+  EXPECT_EQ(a.fault_trace_corruptions, b.fault_trace_corruptions);
+  EXPECT_EQ(a.fault_slp_flips, b.fault_slp_flips);
+  EXPECT_EQ(a.fault_tlp_flips, b.fault_tlp_flips);
+  EXPECT_EQ(a.fault_prefetch_drops, b.fault_prefetch_drops);
+  EXPECT_EQ(a.fault_prefetch_delays, b.fault_prefetch_delays);
+  EXPECT_EQ(a.fault_dram_stalls, b.fault_dram_stalls);
 }
 
 std::vector<trace::TraceRecord> test_trace(std::uint64_t records) {

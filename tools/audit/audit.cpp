@@ -1,6 +1,6 @@
 // planaria-audit — the invariant audit gate CI runs on every change.
 //
-// Three stages:
+// Four stages (select with --stage, default all):
 //   1. Self-test: deliberately injects a storage-budget violation and checks
 //      the contract layer flags it. A gate that cannot see a planted bug is
 //      blind; this stage failing exits 2 and nothing else is trusted.
@@ -17,6 +17,12 @@
 //      channel-sharded parallel path (4-lane thread pool) and must produce a
 //      bit-identical SimResult — the parallel engine's determinism contract
 //      is part of the gate.
+//   4. Chaos audit: replays every (app x kind) cell under each fault class in
+//      isolation (src/fault) with contracts in kRecover mode. The gate: every
+//      cell completes without abort, every violation is recovered, the
+//      violation tally matches the injector's applied-fault count per the
+//      class's manifestation rule, and the flagship kind reproduces the same
+//      result and counters across two serial runs and a 4-thread run.
 //
 // Exit codes: 0 = clean, 1 = an audit check failed, 2 = self-test failed.
 
@@ -30,6 +36,7 @@
 #include "common/thread_pool.hpp"
 #include "core/storage.hpp"
 #include "core/storage_layout.hpp"
+#include "fault/fault.hpp"
 #include "sim/simulator.hpp"
 #include "trace/apps.hpp"
 #include "trace/generator.hpp"
@@ -42,6 +49,7 @@ using planaria::kChannels;
 using planaria::StatSet;
 namespace check = planaria::check;
 namespace core = planaria::core;
+namespace fault = planaria::fault;
 namespace layout = planaria::core::layout;
 namespace sim = planaria::sim;
 namespace trace = planaria::trace;
@@ -82,7 +90,14 @@ bool results_identical(const sim::SimResult& a, const sim::SimResult& b) {
          a.slp_issues == b.slp_issues && a.tlp_issues == b.tlp_issues &&
          a.late_prefetch_merges == b.late_prefetch_merges &&
          a.data_bus_utilization == b.data_bus_utilization &&
-         a.storage_bits == b.storage_bits;
+         a.storage_bits == b.storage_bits &&
+         a.fault_injected_total == b.fault_injected_total &&
+         a.fault_trace_corruptions == b.fault_trace_corruptions &&
+         a.fault_slp_flips == b.fault_slp_flips &&
+         a.fault_tlp_flips == b.fault_tlp_flips &&
+         a.fault_prefetch_drops == b.fault_prefetch_drops &&
+         a.fault_prefetch_delays == b.fault_prefetch_delays &&
+         a.fault_dram_stalls == b.fault_dram_stalls;
 }
 
 /// The storage contract applied to one configuration: the field-by-field
@@ -199,15 +214,11 @@ void static_audit() {
   check::reset_violations();
 }
 
-void replay_audit(std::uint64_t records, std::uint64_t seed) {
-  std::printf("replay audit: %llu records/app, all kinds, contracts armed\n",
-              static_cast<unsigned long long>(records));
-  check::CountingScope scope;
-  check::reset_violations();
-
-  // One calibrated app plus one deliberately noisy randomized profile: the
-  // calibrated stream exercises the learned-pattern paths, the randomized one
-  // pushes occupancy/eviction corners the calibrated mixes rarely reach.
+/// One calibrated app plus one deliberately noisy randomized profile: the
+/// calibrated stream exercises the learned-pattern paths, the randomized one
+/// pushes occupancy/eviction corners the calibrated mixes rarely reach.
+/// Shared by the replay and chaos stages.
+std::vector<trace::AppProfile> audit_profiles(std::uint64_t seed) {
   trace::AppProfile fuzz = trace::paper_apps().front();
   fuzz.name = "fuzz";
   fuzz.seed = seed;
@@ -218,9 +229,16 @@ void replay_audit(std::uint64_t records, std::uint64_t seed) {
   fuzz.burstiness = 0.6;
   fuzz.footprint.mutate_p = 0.3;
   fuzz.neighbor.new_page_rate = 0.8;
+  return {trace::paper_apps().front(), fuzz};
+}
 
-  const std::vector<trace::AppProfile> profiles = {trace::paper_apps().front(),
-                                                   fuzz};
+void replay_audit(std::uint64_t records, std::uint64_t seed) {
+  std::printf("replay audit: %llu records/app, all kinds, contracts armed\n",
+              static_cast<unsigned long long>(records));
+  check::CountingScope scope;
+  check::reset_violations();
+
+  const std::vector<trace::AppProfile> profiles = audit_profiles(seed);
   planaria::common::ThreadPool pool(4);
   // Profile-level parallel generation (deterministic: each profile owns its
   // seeds); also exercises the generator under the pool for the TSan build.
@@ -261,6 +279,139 @@ void replay_audit(std::uint64_t records, std::uint64_t seed) {
   check::reset_violations();
 }
 
+/// Injection rate per fault class, tuned so a 20k-record replay applies a
+/// meaningful number of each fault without drowning the simulation.
+double chaos_rate(fault::FaultClass fault_class) {
+  switch (fault_class) {
+    case fault::FaultClass::kTraceCorruption: return 0.002;
+    case fault::FaultClass::kSlpPatternFlip: return 0.01;
+    case fault::FaultClass::kTlpPatternFlip: return 0.01;
+    case fault::FaultClass::kPrefetchDrop: return 0.05;
+    case fault::FaultClass::kPrefetchDelay: return 0.05;
+    case fault::FaultClass::kDramStall: return 0.001;
+    case fault::FaultClass::kCount: break;
+  }
+  return 0.0;
+}
+
+/// Everything one chaos cell produces: the simulation result plus the
+/// contract-layer tallies accumulated during that run.
+struct ChaosOutcome {
+  sim::SimResult result;
+  std::uint64_t violations = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t timing_violations = 0;
+  std::uint64_t occupancy_violations = 0;
+};
+
+ChaosOutcome run_chaos_cell(const sim::SimConfig& config,
+                            sim::PrefetcherKind kind,
+                            const std::vector<trace::TraceRecord>& records,
+                            planaria::common::ThreadPool* pool) {
+  check::reset_violations();
+  check::reset_recoveries();
+  ChaosOutcome o;
+  o.result =
+      sim::Simulator::run(config, sim::make_prefetcher_factory(kind),
+                          sim::prefetcher_kind_name(kind), records, pool);
+  o.violations = check::total_violations();
+  o.recoveries = check::total_recoveries();
+  o.timing_violations =
+      check::violation_count(check::Category::kTimingMonotonicity);
+  o.occupancy_violations =
+      check::violation_count(check::Category::kTableOccupancy);
+  return o;
+}
+
+/// The per-class manifestation rule the chaos gate asserts. Trace corruption
+/// regresses an arrival strictly, so it fires the time-order contract exactly
+/// once per applied fault. An SLP flip only manifests when it drags a pattern
+/// below the promotion threshold AND the page triggers an issue before the
+/// entry is relearned, hence <=. The remaining classes shift timing or drop
+/// work without breaking any structural invariant, so they must stay silent.
+bool chaos_counters_ok(fault::FaultClass fault_class, const ChaosOutcome& o) {
+  if (o.recoveries != o.violations) return false;
+  switch (fault_class) {
+    case fault::FaultClass::kTraceCorruption:
+      return o.violations == o.timing_violations &&
+             o.timing_violations == o.result.fault_trace_corruptions;
+    case fault::FaultClass::kSlpPatternFlip:
+      return o.violations == o.occupancy_violations &&
+             o.occupancy_violations <= o.result.fault_slp_flips;
+    default:
+      return o.violations == 0;
+  }
+}
+
+void chaos_audit(std::uint64_t records, std::uint64_t seed) {
+  std::printf(
+      "chaos audit: %llu records/app, every kind x fault class, recover mode\n",
+      static_cast<unsigned long long>(records));
+
+  const std::vector<trace::AppProfile> profiles = audit_profiles(seed);
+  planaria::common::ThreadPool pool(4);
+  const auto traces = trace::generate_app_traces(profiles, records, &pool);
+
+  // kRecover for the whole stage: a violation under chaos is expected and
+  // must be recovered, not aborted on. Counters are reset per cell inside
+  // run_chaos_cell, so the scope only sets the mode.
+  check::RecoveryScope scope;
+
+  for (int c = 0; c < fault::kFaultClassCount; ++c) {
+    const auto fault_class = static_cast<fault::FaultClass>(c);
+    sim::SimConfig config;
+    config.fault =
+        fault::FaultPlan::single(fault_class, chaos_rate(fault_class), seed);
+
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+      const auto& app = profiles[p];
+      const auto& trace_records = traces[p];
+      for (sim::PrefetcherKind kind : sim::all_prefetcher_kinds()) {
+        const auto o = run_chaos_cell(config, kind, trace_records, nullptr);
+        const std::string cell = app.name + " x " +
+                                 sim::prefetcher_kind_name(kind) + " / " +
+                                 fault::fault_class_name(fault_class);
+        const bool complete = o.result.demand_reads + o.result.demand_writes ==
+                              trace_records.size();
+        if (!expect(complete && chaos_counters_ok(fault_class, o),
+                    cell + ": completes, counters reconcile (" +
+                        std::to_string(o.result.fault_injected_total) +
+                        " injected, " + std::to_string(o.violations) +
+                        " violations, " + std::to_string(o.recoveries) +
+                        " recoveries)")) {
+          continue;
+        }
+
+        // Determinism leg, flagship kind only (cost): the same seed must
+        // reproduce the identical result — fault counters included — on a
+        // second serial run and on the 4-thread channel-sharded path.
+        if (kind != sim::PrefetcherKind::kPlanaria) continue;
+        // The flagship must actually exercise the armed class (vacuous
+        // counter equalities don't gate anything); skip the floor only for
+        // tiny --records smoke runs.
+        if (records >= 5000) {
+          expect(o.result.fault_injected_total > 0,
+                 cell + ": armed class injected at least one fault");
+        }
+        const auto again =
+            run_chaos_cell(config, kind, trace_records, nullptr);
+        const auto threaded =
+            run_chaos_cell(config, kind, trace_records, &pool);
+        expect(results_identical(o.result, again.result) &&
+                   o.violations == again.violations &&
+                   o.recoveries == again.recoveries,
+               cell + ": second run reproduces result and counters");
+        expect(results_identical(o.result, threaded.result) &&
+                   o.violations == threaded.violations &&
+                   o.recoveries == threaded.recoveries,
+               cell + ": 4-thread run reproduces result and counters");
+      }
+    }
+  }
+  check::reset_violations();
+  check::reset_recoveries();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -270,14 +421,18 @@ int main(int argc, char** argv) {
 
   std::uint64_t records = 20000;
   std::uint64_t seed = 0xA0D17;
+  std::string stage = "all";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
       records = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stage") == 0 && i + 1 < argc) {
+      stage = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: planaria-audit [--records N] [--seed S]\n");
+                   "usage: planaria-audit [--records N] [--seed S] "
+                   "[--stage all|self-test|static|replay|chaos]\n");
       return 1;
     }
   }
@@ -285,13 +440,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "planaria-audit: --records must be >= 1\n");
     return 1;
   }
+  if (stage != "all" && stage != "self-test" && stage != "static" &&
+      stage != "replay" && stage != "chaos") {
+    std::fprintf(stderr, "planaria-audit: unknown --stage '%s'\n",
+                 stage.c_str());
+    return 1;
+  }
 
+  // The self-test runs first regardless of stage selection: a gate that
+  // cannot see a planted bug must not be trusted to pass anything.
   if (!self_test()) {
     std::fprintf(stderr, "planaria-audit: SELF-TEST FAILED — gate is blind\n");
     return 2;
   }
-  static_audit();
-  replay_audit(records, seed);
+  if (stage == "all" || stage == "static") static_audit();
+  if (stage == "all" || stage == "replay") replay_audit(records, seed);
+  if (stage == "all" || stage == "chaos") chaos_audit(records, seed);
 
   if (g_failures > 0) {
     std::fprintf(stderr, "planaria-audit: %d check(s) FAILED\n", g_failures);
