@@ -40,34 +40,10 @@ double run_sweep_seconds(std::uint64_t records, std::size_t threads,
   return std::chrono::duration<double>(stop - start).count();
 }
 
+/// SimResult::operator== is defaulted memberwise equality, doubles compared
+/// with == on purpose: the contract is bit-identity, not numeric tolerance.
 bool bit_identical(const sim::SimResult& a, const sim::SimResult& b) {
-  return a.prefetcher == b.prefetcher && a.demand_reads == b.demand_reads &&
-         a.demand_writes == b.demand_writes && a.amat_cycles == b.amat_cycles &&
-         a.sc_hit_rate == b.sc_hit_rate &&
-         a.prefetch_accuracy == b.prefetch_accuracy &&
-         a.prefetch_coverage == b.prefetch_coverage &&
-         a.prefetch_issued == b.prefetch_issued &&
-         a.prefetch_dropped == b.prefetch_dropped &&
-         a.dram_reads == b.dram_reads && a.dram_writes == b.dram_writes &&
-         a.dram_traffic_blocks == b.dram_traffic_blocks &&
-         a.dram_power_mw == b.dram_power_mw &&
-         a.sram_power_mw == b.sram_power_mw &&
-         a.total_power_mw == b.total_power_mw && a.ipc == b.ipc &&
-         a.elapsed == b.elapsed && a.hits_on_slp == b.hits_on_slp &&
-         a.hits_on_tlp == b.hits_on_tlp &&
-         a.hits_on_other_pf == b.hits_on_other_pf &&
-         a.pollution_misses == b.pollution_misses &&
-         a.slp_issues == b.slp_issues && a.tlp_issues == b.tlp_issues &&
-         a.late_prefetch_merges == b.late_prefetch_merges &&
-         a.data_bus_utilization == b.data_bus_utilization &&
-         a.storage_bits == b.storage_bits &&
-         a.fault_injected_total == b.fault_injected_total &&
-         a.fault_trace_corruptions == b.fault_trace_corruptions &&
-         a.fault_slp_flips == b.fault_slp_flips &&
-         a.fault_tlp_flips == b.fault_tlp_flips &&
-         a.fault_prefetch_drops == b.fault_prefetch_drops &&
-         a.fault_prefetch_delays == b.fault_prefetch_delays &&
-         a.fault_dram_stalls == b.fault_dram_stalls;
+  return a == b;
 }
 
 }  // namespace

@@ -11,10 +11,18 @@
 #                 each fault class with contracts in recover mode; exits
 #                 nonzero on any abort or injected-vs-recovered counter
 #                 mismatch
-#   5. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
+#   5. crash    — planaria-audit --stage crash: kill-and-resume drills at
+#                 randomized record indices across the full (app x kind x
+#                 faults x threads) matrix, asserting the resumed run is
+#                 bit-identical to an uninterrupted one, plus truncated /
+#                 CRC-corrupt snapshot recovery
+#   6. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
 #                 PLANARIA_THREADS pool
-#   6. tidy     — clang-tidy over src/ against the compilation database
+#   7. tidy     — clang-tidy over src/ against the compilation database
 #                 (skipped with a notice if clang-tidy is not installed)
+#
+# Every stage runs even if an earlier one fails; each stage runs under a
+# timeout; the script exits nonzero with a summary naming the failed stages.
 #
 # Usage: scripts/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-tidy]
 set -euo pipefail
@@ -34,47 +42,98 @@ for arg in "$@"; do
 done
 
 JOBS=$(nproc 2>/dev/null || echo 4)
+FAILED_STAGES=()
 
-step() { printf '\n==> %s\n' "$*"; }
+# run_stage <name> <timeout-seconds> <function>
+# Runs <function> under `timeout`, recording — not aborting on — failure so
+# every stage gets its run. `set -e` stays active inside the stage function
+# itself (it runs in a subshell via the if-guard), so the first failing
+# command still short-circuits that stage.
+run_stage() {
+  local name="$1" limit="$2" fn="$3"
+  printf '\n==> %s (timeout %ss)\n' "$name" "$limit"
+  local status=0
+  timeout --foreground "$limit" bash -euo pipefail -c "
+    cd '$PWD'
+    JOBS='$JOBS'
+    $(declare -f "$fn")
+    $fn
+  " || status=$?
+  if [[ "$status" -ne 0 ]]; then
+    if [[ "$status" -eq 124 ]]; then
+      printf '!! stage %s TIMED OUT after %ss\n' "$name" "$limit" >&2
+    else
+      printf '!! stage %s FAILED (exit %s)\n' "$name" "$status" >&2
+    fi
+    FAILED_STAGES+=("$name")
+  fi
+}
 
-step "release: -Werror build + tests"
-cmake -B build-release -S . -DPLANARIA_WERROR=ON >/dev/null
-cmake --build build-release -j "$JOBS"
-ctest --test-dir build-release --output-on-failure -j "$JOBS"
+stage_release() {
+  cmake -B build-release -S . -DPLANARIA_WERROR=ON >/dev/null
+  cmake --build build-release -j "$JOBS"
+  ctest --test-dir build-release --output-on-failure -j "$JOBS"
+}
 
-if [[ "$SKIP_SANITIZE" -eq 0 ]]; then
-  step "sanitize: ASan+UBSan build + tests"
+stage_sanitize() {
   cmake -B build-sanitize -S . -DPLANARIA_WERROR=ON \
     -DPLANARIA_SANITIZE=address,undefined >/dev/null
   cmake --build build-sanitize -j "$JOBS"
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
-  AUDIT=./build-sanitize/tools/planaria-audit
-else
-  AUDIT=./build-release/tools/planaria-audit
-fi
+}
 
-step "audit: planaria-audit static + replay ($AUDIT)"
-"$AUDIT" --stage static
-"$AUDIT" --stage replay
+stage_audit() {
+  "$AUDIT" --stage static
+  "$AUDIT" --stage replay
+}
 
-step "chaos: planaria-audit fault-injection gate"
-"$AUDIT" --stage chaos
+stage_chaos() {
+  "$AUDIT" --stage chaos
+}
 
-if [[ "$SKIP_TSAN" -eq 0 ]]; then
-  step "tsan: thread-pooled sweep tests under ThreadSanitizer"
+stage_crash() {
+  "$AUDIT" --stage crash
+}
+
+stage_tsan() {
   cmake -B build-tsan -S . -DPLANARIA_WERROR=ON \
     -DPLANARIA_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target test_parallel test_sim test_sim_edge
   PLANARIA_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan -R 'test_parallel|test_sim' --output-on-failure
+}
+
+stage_tidy() {
+  mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+  clang-tidy -p build-release --quiet "${sources[@]}"
+}
+
+run_stage release 1800 stage_release
+
+if [[ "$SKIP_SANITIZE" -eq 0 ]]; then
+  run_stage sanitize 1800 stage_sanitize
+  AUDIT=./build-sanitize/tools/planaria-audit
+else
+  AUDIT=./build-release/tools/planaria-audit
+fi
+export AUDIT
+
+run_stage audit 900 stage_audit
+run_stage chaos 900 stage_chaos
+run_stage crash 1200 stage_crash
+
+if [[ "$SKIP_TSAN" -eq 0 ]]; then
+  run_stage tsan 1800 stage_tsan
 fi
 
 if [[ "$SKIP_TIDY" -eq 0 ]] && command -v clang-tidy >/dev/null 2>&1; then
-  step "tidy: clang-tidy over src/"
-  mapfile -t sources < <(find src tools -name '*.cpp' | sort)
-  clang-tidy -p build-release --quiet "${sources[@]}"
+  run_stage tidy 1800 stage_tidy
 elif [[ "$SKIP_TIDY" -eq 0 ]]; then
-  step "tidy: clang-tidy not installed — skipped (CI runs it)"
+  printf '\n==> tidy: clang-tidy not installed — skipped (CI runs it)\n'
 fi
 
-step "all checks passed"
+if [[ "${#FAILED_STAGES[@]}" -ne 0 ]]; then
+  printf '\n==> FAILED stages: %s\n' "${FAILED_STAGES[*]}" >&2
+  exit 1
+fi
+printf '\n==> all checks passed\n'

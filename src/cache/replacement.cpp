@@ -1,5 +1,6 @@
 #include "cache/replacement.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "common/assert.hpp"
@@ -28,6 +29,17 @@ class LruPolicy final : public ReplacementPolicy {
     return v;
   }
 
+  void save_state(snapshot::Writer& w) const override {
+    w.tag(snapshot::tag4("RLRU"));
+    w.u64(tick_);
+    for (std::uint64_t s : stamps_) w.u64(s);
+  }
+  void load_state(snapshot::Reader& r) override {
+    r.expect_tag(snapshot::tag4("RLRU"));
+    tick_ = r.u64();
+    for (std::uint64_t& s : stamps_) s = r.u64();
+  }
+
  private:
   std::size_t index(std::uint32_t set, int way) const {
     return static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_) +
@@ -48,6 +60,17 @@ class RandomPolicy final : public ReplacementPolicy {
   void on_fill(std::uint32_t, int, bool) override {}
   int victim(std::uint32_t) override {
     return static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(ways_)));
+  }
+
+  void save_state(snapshot::Writer& w) const override {
+    w.tag(snapshot::tag4("RRND"));
+    for (std::uint64_t word : rng_.state()) w.u64(word);
+  }
+  void load_state(snapshot::Reader& r) override {
+    r.expect_tag(snapshot::tag4("RRND"));
+    std::array<std::uint64_t, 4> s{};
+    for (std::uint64_t& word : s) word = r.u64();
+    rng_.set_state(s);
   }
 
  private:
@@ -77,6 +100,15 @@ class SrripPolicy : public ReplacementPolicy {
     }
   }
 
+  void save_state(snapshot::Writer& w) const override {
+    w.tag(snapshot::tag4("RSRR"));
+    for (std::uint8_t v : rrpv_) w.u8(v);
+  }
+  void load_state(snapshot::Reader& r) override {
+    r.expect_tag(snapshot::tag4("RSRR"));
+    for (std::uint8_t& v : rrpv_) v = r.u8();
+  }
+
  protected:
   static constexpr std::uint8_t kMax = 3;
 
@@ -100,6 +132,21 @@ class DrripPolicy final : public SrripPolicy {
  public:
   DrripPolicy(std::uint32_t sets, int ways, std::uint64_t seed)
       : SrripPolicy(sets, ways), sets_(sets), rng_(seed) {}
+
+  void save_state(snapshot::Writer& w) const override {
+    SrripPolicy::save_state(w);
+    w.tag(snapshot::tag4("RDRR"));
+    w.u32(static_cast<std::uint32_t>(psel_));
+    for (std::uint64_t word : rng_.state()) w.u64(word);
+  }
+  void load_state(snapshot::Reader& r) override {
+    SrripPolicy::load_state(r);
+    r.expect_tag(snapshot::tag4("RDRR"));
+    psel_ = static_cast<int>(r.u32());
+    std::array<std::uint64_t, 4> s{};
+    for (std::uint64_t& word : s) word = r.u64();
+    rng_.set_state(s);
+  }
 
  protected:
   std::uint8_t insertion_rrpv(std::uint32_t set, bool prefetch) override {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace planaria::cache {
 
@@ -32,6 +33,12 @@ class ReplacementPolicy {
   /// Planaria does not alter insertion) deprioritize speculative fills.
   virtual void on_fill(std::uint32_t set, int way, bool prefetch) = 0;
   virtual int victim(std::uint32_t set) = 0;
+
+  /// Checkpoint/restore: recency metadata (LRU stamps, RRPV arrays, PSEL,
+  /// RNG state) is as much simulation state as the tags — victim choice
+  /// after a restore must match the uninterrupted run exactly.
+  virtual void save_state(snapshot::Writer& w) const = 0;
+  virtual void load_state(snapshot::Reader& r) = 0;
 };
 
 /// Factory. Throws std::invalid_argument for malformed geometry.

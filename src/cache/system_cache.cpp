@@ -1,5 +1,6 @@
 #include "cache/system_cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "check/contract.hpp"
@@ -170,6 +171,107 @@ void SystemCache::track_pollution_eviction(std::uint64_t block) {
                          pollution_fifo_.size() <= kPollutionFilterCap &&
                              pollution_set_.size() <= pollution_fifo_.size(),
                          "pollution filter FIFO/set lost synchronization");
+}
+
+void SystemCache::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("CSH0"));
+  // Valid lines only, in ascending slot order (canonical encoding).
+  std::uint64_t valid = 0;
+  for (const Line& line : lines_) valid += line.valid ? 1 : 0;
+  w.u64(valid);
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    const Line& line = lines_[i];
+    if (!line.valid) continue;
+    w.u64(static_cast<std::uint64_t>(i));
+    w.u64(line.block);
+    w.b(line.dirty);
+    w.b(line.prefetched);
+    w.u8(static_cast<std::uint8_t>(line.source));
+  }
+  policy_->save_state(w);
+  w.u64(stats_.demand_accesses);
+  w.u64(stats_.demand_hits);
+  w.u64(stats_.demand_misses);
+  w.u64(stats_.demand_hits_on_prefetch);
+  w.u64(stats_.hits_on_slp);
+  w.u64(stats_.hits_on_tlp);
+  w.u64(stats_.hits_on_other_pf);
+  w.u64(stats_.prefetch_fills);
+  w.u64(stats_.prefetch_unused_evictions);
+  w.u64(stats_.pollution_misses);
+  w.u64(stats_.dirty_writebacks);
+  w.u64(stats_.write_hits);
+  w.u64(stats_.write_misses);
+  w.u64(redundant_fills_);
+  // Pollution filter: the FIFO is ordered as-is; the membership set is NOT
+  // derivable from the FIFO (overwriting one duplicate erases the value from
+  // the set while its twin stays queued), so it travels separately, sorted.
+  w.u64(static_cast<std::uint64_t>(pollution_fifo_.size()));
+  for (std::uint64_t v : pollution_fifo_) w.u64(v);
+  w.u64(static_cast<std::uint64_t>(pollution_head_));
+  std::vector<std::uint64_t> members(pollution_set_.begin(),
+                                     pollution_set_.end());
+  std::sort(members.begin(), members.end());
+  w.u64(static_cast<std::uint64_t>(members.size()));
+  for (std::uint64_t v : members) w.u64(v);
+}
+
+void SystemCache::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("CSH0"));
+  for (Line& line : lines_) line = Line{};
+  const std::uint64_t valid = r.u64();
+  if (valid > lines_.size()) {
+    throw snapshot::SnapshotError("cache valid-line count exceeds capacity");
+  }
+  std::uint64_t prev = 0;
+  for (std::uint64_t n = 0; n < valid; ++n) {
+    const std::uint64_t i = r.u64();
+    if (i >= lines_.size() || (n > 0 && i <= prev)) {
+      throw snapshot::SnapshotError("cache line slot index out of order");
+    }
+    prev = i;
+    Line& line = lines_[i];
+    line.block = r.u64();
+    line.dirty = r.b();
+    line.prefetched = r.b();
+    const std::uint8_t src = r.u8();
+    if (src > static_cast<std::uint8_t>(FillSource::kPrefetchOther)) {
+      throw snapshot::SnapshotError("cache line fill source out of range");
+    }
+    line.source = static_cast<FillSource>(src);
+    line.valid = true;
+  }
+  policy_->load_state(r);
+  stats_.demand_accesses = r.u64();
+  stats_.demand_hits = r.u64();
+  stats_.demand_misses = r.u64();
+  stats_.demand_hits_on_prefetch = r.u64();
+  stats_.hits_on_slp = r.u64();
+  stats_.hits_on_tlp = r.u64();
+  stats_.hits_on_other_pf = r.u64();
+  stats_.prefetch_fills = r.u64();
+  stats_.prefetch_unused_evictions = r.u64();
+  stats_.pollution_misses = r.u64();
+  stats_.dirty_writebacks = r.u64();
+  stats_.write_hits = r.u64();
+  stats_.write_misses = r.u64();
+  redundant_fills_ = r.u64();
+  const std::uint64_t fifo_size = r.u64();
+  if (fifo_size > kPollutionFilterCap) {
+    throw snapshot::SnapshotError("pollution FIFO larger than its cap");
+  }
+  pollution_fifo_.assign(fifo_size, 0);
+  for (std::uint64_t& v : pollution_fifo_) v = r.u64();
+  pollution_head_ = static_cast<std::size_t>(r.u64());
+  if (fifo_size > 0 && pollution_head_ >= kPollutionFilterCap) {
+    throw snapshot::SnapshotError("pollution FIFO head out of range");
+  }
+  const std::uint64_t set_size = r.u64();
+  if (set_size > fifo_size) {
+    throw snapshot::SnapshotError("pollution set larger than its FIFO");
+  }
+  pollution_set_.clear();
+  for (std::uint64_t n = 0; n < set_size; ++n) pollution_set_.insert(r.u64());
 }
 
 }  // namespace planaria::cache

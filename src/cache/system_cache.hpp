@@ -116,6 +116,13 @@ class SystemCache {
   const CacheConfig& config() const { return config_; }
   std::uint64_t redundant_prefetch_fills() const { return redundant_fills_; }
 
+  /// Checkpoint/restore (DESIGN.md §11): tags/flags of every valid line, the
+  /// replacement policy's recency state, all stats, and the pollution filter.
+  /// The unordered membership set is emitted in sorted order so the encoding
+  /// is canonical (serialize -> deserialize -> serialize is byte-identical).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+
  private:
   struct Line {
     std::uint64_t block = 0;

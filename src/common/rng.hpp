@@ -7,6 +7,7 @@
 // distribution helpers).
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/assert.hpp"
@@ -41,6 +42,13 @@ class Rng {
   /// rejection-free inverse-CDF over a harmonic approximation. Deterministic
   /// and cheap; adequate for workload skew modelling.
   std::uint64_t next_zipf(std::uint64_t n, double s);
+
+  /// Raw 256-bit state, for checkpoint/restore: restoring state() into a
+  /// fresh Rng continues the exact output sequence.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   std::uint64_t s_[4];

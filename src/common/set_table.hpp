@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace planaria {
 
@@ -132,6 +133,51 @@ class SetAssocTable {
         on_evict(e.key, std::move(e.payload));
       }
     }
+  }
+
+  /// Checkpoint: valid slots in ascending slot order (canonical, so the
+  /// encoding is byte-stable across save/load cycles), with the exact LRU
+  /// timestamps — replacement decisions after a restore match the
+  /// uninterrupted run bit for bit. `sp(w, payload)` encodes one payload.
+  template <typename SavePayload>
+  void save_state(snapshot::Writer& w, SavePayload&& sp) const {
+    w.u64(tick_);
+    w.u64(static_cast<std::uint64_t>(live_));
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      if (!e.valid) continue;
+      w.u64(static_cast<std::uint64_t>(i));
+      w.u64(static_cast<std::uint64_t>(e.key));
+      w.u64(e.last_use);
+      sp(w, e.payload);
+    }
+  }
+
+  /// Restore counterpart; `lp(r)` decodes one payload. Geometry must match
+  /// the constructed table (slot indices out of range, descending, or
+  /// duplicated reject the snapshot).
+  template <typename LoadPayload>
+  void load_state(snapshot::Reader& r, LoadPayload&& lp) {
+    clear();
+    tick_ = r.u64();
+    const std::uint64_t count = r.u64();
+    if (count > entries_.size()) {
+      throw snapshot::SnapshotError("set table live count exceeds capacity");
+    }
+    std::uint64_t prev = 0;
+    for (std::uint64_t n = 0; n < count; ++n) {
+      const std::uint64_t i = r.u64();
+      if (i >= entries_.size() || (n > 0 && i <= prev)) {
+        throw snapshot::SnapshotError("set table slot index out of order");
+      }
+      prev = i;
+      Entry& e = entries_[i];
+      e.key = static_cast<Key>(r.u64());
+      e.last_use = r.u64();
+      e.payload = lp(r);
+      e.valid = true;
+    }
+    live_ = static_cast<std::size_t>(count);
   }
 
  private:

@@ -95,4 +95,34 @@ std::uint64_t ParallelComposite::storage_bits() const {
   return slp_.storage_bits() + tlp_.storage_bits();
 }
 
+void SerialComposite::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("SER0"));
+  slp_.save_state(w);
+  tlp_.save_state(w);
+  w.b(slp_active_);
+  w.u32(static_cast<std::uint32_t>(slp_failures_));
+  w.u64(switches_);
+}
+
+void SerialComposite::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("SER0"));
+  slp_.load_state(r);
+  tlp_.load_state(r);
+  slp_active_ = r.b();
+  slp_failures_ = static_cast<int>(r.u32());
+  switches_ = r.u64();
+}
+
+void ParallelComposite::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("PAR0"));
+  slp_.save_state(w);
+  tlp_.save_state(w);
+}
+
+void ParallelComposite::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("PAR0"));
+  slp_.load_state(r);
+  tlp_.load_state(r);
+}
+
 }  // namespace planaria::core

@@ -49,6 +49,9 @@ class SerialComposite final : public prefetch::Prefetcher {
   bool slp_active() const { return slp_active_; }
   std::uint64_t switches() const { return switches_; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   SerialCoordinatorConfig config_;
   Slp slp_;
@@ -83,6 +86,9 @@ class ParallelComposite final : public prefetch::Prefetcher {
     slp_.set_fault_injector(injector);
     tlp_.set_fault_injector(injector);
   }
+
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
  private:
   ParallelCoordinatorConfig config_;

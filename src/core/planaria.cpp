@@ -74,4 +74,24 @@ std::uint64_t PlanariaPrefetcher::storage_bits() const {
   return bits;
 }
 
+void PlanariaPrefetcher::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("PLN0"));
+  slp_.save_state(w);
+  tlp_.save_state(w);
+  w.u64(stats_.triggers);
+  w.u64(stats_.slp_issues);
+  w.u64(stats_.tlp_issues);
+  w.u64(stats_.no_issues);
+}
+
+void PlanariaPrefetcher::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("PLN0"));
+  slp_.load_state(r);
+  tlp_.load_state(r);
+  stats_.triggers = r.u64();
+  stats_.slp_issues = r.u64();
+  stats_.tlp_issues = r.u64();
+  stats_.no_issues = r.u64();
+}
+
 }  // namespace planaria::core

@@ -58,6 +58,9 @@ class PlanariaPrefetcher final : public prefetch::Prefetcher {
   const Tlp& tlp() const { return tlp_; }
   const PlanariaStats& stats() const { return stats_; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   PlanariaConfig config_;
   Slp slp_;

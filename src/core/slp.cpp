@@ -210,4 +210,52 @@ std::uint64_t Slp::storage_bits() const {
   return ft_bits + at_bits + pt_bits;
 }
 
+void Slp::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("SLP0"));
+  ft_.save_state(w, [](snapshot::Writer& o, const FtEntry& e) {
+    for (std::uint8_t off : e.offsets) o.u8(off);
+    o.u32(static_cast<std::uint32_t>(e.count));
+  });
+  at_.save_state(w, [](snapshot::Writer& o, const AtEntry& e) {
+    o.u16(static_cast<std::uint16_t>(e.bitmap.raw()));
+    o.u64(e.last_access);
+  });
+  pt_.save_state(w, [](snapshot::Writer& o, const SegmentBitmap& bm) {
+    o.u16(static_cast<std::uint16_t>(bm.raw()));
+  });
+  w.u64(stats_.ft_inserts);
+  w.u64(stats_.promotions);
+  w.u64(stats_.snapshots_learned);
+  w.u64(stats_.timeout_evictions);
+  w.u64(stats_.capacity_evictions);
+  w.u64(stats_.issue_triggers);
+  w.u64(stats_.prefetches_issued);
+  w.u64(accesses_since_sweep_);
+}
+
+void Slp::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("SLP0"));
+  ft_.load_state(r, [](snapshot::Reader& i) {
+    FtEntry e;
+    for (std::uint8_t& off : e.offsets) off = i.u8();
+    e.count = static_cast<int>(i.u32());
+    return e;
+  });
+  at_.load_state(r, [](snapshot::Reader& i) {
+    AtEntry e;
+    e.bitmap = SegmentBitmap(i.u16());
+    e.last_access = i.u64();
+    return e;
+  });
+  pt_.load_state(r, [](snapshot::Reader& i) { return SegmentBitmap(i.u16()); });
+  stats_.ft_inserts = r.u64();
+  stats_.promotions = r.u64();
+  stats_.snapshots_learned = r.u64();
+  stats_.timeout_evictions = r.u64();
+  stats_.capacity_evictions = r.u64();
+  stats_.issue_triggers = r.u64();
+  stats_.prefetches_issued = r.u64();
+  accesses_since_sweep_ = r.u64();
+}
+
 }  // namespace planaria::core

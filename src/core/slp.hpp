@@ -86,6 +86,12 @@ class Slp {
   /// learn path beyond one pointer test.
   void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
 
+  /// Checkpoint/restore (DESIGN.md §11): all three tables with exact LRU
+  /// state, stats, and the sweep phase counter. The attached fault injector
+  /// is serialized by its owner, not here.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+
  private:
   struct FtEntry {
     std::uint8_t offsets[3] = {0, 0, 0};  ///< first distinct offsets seen

@@ -187,4 +187,59 @@ std::uint64_t Tlp::storage_bits() const {
   return n * layout::rpt_entry_bits(n);
 }
 
+void Tlp::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("TLP0"));
+  w.u64(static_cast<std::uint64_t>(entries_.size()));
+  for (const RptEntry& e : entries_) {
+    w.b(e.valid);
+    if (!e.valid) continue;  // invalid slots are all-default by construction
+    w.u64(e.page);
+    w.u16(static_cast<std::uint16_t>(e.bitmap.raw()));
+    w.u64(e.last_use);
+    // Ref row, packed 8 slots per byte (slot j -> byte j/8 bit j%8).
+    std::uint8_t byte = 0;
+    for (std::size_t j = 0; j < e.ref.size(); ++j) {
+      if (e.ref[j]) byte |= static_cast<std::uint8_t>(1u << (j % 8));
+      if (j % 8 == 7 || j + 1 == e.ref.size()) {
+        w.u8(byte);
+        byte = 0;
+      }
+    }
+  }
+  w.u64(tick_);
+  w.u64(stats_.allocations);
+  w.u64(stats_.issue_triggers);
+  w.u64(stats_.transfers);
+  w.u64(stats_.prefetches_issued);
+}
+
+void Tlp::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("TLP0"));
+  if (r.u64() != entries_.size()) {
+    throw snapshot::SnapshotError("RPT entry count mismatch");
+  }
+  for (RptEntry& e : entries_) {
+    e = RptEntry{};
+    e.ref.assign(entries_.size(), false);
+    e.valid = r.b();
+    if (!e.valid) continue;
+    e.page = r.u64();
+    e.bitmap = SegmentBitmap(r.u16());
+    e.last_use = r.u64();
+    for (std::size_t j = 0; j < e.ref.size(); j += 8) {
+      const std::uint8_t byte = r.u8();
+      for (std::size_t k = 0; k < 8 && j + k < e.ref.size(); ++k) {
+        e.ref[j + k] = ((byte >> k) & 1u) != 0;
+      }
+    }
+  }
+  tick_ = r.u64();
+  stats_.allocations = r.u64();
+  stats_.issue_triggers = r.u64();
+  stats_.transfers = r.u64();
+  stats_.prefetches_issued = r.u64();
+  PLANARIA_DASSERT_MSG(ref_matrix_consistent(),
+                       "restored RPT Ref matrix lost symmetry");
+}
+
 }  // namespace planaria::core

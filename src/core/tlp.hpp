@@ -70,6 +70,12 @@ class Tlp {
   /// recovery. nullptr (the default) disables injection.
   void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
 
+  /// Checkpoint/restore (DESIGN.md §11): every RPT slot (bitmap, Ref row,
+  /// LRU stamp), the LRU tick and stats. Slot indices are part of the
+  /// encoding because the Ref matrix is slot-addressed.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+
  private:
   struct RptEntry {
     PageNumber page = 0;

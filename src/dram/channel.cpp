@@ -414,4 +414,162 @@ std::vector<DramCompletion> DramChannel::take_completions() {
   return out;
 }
 
+void DramChannel::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("DRM0"));
+  w.u64(static_cast<std::uint64_t>(banks_.size()));
+  for (const Bank& b : banks_) {
+    w.b(b.row_open);
+    w.u32(b.open_row);
+    w.u64(b.act_allowed);
+    w.u64(b.rdwr_allowed);
+    w.u64(b.pre_allowed);
+  }
+  const auto save_queue = [&w](const std::deque<Queued>& q) {
+    w.u64(static_cast<std::uint64_t>(q.size()));
+    for (const Queued& e : q) {
+      w.u64(e.req.local_block);
+      w.u64(e.req.arrival);
+      w.b(e.req.is_write);
+      w.b(e.req.is_prefetch);
+      w.u64(e.req.tag);
+      w.u64(e.order);
+      w.b(e.needed_act);
+    }
+  };
+  save_queue(read_q_);
+  save_queue(write_q_);
+  w.u64(static_cast<std::uint64_t>(completions_.size()));
+  for (const DramCompletion& c : completions_) {
+    w.u64(c.tag);
+    w.u64(c.arrival);
+    w.u64(c.finish);
+    w.b(c.is_write);
+    w.b(c.is_prefetch);
+    w.b(c.row_hit);
+    w.b(c.forwarded);
+  }
+  w.u64(now_);
+  w.u64(next_cmd_ok_);
+  w.u64(next_read_ok_);
+  w.u64(next_write_ok_);
+  w.u64(static_cast<std::uint64_t>(ranks_.size()));
+  for (const RankState& rs : ranks_) {
+    w.u64(static_cast<std::uint64_t>(rs.recent_acts.size()));
+    for (Cycle c : rs.recent_acts) w.u64(c);
+    w.u64(rs.last_act);
+    w.b(rs.have_last_act);
+  }
+  w.i64(last_burst_rank_);
+  w.u64(last_burst_end_);
+  w.u64(refresh_due_);
+  w.i64(refresh_bank_rr_);
+  w.u64(last_cmd_time_);
+  w.b(ever_issued_);
+  w.i64(postponed_refreshes_);
+  w.b(draining_writes_);
+  w.u64(order_counter_);
+  w.u64(counters_.activates);
+  w.u64(counters_.precharges);
+  w.u64(counters_.reads);
+  w.u64(counters_.writes);
+  w.u64(counters_.refreshes);
+  w.u64(counters_.refreshes_pb);
+  w.u64(counters_.row_hits);
+  w.u64(counters_.row_misses);
+  w.u64(counters_.demand_reads);
+  w.u64(counters_.prefetch_reads);
+  w.u64(counters_.prefetch_drops);
+  w.u64(counters_.read_queue_overflows);
+  w.u64(counters_.forwarded_reads);
+  w.u64(counters_.powerdown_entries);
+  w.u64(counters_.powerdown_cycles);
+  w.u64(counters_.elapsed);
+  w.u64(counters_.busy_data_cycles);
+}
+
+void DramChannel::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("DRM0"));
+  if (r.u64() != banks_.size()) {
+    throw snapshot::SnapshotError("DRAM bank count mismatch");
+  }
+  for (Bank& b : banks_) {
+    b.row_open = r.b();
+    b.open_row = r.u32();
+    b.act_allowed = r.u64();
+    b.rdwr_allowed = r.u64();
+    b.pre_allowed = r.u64();
+  }
+  const auto load_queue = [this, &r](std::deque<Queued>& q) {
+    const std::uint64_t n = r.u64();
+    q.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Queued e;
+      e.req.local_block = r.u64();
+      e.req.arrival = r.u64();
+      e.req.is_write = r.b();
+      e.req.is_prefetch = r.b();
+      e.req.tag = r.u64();
+      e.order = r.u64();
+      e.needed_act = r.b();
+      e.loc = mapper_.map(e.req.local_block);
+      q.push_back(std::move(e));
+    }
+  };
+  load_queue(read_q_);
+  load_queue(write_q_);
+  const std::uint64_t completion_count = r.u64();
+  completions_.clear();
+  for (std::uint64_t i = 0; i < completion_count; ++i) {
+    DramCompletion c;
+    c.tag = r.u64();
+    c.arrival = r.u64();
+    c.finish = r.u64();
+    c.is_write = r.b();
+    c.is_prefetch = r.b();
+    c.row_hit = r.b();
+    c.forwarded = r.b();
+    completions_.push_back(c);
+  }
+  now_ = r.u64();
+  next_cmd_ok_ = r.u64();
+  next_read_ok_ = r.u64();
+  next_write_ok_ = r.u64();
+  if (r.u64() != ranks_.size()) {
+    throw snapshot::SnapshotError("DRAM rank count mismatch");
+  }
+  for (RankState& rs : ranks_) {
+    const std::uint64_t acts = r.u64();
+    rs.recent_acts.clear();
+    for (std::uint64_t i = 0; i < acts; ++i) rs.recent_acts.push_back(r.u64());
+    rs.last_act = r.u64();
+    rs.have_last_act = r.b();
+  }
+  last_burst_rank_ = static_cast<int>(r.i64());
+  last_burst_end_ = r.u64();
+  refresh_due_ = r.u64();
+  refresh_bank_rr_ = static_cast<int>(r.i64());
+  last_cmd_time_ = r.u64();
+  ever_issued_ = r.b();
+  postponed_refreshes_ = static_cast<int>(r.i64());
+  draining_writes_ = r.b();
+  order_counter_ = r.u64();
+  counters_.activates = r.u64();
+  counters_.precharges = r.u64();
+  counters_.reads = r.u64();
+  counters_.writes = r.u64();
+  counters_.refreshes = r.u64();
+  counters_.refreshes_pb = r.u64();
+  counters_.row_hits = r.u64();
+  counters_.row_misses = r.u64();
+  counters_.demand_reads = r.u64();
+  counters_.prefetch_reads = r.u64();
+  counters_.prefetch_drops = r.u64();
+  counters_.read_queue_overflows = r.u64();
+  counters_.forwarded_reads = r.u64();
+  counters_.powerdown_entries = r.u64();
+  counters_.powerdown_cycles = r.u64();
+  counters_.elapsed = r.u64();
+  counters_.busy_data_cycles = r.u64();
+}
+
 }  // namespace planaria::dram

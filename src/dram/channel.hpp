@@ -23,6 +23,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "dram/config.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace planaria::dram {
 
@@ -94,6 +95,13 @@ class DramChannel {
   const ChannelCounters& counters() const { return counters_; }
   std::size_t read_queue_size() const { return read_q_.size(); }
   std::size_t write_queue_size() const { return write_q_.size(); }
+
+  /// Checkpoint/restore (DESIGN.md §11): bank state machines, both request
+  /// queues, pending completions, every timing horizon (command/data bus,
+  /// tFAW windows, refresh schedule, power-down tracking) and all counters.
+  /// Block locations are recomputed from the address mapper on load.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   struct Bank {

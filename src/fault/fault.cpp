@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <array>
 #include <stdexcept>
 #include <string>
 
@@ -69,6 +70,27 @@ bool FaultInjector::roll(FaultClass fault_class) {
   const double rate = plan_.rate[c];
   if (rate <= 0.0) return false;  // disabled classes consume no randomness
   return decision_[c].chance(rate);
+}
+
+void FaultInjector::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("FLT0"));
+  for (int c = 0; c < kFaultClassCount; ++c) {
+    for (std::uint64_t word : decision_[c].state()) w.u64(word);
+    for (std::uint64_t word : aux_[c].state()) w.u64(word);
+    w.u64(injected_[c]);
+  }
+}
+
+void FaultInjector::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("FLT0"));
+  for (int c = 0; c < kFaultClassCount; ++c) {
+    std::array<std::uint64_t, 4> state{};
+    for (std::uint64_t& word : state) word = r.u64();
+    decision_[c].set_state(state);
+    for (std::uint64_t& word : state) word = r.u64();
+    aux_[c].set_state(state);
+    injected_[c] = r.u64();
+  }
 }
 
 std::uint64_t FaultInjector::total_injected() const {

@@ -34,6 +34,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace planaria::fault {
 
@@ -111,6 +112,13 @@ class FaultInjector {
   std::uint64_t total_injected() const;
 
   const FaultPlan& plan() const { return plan_; }
+
+  /// Checkpoint/restore: both xoshiro streams per class plus the applied
+  /// counts. The plan itself is reconstructed from SimConfig at resume time
+  /// (and covered by the simulator's config fingerprint), so a restored
+  /// injector continues the exact decision/target sequences mid-stream.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   FaultPlan plan_;

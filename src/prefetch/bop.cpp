@@ -111,4 +111,35 @@ std::uint64_t BestOffsetPrefetcher::storage_bits() const {
          offsets_.size() * 6 + 16;
 }
 
+void BestOffsetPrefetcher::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("BOP0"));
+  w.u64(static_cast<std::uint64_t>(scores_.size()));
+  for (int s : scores_) w.u32(static_cast<std::uint32_t>(s));
+  w.u64(static_cast<std::uint64_t>(test_index_));
+  w.u32(static_cast<std::uint32_t>(round_count_));
+  w.i64(best_offset_);
+  w.b(prefetch_on_);
+  w.u64(static_cast<std::uint64_t>(rr_table_.size()));
+  for (std::uint64_t v : rr_table_) w.u64(v);
+}
+
+void BestOffsetPrefetcher::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("BOP0"));
+  if (r.u64() != scores_.size()) {
+    throw snapshot::SnapshotError("BOP score table size mismatch");
+  }
+  for (int& s : scores_) s = static_cast<int>(r.u32());
+  test_index_ = static_cast<std::size_t>(r.u64());
+  if (test_index_ >= offsets_.size()) {
+    throw snapshot::SnapshotError("BOP test index out of range");
+  }
+  round_count_ = static_cast<int>(r.u32());
+  best_offset_ = static_cast<int>(r.i64());
+  prefetch_on_ = r.b();
+  if (r.u64() != rr_table_.size()) {
+    throw snapshot::SnapshotError("BOP RR table size mismatch");
+  }
+  for (std::uint64_t& v : rr_table_) v = r.u64();
+}
+
 }  // namespace planaria::prefetch

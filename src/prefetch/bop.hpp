@@ -47,6 +47,12 @@ class BestOffsetPrefetcher final : public Prefetcher {
   int best_offset() const { return best_offset_; }
   bool prefetch_enabled() const { return prefetch_on_; }
 
+  /// Checkpoint/restore: scores, round position, learned offset and the RR
+  /// table. The candidate offset list is config-derived and rebuilt by the
+  /// constructor, not serialized.
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   void finish_round();
 

@@ -18,6 +18,7 @@
 
 #include "cache/system_cache.hpp"
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace planaria::fault {
 class FaultInjector;
@@ -42,9 +43,9 @@ struct PrefetchRequest {
   cache::FillSource source = cache::FillSource::kPrefetchOther;
 };
 
-class Prefetcher {
+class Prefetcher : public snapshot::Snapshottable {
  public:
-  virtual ~Prefetcher() = default;
+  ~Prefetcher() override = default;
 
   /// Observes one demand access and appends any prefetch requests to `out`.
   /// The simulator deduplicates against cache contents and in-flight fills.
@@ -70,6 +71,13 @@ class Prefetcher {
   virtual void set_fault_injector(fault::FaultInjector* injector) {
     (void)injector;
   }
+
+  /// Snapshottable defaults for the stateless prefetchers (none, next-line):
+  /// no bytes written, none consumed. Every prefetcher with learning state
+  /// overrides both — the crash-recovery audit's bit-identity gate catches a
+  /// stateful implementation that forgets to.
+  void save_state(snapshot::Writer& w) const override { (void)w; }
+  void load_state(snapshot::Reader& r) override { (void)r; }
 };
 
 inline void Prefetcher::on_fill(std::uint64_t, bool, Cycle) {}

@@ -53,4 +53,24 @@ std::uint64_t StridePrefetcher::storage_bits() const {
   return static_cast<std::uint64_t>(static_cast<int>(DeviceId::kCount)) * 59;
 }
 
+void StridePrefetcher::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("STR0"));
+  for (const Stream& s : streams_) {
+    w.u64(s.last_block);
+    w.i64(s.stride);
+    w.i64(s.confidence);
+    w.b(s.valid);
+  }
+}
+
+void StridePrefetcher::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("STR0"));
+  for (Stream& s : streams_) {
+    s.last_block = r.u64();
+    s.stride = r.i64();
+    s.confidence = static_cast<int>(r.i64());
+    s.valid = r.b();
+  }
+}
+
 }  // namespace planaria::prefetch

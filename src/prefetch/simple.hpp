@@ -37,6 +37,9 @@ class StridePrefetcher final : public Prefetcher {
   const char* name() const override { return "stride"; }
   std::uint64_t storage_bits() const override;
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   struct Stream {
     std::uint64_t last_block = 0;

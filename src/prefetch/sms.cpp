@@ -100,4 +100,44 @@ std::uint64_t SmsPrefetcher::storage_bits() const {
          static_cast<std::uint64_t>(config_.pht_entries) * 17;
 }
 
+void SmsPrefetcher::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("SMS0"));
+  agt_.save_state(w, [](snapshot::Writer& o, const Generation& g) {
+    o.u16(static_cast<std::uint16_t>(g.bitmap.raw()));
+    o.i64(g.trigger_offset);
+    o.u8(static_cast<std::uint8_t>(g.device));
+    o.u64(g.last_access);
+  });
+  w.u64(static_cast<std::uint64_t>(pht_.size()));
+  for (std::size_t i = 0; i < pht_.size(); ++i) {
+    w.b(pht_valid_[i]);
+    w.u16(static_cast<std::uint16_t>(pht_[i].raw()));
+  }
+  w.u64(accesses_since_sweep_);
+}
+
+void SmsPrefetcher::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("SMS0"));
+  agt_.load_state(r, [](snapshot::Reader& i) {
+    Generation g;
+    g.bitmap = SegmentBitmap(i.u16());
+    g.trigger_offset = static_cast<int>(i.i64());
+    const std::uint8_t dev = i.u8();
+    if (dev >= static_cast<std::uint8_t>(DeviceId::kCount)) {
+      throw snapshot::SnapshotError("SMS generation device id out of range");
+    }
+    g.device = static_cast<DeviceId>(dev);
+    g.last_access = i.u64();
+    return g;
+  });
+  if (r.u64() != pht_.size()) {
+    throw snapshot::SnapshotError("SMS PHT size mismatch");
+  }
+  for (std::size_t i = 0; i < pht_.size(); ++i) {
+    pht_valid_[i] = r.b();
+    pht_[i] = SegmentBitmap(r.u16());
+  }
+  accesses_since_sweep_ = r.u64();
+}
+
 }  // namespace planaria::prefetch

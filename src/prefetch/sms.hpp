@@ -45,6 +45,9 @@ class SmsPrefetcher final : public Prefetcher {
   const char* name() const override { return "sms"; }
   std::uint64_t storage_bits() const override;
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   struct Generation {
     SegmentBitmap bitmap;

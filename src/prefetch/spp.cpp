@@ -127,4 +127,69 @@ std::uint64_t SignaturePathPrefetcher::storage_bits() const {
   return st_bits + pt_bits + ghr_bits;
 }
 
+void SignaturePathPrefetcher::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("SPP0"));
+  st_.save_state(w, [](snapshot::Writer& o, const StEntry& e) {
+    o.u16(e.signature);
+    o.i64(e.last_offset);
+  });
+  w.u64(static_cast<std::uint64_t>(pt_.size()));
+  for (const PtEntry& e : pt_) {
+    w.i64(e.sig_counter);
+    w.u32(static_cast<std::uint32_t>(e.slots.size()));
+    for (const DeltaSlot& s : e.slots) {
+      w.i64(s.delta);
+      w.i64(s.counter);
+    }
+  }
+  w.u64(static_cast<std::uint64_t>(ghr_.size()));
+  for (const GhrEntry& e : ghr_) {
+    w.u16(e.signature);
+    w.f64(e.confidence);
+    w.i64(e.last_offset);
+    w.i64(e.delta);
+    w.b(e.valid);
+  }
+  w.u64(static_cast<std::uint64_t>(ghr_next_));
+}
+
+void SignaturePathPrefetcher::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("SPP0"));
+  st_.load_state(r, [](snapshot::Reader& i) {
+    StEntry e;
+    e.signature = i.u16();
+    e.last_offset = static_cast<int>(i.i64());
+    return e;
+  });
+  if (r.u64() != pt_.size()) {
+    throw snapshot::SnapshotError("SPP pattern table size mismatch");
+  }
+  for (PtEntry& e : pt_) {
+    e.sig_counter = static_cast<int>(r.i64());
+    const std::uint32_t n = r.u32();
+    if (n > static_cast<std::uint32_t>(config_.deltas_per_entry)) {
+      throw snapshot::SnapshotError("SPP delta slot count exceeds config");
+    }
+    e.slots.assign(n, DeltaSlot{});
+    for (DeltaSlot& s : e.slots) {
+      s.delta = static_cast<int>(r.i64());
+      s.counter = static_cast<int>(r.i64());
+    }
+  }
+  if (r.u64() != ghr_.size()) {
+    throw snapshot::SnapshotError("SPP GHR size mismatch");
+  }
+  for (GhrEntry& e : ghr_) {
+    e.signature = r.u16();
+    e.confidence = r.f64();
+    e.last_offset = static_cast<int>(r.i64());
+    e.delta = static_cast<int>(r.i64());
+    e.valid = r.b();
+  }
+  ghr_next_ = static_cast<std::size_t>(r.u64());
+  if (!ghr_.empty() && ghr_next_ >= ghr_.size()) {
+    throw snapshot::SnapshotError("SPP GHR cursor out of range");
+  }
+}
+
 }  // namespace planaria::prefetch

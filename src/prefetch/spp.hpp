@@ -51,6 +51,9 @@ class SignaturePathPrefetcher final : public Prefetcher {
   const char* name() const override { return "spp"; }
   std::uint64_t storage_bits() const override;
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   struct StEntry {
     std::uint16_t signature = 0;

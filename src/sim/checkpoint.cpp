@@ -1,0 +1,191 @@
+#include "sim/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace planaria::sim {
+
+CheckpointConfig CheckpointConfig::from_env() {
+  CheckpointConfig ckpt;
+  if (const char* dir = std::getenv("PLANARIA_CHECKPOINT_DIR");
+      dir != nullptr && *dir != '\0') {
+    ckpt.dir = dir;
+  }
+  if (const char* every = std::getenv("PLANARIA_CHECKPOINT_EVERY");
+      every != nullptr && *every != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(every, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      ckpt.every = static_cast<std::uint64_t>(v);
+    }
+  }
+  return ckpt;
+}
+
+const char* recovery_outcome_name(RecoveryReport::Outcome outcome) {
+  switch (outcome) {
+    case RecoveryReport::Outcome::kColdStart: return "cold-start";
+    case RecoveryReport::Outcome::kResumed: return "resumed";
+    case RecoveryReport::Outcome::kFellBack: return "fell-back";
+  }
+  PLANARIA_UNREACHABLE();
+}
+
+std::uint64_t trace_fingerprint(
+    const std::vector<trace::TraceRecord>& records) {
+  // Sample up to ~4096 records at a fixed stride so fingerprinting stays
+  // cheap on long traces; the count rides in the low word so traces that
+  // differ only in length still get distinct fingerprints.
+  constexpr std::size_t kSampleTarget = 4096;
+  const std::size_t n = records.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / kSampleTarget);
+  snapshot::Writer w;
+  for (std::size_t i = 0; i < n; i += stride) {
+    const trace::TraceRecord& rec = records[i];
+    w.u64(rec.address);
+    w.u64(rec.arrival);
+    w.u8(static_cast<std::uint8_t>(rec.type));
+    w.u8(static_cast<std::uint8_t>(rec.device));
+  }
+  const std::uint32_t crc =
+      snapshot::crc32(w.buffer().data(), w.buffer().size());
+  return (static_cast<std::uint64_t>(crc) << 32) ^
+         static_cast<std::uint64_t>(n);
+}
+
+namespace {
+
+std::vector<std::uint8_t> encode_checkpoint(const Simulator& sim,
+                                            std::uint64_t cursor,
+                                            std::uint64_t fingerprint) {
+  snapshot::Writer w;
+  w.tag(snapshot::tag4("CKPT"));
+  w.u64(cursor);
+  w.u64(fingerprint);
+  sim.save_state(w);
+  return w.buffer();
+}
+
+}  // namespace
+
+void write_checkpoint(const Simulator& sim, const CheckpointConfig& ckpt,
+                      std::uint64_t cursor, std::uint64_t fingerprint) {
+  if (ckpt.dir.empty()) {
+    throw snapshot::SnapshotError("checkpoint directory is not configured");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(ckpt.dir, ec);  // best effort
+  const std::string current = ckpt.current_path();
+  // Rotate last-good before the new write: if the process dies inside
+  // write_file, .prev still holds a complete snapshot.
+  if (std::filesystem::exists(current, ec)) {
+    std::filesystem::rename(current, ckpt.prev_path(), ec);
+    if (ec) {
+      throw snapshot::SnapshotError("cannot rotate " + current + ": " +
+                                    ec.message());
+    }
+  }
+  snapshot::write_file(current, encode_checkpoint(sim, cursor, fingerprint));
+}
+
+std::uint64_t load_checkpoint(Simulator& sim, const std::string& path,
+                              std::uint64_t expected_fingerprint) {
+  const std::vector<std::uint8_t> payload = snapshot::read_file(path);
+  snapshot::Reader r(payload);
+  r.expect_tag(snapshot::tag4("CKPT"));
+  const std::uint64_t cursor = r.u64();
+  const std::uint64_t fingerprint = r.u64();
+  if (fingerprint != expected_fingerprint) {
+    throw snapshot::SnapshotError(
+        "snapshot was taken against a different trace");
+  }
+  sim.load_state(r);
+  r.require_end();
+  return cursor;
+}
+
+SimResult run_checkpointed(const SimConfig& config, PrefetcherFactory factory,
+                           std::string prefetcher_name,
+                           const std::vector<trace::TraceRecord>& records,
+                           const CheckpointConfig& ckpt,
+                           common::ThreadPool* pool, RecoveryReport* report) {
+  RecoveryReport local;
+  RecoveryReport& rep = report != nullptr ? *report : local;
+  rep = RecoveryReport{};
+
+  const std::uint64_t fingerprint = trace_fingerprint(records);
+  const std::uint64_t n = records.size();
+  std::unique_ptr<Simulator> sim;
+  std::uint64_t cursor = 0;
+
+  if (ckpt.enabled()) {
+    const std::string candidates[] = {ckpt.current_path(), ckpt.prev_path()};
+    for (std::size_t i = 0; i < 2 && sim == nullptr; ++i) {
+      std::error_code ec;
+      if (!std::filesystem::exists(candidates[i], ec)) {
+        continue;  // never written — a quiet cold start, not a recovery event
+      }
+      // Fresh simulator per attempt: a throwing load_state leaves the object
+      // partially updated, so a rejected candidate's instance is discarded.
+      auto attempt = std::make_unique<Simulator>(config, factory,
+                                                prefetcher_name);
+      try {
+        const std::uint64_t at =
+            load_checkpoint(*attempt, candidates[i], fingerprint);
+        if (at > n) {
+          throw snapshot::SnapshotError(
+              "snapshot cursor lies beyond the end of the trace");
+        }
+        cursor = at;
+        sim = std::move(attempt);
+        rep.outcome = i == 0 ? RecoveryReport::Outcome::kResumed
+                             : RecoveryReport::Outcome::kFellBack;
+        rep.snapshot_path = candidates[i];
+        rep.resumed_cursor = at;
+      } catch (const snapshot::SnapshotError& e) {
+        rep.notes.push_back(candidates[i] + ": " + e.what());
+      }
+    }
+  }
+  if (sim == nullptr) {
+    sim = std::make_unique<Simulator>(config, std::move(factory),
+                                      std::move(prefetcher_name));
+    cursor = 0;
+    rep.outcome = RecoveryReport::Outcome::kColdStart;
+  }
+
+  const std::uint64_t chunk = ckpt.enabled() ? ckpt.every : n;
+  while (cursor < n) {
+    const std::uint64_t next = std::min(n, cursor + chunk);
+    sim->run_sharded(records.data() + cursor, records.data() + next, pool);
+    cursor = next;
+    // No checkpoint after the final chunk: the result is about to be
+    // returned, and a stale full-run snapshot would poison the next run.
+    if (ckpt.enabled() && cursor < n) {
+      write_checkpoint(*sim, ckpt, cursor, fingerprint);
+    }
+  }
+  return sim->finish();
+}
+
+SimResult resume(const SimConfig& config, PrefetcherFactory factory,
+                 std::string prefetcher_name,
+                 const std::vector<trace::TraceRecord>& records,
+                 const std::string& path, common::ThreadPool* pool) {
+  Simulator sim(config, std::move(factory), std::move(prefetcher_name));
+  const std::uint64_t fingerprint = trace_fingerprint(records);
+  const std::uint64_t cursor = load_checkpoint(sim, path, fingerprint);
+  if (cursor > records.size()) {
+    throw snapshot::SnapshotError(
+        "snapshot cursor lies beyond the end of the trace");
+  }
+  sim.run_sharded(records.data() + cursor,
+                  records.data() + records.size(), pool);
+  return sim.finish();
+}
+
+}  // namespace planaria::sim

@@ -1,0 +1,106 @@
+// Crash-safe checkpoint/resume driver for the simulator (DESIGN.md §11).
+//
+// The snapshot library (src/snapshot/) provides the byte format and the
+// atomic file envelope; this layer decides *when* to checkpoint and *what* to
+// trust at restart. A checkpointed run:
+//
+//   * feeds the trace in `every`-record chunks through the range form of
+//     Simulator::run_sharded (chunked execution is bit-identical to a single
+//     call — see the contract on that overload);
+//   * after each full chunk rotates <label>.snap to <label>.snap.prev and
+//     atomically writes a fresh <label>.snap, so at every instant the
+//     directory holds at least one complete snapshot (last-good retention);
+//   * at startup tries <label>.snap, then <label>.snap.prev, then a cold
+//     start. A snapshot that is truncated, CRC-corrupt, version-mismatched,
+//     or taken against a different trace/prefetcher is *rejected* — the run
+//     degrades to the next candidate with a note in the RecoveryReport, never
+//     crashes and never silently produces wrong results.
+//
+// The bit-identity guarantee: a run killed at any record index and resumed
+// from its last-good snapshot produces a SimResult that compares equal
+// (SimResult::operator==, doubles included) to the uninterrupted run, at any
+// thread count, with or without an armed FaultPlan. planaria-audit --stage
+// crash enforces exactly this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace planaria::sim {
+
+/// Where and how often to checkpoint. Default-constructed = disabled.
+struct CheckpointConfig {
+  std::string dir;           ///< snapshot directory; empty disables
+  std::uint64_t every = 0;   ///< checkpoint after each N records; 0 disables
+  std::string label = "run"; ///< file basename, one per logical run
+
+  bool enabled() const { return !dir.empty() && every > 0; }
+  std::string current_path() const { return dir + "/" + label + ".snap"; }
+  std::string prev_path() const { return current_path() + ".prev"; }
+
+  /// Reads PLANARIA_CHECKPOINT_DIR and PLANARIA_CHECKPOINT_EVERY; either
+  /// unset (or an unparsable interval) leaves checkpointing disabled.
+  static CheckpointConfig from_env();
+};
+
+/// How a checkpointed run actually started — surfaced to callers and audits
+/// so degraded recovery is observable, not silent.
+struct RecoveryReport {
+  enum class Outcome {
+    kColdStart,  ///< no usable snapshot; ran from record zero
+    kResumed,    ///< restored from the current snapshot
+    kFellBack,   ///< current snapshot rejected; restored from .prev
+  };
+  Outcome outcome = Outcome::kColdStart;
+  std::string snapshot_path;        ///< snapshot restored from (if any)
+  std::uint64_t resumed_cursor = 0; ///< records already applied at restore
+  std::vector<std::string> notes;   ///< one line per rejected candidate
+};
+
+const char* recovery_outcome_name(RecoveryReport::Outcome outcome);
+
+/// Identity of a trace for resume validation: CRC32 over a deterministic
+/// sample of records (every (n/4096)-th, so the cost is flat) combined with
+/// the record count. A snapshot taken against a different trace fails this
+/// check at load time instead of producing subtly wrong results.
+std::uint64_t trace_fingerprint(const std::vector<trace::TraceRecord>& records);
+
+/// Serializes `sim` plus the resume envelope (cursor, trace fingerprint) and
+/// installs it as the current snapshot: the previous current is rotated to
+/// .prev first, then the new bytes land via write-temp-and-rename. A crash
+/// anywhere in between leaves at least one complete snapshot behind.
+void write_checkpoint(const Simulator& sim, const CheckpointConfig& ckpt,
+                      std::uint64_t cursor, std::uint64_t fingerprint);
+
+/// Restores `sim` (freshly constructed from the same config/factory/name)
+/// from the snapshot at `path` and returns the record cursor to resume at.
+/// Throws snapshot::SnapshotError on any validation failure — envelope, tag
+/// structure, trace fingerprint or prefetcher mismatch; `sim` is then
+/// partially updated and must be discarded.
+std::uint64_t load_checkpoint(Simulator& sim, const std::string& path,
+                              std::uint64_t expected_fingerprint);
+
+/// Crash-safe front end to Simulator::run. Resumes from the newest intact
+/// snapshot when `ckpt` is enabled (current, then .prev, else cold start —
+/// see RecoveryReport), then feeds the remaining records chunk by chunk with
+/// a checkpoint after every full chunk. Disabled `ckpt` degenerates to one
+/// chunk and no files. `report`, when non-null, receives the recovery trail.
+SimResult run_checkpointed(const SimConfig& config, PrefetcherFactory factory,
+                           std::string prefetcher_name,
+                           const std::vector<trace::TraceRecord>& records,
+                           const CheckpointConfig& ckpt,
+                           common::ThreadPool* pool = nullptr,
+                           RecoveryReport* report = nullptr);
+
+/// Explicit resume entry point: restores from exactly `path` (throwing
+/// snapshot::SnapshotError if it is missing or invalid — no fallback) and
+/// completes the run. Bit-identical to the uninterrupted run.
+SimResult resume(const SimConfig& config, PrefetcherFactory factory,
+                 std::string prefetcher_name,
+                 const std::vector<trace::TraceRecord>& records,
+                 const std::string& path, common::ThreadPool* pool = nullptr);
+
+}  // namespace planaria::sim

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
@@ -28,6 +29,9 @@ ExperimentRunner::ExperimentRunner(SimConfig config, std::uint64_t records,
   if (records_ == 0) throw std::invalid_argument("experiment: records == 0");
   if (threads == 0) throw std::invalid_argument("experiment: threads == 0");
   if (threads > 1) pool_ = std::make_unique<common::ThreadPool>(threads);
+  const CheckpointConfig env = CheckpointConfig::from_env();
+  checkpoint_dir_ = env.dir;
+  checkpoint_every_ = env.every;
 }
 
 const std::vector<trace::TraceRecord>& ExperimentRunner::trace_for(
@@ -48,12 +52,64 @@ void ExperimentRunner::clear_trace_cache() {
   traces_.clear();
 }
 
+std::string ExperimentRunner::cell_path(const std::string& app,
+                                        const char* kind) const {
+  return checkpoint_dir_ + "/cell_" + app + "_" + kind + ".result";
+}
+
+bool ExperimentRunner::try_load_cell(const std::string& app, const char* kind,
+                                     SimResult& out) const {
+  std::error_code ec;
+  if (!std::filesystem::exists(cell_path(app, kind), ec)) return false;
+  try {
+    const auto payload = snapshot::read_file(cell_path(app, kind));
+    snapshot::Reader r(payload);
+    r.expect_tag(snapshot::tag4("CELL"));
+    if (r.u64() != records_ || r.str() != app || r.str() != kind) return false;
+    SimResult result;
+    result.load_state(r);
+    r.require_end();
+    if (result.prefetcher != kind) return false;
+    out = result;
+    return true;
+  } catch (const snapshot::SnapshotError&) {
+    return false;  // corrupt/mismatched cell file: rerun the cell
+  }
+}
+
+void ExperimentRunner::store_cell(const std::string& app, const char* kind,
+                                  const SimResult& result) const {
+  snapshot::Writer w;
+  w.tag(snapshot::tag4("CELL"));
+  w.u64(records_);
+  w.str(app);
+  w.str(kind);
+  result.save_state(w);
+  snapshot::write_file(cell_path(app, kind), w.buffer());
+  // The cell is done; its mid-run snapshots are now dead weight.
+  CheckpointConfig ckpt;
+  ckpt.dir = checkpoint_dir_;
+  ckpt.label = std::string("cell_") + app + "_" + kind;
+  std::error_code ec;
+  std::filesystem::remove(ckpt.current_path(), ec);
+  std::filesystem::remove(ckpt.prev_path(), ec);
+}
+
 SimResult ExperimentRunner::run_cell(const std::string& app,
                                      PrefetcherKind kind,
                                      const PrefetcherFactory& factory) {
   const auto& records = trace_for(app);
-  return Simulator::run(config_, factory, prefetcher_kind_name(kind), records,
-                        pool_.get());
+  // Each cell checkpoints under its own label so concurrent cells on the
+  // pool never rotate each other's snapshots. Disabled when the runner has
+  // no checkpoint dir or no interval.
+  CheckpointConfig ckpt;
+  if (!checkpoint_dir_.empty() && checkpoint_every_ > 0) {
+    ckpt.dir = checkpoint_dir_;
+    ckpt.every = checkpoint_every_;
+    ckpt.label = std::string("cell_") + app + "_" + prefetcher_kind_name(kind);
+  }
+  return run_checkpointed(config_, factory, prefetcher_kind_name(kind),
+                          records, ckpt, pool_.get(), nullptr);
 }
 
 SimResult ExperimentRunner::run(const std::string& app, PrefetcherKind kind) {
@@ -92,12 +148,27 @@ std::map<std::string, std::map<std::string, SimResult>> ExperimentRunner::sweep(
   const auto run_one = [&](std::size_t i) {
     const std::string& app = apps[i / kinds.size()];
     const std::size_t k = i % kinds.size();
-    if (verbose) {
-      std::fprintf(stderr, "  running %s / %s...\n", app.c_str(),
-                   prefetcher_kind_name(kinds[k]));
+    const char* kind_name = prefetcher_kind_name(kinds[k]);
+    // Restarted sweep: a completed cell's persisted result is reloaded
+    // verbatim (bit-identical by the snapshot round-trip guarantee) instead
+    // of re-simulating; anything unreadable or mismatched falls through to a
+    // fresh run.
+    if (!checkpoint_dir_.empty() && try_load_cell(app, kind_name, results[i])) {
+      if (verbose) {
+        std::fprintf(stderr, "  restored %s / %s from checkpoint\n",
+                     app.c_str(), kind_name);
+      }
+      return;
     }
+    if (verbose) {
+      std::fprintf(stderr, "  running %s / %s...\n", app.c_str(), kind_name);
+    }
+    const auto persist = [&] {
+      if (!checkpoint_dir_.empty()) store_cell(app, kind_name, results[i]);
+    };
     if (failures == nullptr) {
       results[i] = run_cell(app, kinds[k], factories[k]);
+      persist();
       return;
     }
     // Isolated mode: one retry covers transient causes (OOM pressure,
@@ -108,11 +179,12 @@ std::map<std::string, std::map<std::string, SimResult>> ExperimentRunner::sweep(
     for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
       try {
         results[i] = run_cell(app, kinds[k], factories[k]);
+        persist();
         return;
       } catch (const std::exception& e) {
         if (attempt == kMaxAttempts) {
           failed[i] = std::make_unique<FailureReport>(FailureReport{
-              app, prefetcher_kind_name(kinds[k]), attempt, e.what()});
+              app, kind_name, attempt, e.what()});
         }
       }
     }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/simulator.hpp"
 #include "trace/apps.hpp"
 
@@ -84,6 +85,16 @@ class ExperimentRunner {
 
   void clear_trace_cache();
 
+  /// Sweep-level checkpointing (DESIGN.md §11). With a directory set — by
+  /// default from PLANARIA_CHECKPOINT_DIR — every completed (app x kind) cell
+  /// persists its SimResult atomically; a restarted sweep reloads those cells
+  /// verbatim instead of re-simulating them, and a corrupt or mismatched cell
+  /// file is simply rerun. Cells additionally checkpoint mid-run (each under
+  /// its own label, so concurrent cells never collide) when
+  /// PLANARIA_CHECKPOINT_EVERY is also set. Empty disables everything.
+  void set_checkpoint_dir(std::string dir) { checkpoint_dir_ = std::move(dir); }
+  const std::string& checkpoint_dir() const { return checkpoint_dir_; }
+
  private:
   /// Map node holding one lazily generated trace; std::map guarantees the
   /// node (and its once_flag) stays put while cells share it.
@@ -95,6 +106,12 @@ class ExperimentRunner {
   SimResult run_cell(const std::string& app, PrefetcherKind kind,
                      const PrefetcherFactory& factory);
 
+  std::string cell_path(const std::string& app, const char* kind) const;
+  bool try_load_cell(const std::string& app, const char* kind,
+                     SimResult& out) const;
+  void store_cell(const std::string& app, const char* kind,
+                  const SimResult& result) const;
+
   SimConfig config_;
   std::uint64_t records_;
   core::PlanariaConfig planaria_;
@@ -103,6 +120,8 @@ class ExperimentRunner {
   std::unique_ptr<common::ThreadPool> pool_;  ///< null when threads == 1
   std::mutex traces_mutex_;                   ///< guards map shape only
   std::map<std::string, TraceEntry> traces_;
+  std::string checkpoint_dir_;        ///< empty = no sweep checkpointing
+  std::uint64_t checkpoint_every_ = 0;  ///< mid-cell interval; 0 = cell-only
 };
 
 /// Geometric-mean helper for "average over apps" rows (the paper's averages

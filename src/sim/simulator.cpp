@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "check/contract.hpp"
@@ -7,6 +8,7 @@
 #include "core/coordinators.hpp"
 #include "prefetch/simple.hpp"
 #include "prefetch/sms.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace planaria::sim {
 
@@ -303,9 +305,16 @@ void Simulator::step(const trace::TraceRecord& record) {
 
 void Simulator::run_sharded(const std::vector<trace::TraceRecord>& records,
                             common::ThreadPool* pool) {
+  run_sharded(records.data(), records.data() + records.size(), pool);
+}
+
+void Simulator::run_sharded(const trace::TraceRecord* begin,
+                            const trace::TraceRecord* end,
+                            common::ThreadPool* pool) {
   PLANARIA_REQUIRE_MSG(kTimingMonotonicity, !finished_,
                        "run_sharded() after finish()");
-  if (records.empty()) return;
+  if (begin == end) return;
+  const std::size_t count = static_cast<std::size_t>(end - begin);
 
   // One pass replaces the per-record addr::channel_of dispatch: apply ingest
   // faults and validate the global time order once (corrupt_and_admit, the
@@ -314,9 +323,9 @@ void Simulator::run_sharded(const std::vector<trace::TraceRecord>& records,
   // so per-channel monotonicity is inherited.
   std::vector<std::vector<trace::TraceRecord>> shards(
       static_cast<std::size_t>(kChannels));
-  for (auto& shard : shards) shard.reserve(records.size() / kChannels + 1);
-  for (const auto& original : records) {
-    trace::TraceRecord rec = original;
+  for (auto& shard : shards) shard.reserve(count / kChannels + 1);
+  for (const trace::TraceRecord* p = begin; p != end; ++p) {
+    trace::TraceRecord rec = *p;
     corrupt_and_admit(rec);
     shards[static_cast<std::size_t>(addr::channel_of(rec.address))]
         .push_back(rec);
@@ -489,9 +498,184 @@ SimResult Simulator::run(const SimConfig& config, PrefetcherFactory factory,
                          std::string prefetcher_name,
                          const std::vector<trace::TraceRecord>& records,
                          common::ThreadPool* pool) {
-  Simulator sim(config, std::move(factory), std::move(prefetcher_name));
-  sim.run_sharded(records, pool);
-  return sim.finish();
+  // Checkpointing is env-opt-in (PLANARIA_CHECKPOINT_DIR/_EVERY); with it off
+  // run_checkpointed degenerates to the plain construct/run/finish sequence.
+  return run_checkpointed(config, std::move(factory),
+                          std::move(prefetcher_name), records,
+                          CheckpointConfig::from_env(), pool, nullptr);
+}
+
+void Simulator::save_state(snapshot::Writer& w) const {
+  PLANARIA_REQUIRE_MSG(kTimingMonotonicity, !finished_,
+                       "save_state() after finish()");
+  w.tag(snapshot::tag4("SIMU"));
+  w.str(name_);
+  w.u64(last_arrival_);
+  w.b(ingest_fault_ != nullptr);
+  if (ingest_fault_ != nullptr) ingest_fault_->save_state(w);
+  for (const Channel& ch : channels_) {
+    ch.sc->save_state(w);
+    ch.pf->save_state(w);
+    ch.dram->save_state(w);
+    w.b(ch.fault != nullptr);
+    if (ch.fault != nullptr) ch.fault->save_state(w);
+    // MSHR map, sorted by block so the encoding is canonical.
+    std::vector<std::uint64_t> blocks;
+    blocks.reserve(ch.in_flight.size());
+    for (const auto& [block, fly] : ch.in_flight) blocks.push_back(block);
+    std::sort(blocks.begin(), blocks.end());
+    w.u64(static_cast<std::uint64_t>(blocks.size()));
+    for (std::uint64_t block : blocks) {
+      const InFlight& fly = ch.in_flight.at(block);
+      w.u64(block);
+      w.u8(static_cast<std::uint8_t>(fly.source));
+      w.b(fly.was_prefetch);
+      w.u64(static_cast<std::uint64_t>(fly.demand_waiters.size()));
+      for (Cycle arrival : fly.demand_waiters) w.u64(arrival);
+    }
+    w.u64(ch.acct.demand_reads);
+    w.u64(ch.acct.demand_writes);
+    w.u64(ch.acct.demand_read_latency_sum);
+    w.u64(ch.acct.resolved_demand_reads);
+    w.u64(ch.acct.prefetch_issued);
+    w.u64(ch.acct.late_prefetch_merges);
+  }
+}
+
+void Simulator::load_state(snapshot::Reader& r) {
+  PLANARIA_REQUIRE_MSG(kTimingMonotonicity, !finished_,
+                       "load_state() after finish()");
+  r.expect_tag(snapshot::tag4("SIMU"));
+  const std::string name = r.str();
+  if (name != name_) {
+    throw snapshot::SnapshotError("snapshot was taken by prefetcher '" + name +
+                                  "', this simulator runs '" + name_ + "'");
+  }
+  last_arrival_ = r.u64();
+  if (r.b() != (ingest_fault_ != nullptr)) {
+    throw snapshot::SnapshotError(
+        "fault arming differs between snapshot and configuration");
+  }
+  if (ingest_fault_ != nullptr) ingest_fault_->load_state(r);
+  for (Channel& ch : channels_) {
+    ch.sc->load_state(r);
+    ch.pf->load_state(r);
+    ch.dram->load_state(r);
+    if (r.b() != (ch.fault != nullptr)) {
+      throw snapshot::SnapshotError(
+          "fault arming differs between snapshot and configuration");
+    }
+    if (ch.fault != nullptr) ch.fault->load_state(r);
+    ch.in_flight.clear();
+    const std::uint64_t count = r.u64();
+    if (count > r.remaining() / 8) {
+      throw snapshot::SnapshotError("in-flight map count exceeds payload");
+    }
+    std::uint64_t prev = 0;
+    for (std::uint64_t n = 0; n < count; ++n) {
+      const std::uint64_t block = r.u64();
+      if (n > 0 && block <= prev) {
+        throw snapshot::SnapshotError("in-flight blocks out of order");
+      }
+      prev = block;
+      InFlight fly;
+      const std::uint8_t src = r.u8();
+      if (src > static_cast<std::uint8_t>(cache::FillSource::kPrefetchOther)) {
+        throw snapshot::SnapshotError("in-flight fill source out of range");
+      }
+      fly.source = static_cast<cache::FillSource>(src);
+      fly.was_prefetch = r.b();
+      const std::uint64_t waiters = r.u64();
+      if (waiters > r.remaining() / 8) {
+        throw snapshot::SnapshotError("in-flight waiter count exceeds payload");
+      }
+      fly.demand_waiters.reserve(static_cast<std::size_t>(waiters));
+      for (std::uint64_t i = 0; i < waiters; ++i) {
+        fly.demand_waiters.push_back(r.u64());
+      }
+      ch.in_flight.emplace(block, std::move(fly));
+    }
+    ch.acct.demand_reads = r.u64();
+    ch.acct.demand_writes = r.u64();
+    ch.acct.demand_read_latency_sum = r.u64();
+    ch.acct.resolved_demand_reads = r.u64();
+    ch.acct.prefetch_issued = r.u64();
+    ch.acct.late_prefetch_merges = r.u64();
+  }
+}
+
+void SimResult::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("RSLT"));
+  w.str(prefetcher);
+  w.u64(demand_reads);
+  w.u64(demand_writes);
+  w.f64(amat_cycles);
+  w.f64(sc_hit_rate);
+  w.f64(prefetch_accuracy);
+  w.f64(prefetch_coverage);
+  w.u64(prefetch_issued);
+  w.u64(prefetch_dropped);
+  w.u64(dram_reads);
+  w.u64(dram_writes);
+  w.u64(dram_traffic_blocks);
+  w.f64(dram_power_mw);
+  w.f64(sram_power_mw);
+  w.f64(total_power_mw);
+  w.f64(ipc);
+  w.u64(elapsed);
+  w.u64(hits_on_slp);
+  w.u64(hits_on_tlp);
+  w.u64(hits_on_other_pf);
+  w.u64(pollution_misses);
+  w.u64(slp_issues);
+  w.u64(tlp_issues);
+  w.u64(late_prefetch_merges);
+  w.f64(data_bus_utilization);
+  w.u64(storage_bits);
+  w.u64(fault_injected_total);
+  w.u64(fault_trace_corruptions);
+  w.u64(fault_slp_flips);
+  w.u64(fault_tlp_flips);
+  w.u64(fault_prefetch_drops);
+  w.u64(fault_prefetch_delays);
+  w.u64(fault_dram_stalls);
+}
+
+void SimResult::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("RSLT"));
+  prefetcher = r.str();
+  demand_reads = r.u64();
+  demand_writes = r.u64();
+  amat_cycles = r.f64();
+  sc_hit_rate = r.f64();
+  prefetch_accuracy = r.f64();
+  prefetch_coverage = r.f64();
+  prefetch_issued = r.u64();
+  prefetch_dropped = r.u64();
+  dram_reads = r.u64();
+  dram_writes = r.u64();
+  dram_traffic_blocks = r.u64();
+  dram_power_mw = r.f64();
+  sram_power_mw = r.f64();
+  total_power_mw = r.f64();
+  ipc = r.f64();
+  elapsed = r.u64();
+  hits_on_slp = r.u64();
+  hits_on_tlp = r.u64();
+  hits_on_other_pf = r.u64();
+  pollution_misses = r.u64();
+  slp_issues = r.u64();
+  tlp_issues = r.u64();
+  late_prefetch_merges = r.u64();
+  data_bus_utilization = r.f64();
+  storage_bits = r.u64();
+  fault_injected_total = r.u64();
+  fault_trace_corruptions = r.u64();
+  fault_slp_flips = r.u64();
+  fault_tlp_flips = r.u64();
+  fault_prefetch_drops = r.u64();
+  fault_prefetch_delays = r.u64();
+  fault_dram_stalls = r.u64();
 }
 
 const cache::SystemCache& Simulator::cache_slice(int channel) const {

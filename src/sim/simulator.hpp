@@ -32,6 +32,7 @@
 #include "dram/channel.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "sim/config.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/record.hpp"
 
 namespace planaria::sim {
@@ -83,6 +84,18 @@ struct SimResult {
   double amat_reduction_vs(const SimResult& baseline) const;
   double power_increase_vs(const SimResult& baseline) const;
   double ipc_gain_vs(const SimResult& baseline) const;
+
+  /// Memberwise equality over every field above. This is the oracle the
+  /// determinism gates compare against: the parallel tests, the throughput
+  /// bench and the audit's replay/crash stages all require *bit* identity
+  /// (doubles included), not approximate agreement.
+  friend bool operator==(const SimResult&, const SimResult&) = default;
+
+  /// Sweep cell persistence: a completed cell's result is written to disk and
+  /// reloaded verbatim on restart. Doubles travel as IEEE-754 bit patterns,
+  /// so a reloaded result compares equal (operator==) to the original.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 };
 
 using PrefetcherFactory =
@@ -113,6 +126,14 @@ class Simulator {
   void run_sharded(const std::vector<trace::TraceRecord>& records,
                    common::ThreadPool* pool = nullptr);
 
+  /// Range form of run_sharded, for chunked (checkpointed) execution: feeding
+  /// a trace in consecutive [begin, end) slices is bit-identical to feeding
+  /// it whole, because each channel sees the same concatenated subsequence
+  /// and the ingest decision stream is consumed record-by-record either way.
+  void run_sharded(const trace::TraceRecord* begin,
+                   const trace::TraceRecord* end,
+                   common::ThreadPool* pool = nullptr);
+
   /// Drains all in-flight traffic and produces the aggregate result.
   /// Per-channel partials are merged in channel order, so the reduction is
   /// deterministic regardless of how the channels were executed.
@@ -127,6 +148,18 @@ class Simulator {
 
   const cache::SystemCache& cache_slice(int channel) const;
   const prefetch::Prefetcher& prefetcher(int channel) const;
+
+  /// Checkpoint/restore (DESIGN.md §11). Captures mid-run state: the ingest
+  /// clock and its fault stream, and per channel the SC slice, the prefetcher
+  /// (virtual dispatch covers every kind), the DRAM controller, the channel's
+  /// fault streams, the MSHR-style in-flight map (emitted sorted by block so
+  /// the encoding is canonical) and the accounting partials. load_state
+  /// expects a Simulator freshly built from the *same* SimConfig, factory and
+  /// name; the prefetcher name is embedded and checked, and the caller-level
+  /// envelope (sim/checkpoint.hpp) fingerprints the trace and the config. A
+  /// throwing load leaves the object partially updated — discard it.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   struct InFlight {

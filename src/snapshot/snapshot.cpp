@@ -1,0 +1,172 @@
+#include "snapshot/snapshot.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace planaria::snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'L', 'N', 'S', 'N', 'A', 'P', '1'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 4;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// RAII stdio handle: closes on scope exit, removes half-written temp files
+/// on the error path.
+struct File {
+  std::FILE* f = nullptr;
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+std::uint64_t Reader::get(int bytes) {
+  if (size_ - pos_ < static_cast<std::size_t>(bytes)) {
+    throw SnapshotError("truncated payload (wanted " + std::to_string(bytes) +
+                        " bytes, " + std::to_string(size_ - pos_) + " left)");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += static_cast<std::size_t>(bytes);
+  return v;
+}
+
+bool Reader::b() {
+  const std::uint8_t v = u8();
+  if (v > 1) throw SnapshotError("bool field holds " + std::to_string(v));
+  return v == 1;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  if (remaining() < n) throw SnapshotError("truncated string");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void Reader::expect_tag(std::uint32_t expected) {
+  const std::uint32_t got = u32();
+  if (got != expected) {
+    throw SnapshotError("section tag mismatch (got 0x" +
+                        std::to_string(got) + ", expected 0x" +
+                        std::to_string(expected) + ")");
+  }
+}
+
+void Reader::require_end() const {
+  if (!at_end()) {
+    throw SnapshotError(std::to_string(remaining()) +
+                        " unread bytes after decode");
+  }
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& payload) {
+  Writer header;
+  for (char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
+  header.u32(kFormatVersion);
+  header.u64(payload.size());
+  header.u32(crc32(payload.data(), payload.size()));
+
+  const std::string tmp = path + ".tmp";
+  {
+    File out;
+    out.f = std::fopen(tmp.c_str(), "wb");
+    if (out.f == nullptr) throw SnapshotError("cannot create " + tmp);
+    const auto& h = header.buffer();
+    if (std::fwrite(h.data(), 1, h.size(), out.f) != h.size() ||
+        (!payload.empty() &&
+         std::fwrite(payload.data(), 1, payload.size(), out.f) !=
+             payload.size()) ||
+        std::fflush(out.f) != 0) {
+      std::remove(tmp.c_str());
+      throw SnapshotError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("cannot rename " + tmp + " -> " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  File in;
+  in.f = std::fopen(path.c_str(), "rb");
+  if (in.f == nullptr) throw SnapshotError("cannot open " + path);
+
+  std::uint8_t header[kHeaderBytes];
+  if (std::fread(header, 1, kHeaderBytes, in.f) != kHeaderBytes) {
+    throw SnapshotError(path + ": shorter than the envelope header");
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    throw SnapshotError(path + ": bad magic");
+  }
+  Reader hr(header + sizeof(kMagic), kHeaderBytes - sizeof(kMagic));
+  const std::uint32_t version = hr.u32();
+  if (version != kFormatVersion) {
+    throw SnapshotError(path + ": format version " + std::to_string(version) +
+                        " (this build reads " +
+                        std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint64_t length = hr.u64();
+  const std::uint32_t expected_crc = hr.u32();
+
+  // Sanity-bound the allocation by the actual file size before trusting the
+  // header's length field (a corrupt length must not trigger a huge alloc).
+  if (std::fseek(in.f, 0, SEEK_END) != 0) {
+    throw SnapshotError(path + ": seek failed");
+  }
+  const long file_size = std::ftell(in.f);
+  if (file_size < 0 ||
+      static_cast<std::uint64_t>(file_size) != kHeaderBytes + length) {
+    throw SnapshotError(path + ": payload length field disagrees with file size");
+  }
+  if (std::fseek(in.f, static_cast<long>(kHeaderBytes), SEEK_SET) != 0) {
+    throw SnapshotError(path + ": seek failed");
+  }
+
+  std::vector<std::uint8_t> payload(length);
+  if (!payload.empty() &&
+      std::fread(payload.data(), 1, payload.size(), in.f) != payload.size()) {
+    throw SnapshotError(path + ": truncated payload");
+  }
+  if (crc32(payload.data(), payload.size()) != expected_crc) {
+    throw SnapshotError(path + ": CRC mismatch");
+  }
+  return payload;
+}
+
+}  // namespace planaria::snapshot

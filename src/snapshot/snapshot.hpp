@@ -1,0 +1,153 @@
+// Versioned, CRC32-protected binary snapshot format (checkpoint/restore).
+//
+// A snapshot is a flat little-endian byte stream assembled by a Writer and
+// decoded by a Reader. Every multi-byte integer is serialized byte-by-byte
+// (no memcpy of structs), so the format is independent of host endianness,
+// struct padding and ABI — a snapshot taken on one platform restores on any
+// other. Doubles travel as their IEEE-754 bit patterns, which is what makes
+// restored results *bit*-identical rather than merely close.
+//
+// On disk the payload is wrapped in an envelope:
+//
+//   offset  size  field
+//   0       8     magic "PLNSNAP1"
+//   8       4     format version (kFormatVersion)
+//   12      8     payload length in bytes
+//   20      4     CRC32 (IEEE 802.3, reflected) of the payload
+//   24      n     payload
+//
+// read_file() validates all four header fields before handing out a single
+// payload byte; any mismatch (truncation, bit rot, wrong version, alien file)
+// raises SnapshotError, never undefined behaviour. write_file() is atomic:
+// the envelope is written to "<path>.tmp" and renamed into place, so a crash
+// mid-checkpoint can lose the new snapshot but never corrupt the old one.
+//
+// Structure errors inside the payload are caught two ways: the Reader throws
+// on any read past the end, and components bracket their sections with
+// fourcc tags (expect_tag) so a desynchronized decode fails fast at a section
+// boundary instead of misinterpreting another component's bytes.
+//
+// Versioning rule (DESIGN.md §11): any change to what a component serializes
+// must bump kFormatVersion. Old snapshots are then rejected cleanly (a
+// checkpointed run falls back to cold start); there is no in-place migration.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace planaria::snapshot {
+
+/// Raised on any malformed snapshot: truncated buffer, CRC mismatch, bad
+/// magic/version, tag desynchronization, or impossible decoded values.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error("snapshot: " + what) {}
+};
+
+/// Bump on any serialization layout change (see versioning rule above).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Section marker built from four printable characters, e.g. tag4("SLP0").
+constexpr std::uint32_t tag4(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over `size` bytes.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Append-only little-endian encoder. Never fails; the buffer grows as
+/// needed.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put(v, 2); }
+  void u32(std::uint32_t v) { put(v, 4); }
+  void u64(std::uint64_t v) { put(v, 8); }
+  void i64(std::int64_t v) { put(static_cast<std::uint64_t>(v), 8); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern; round-trips every value including NaN payloads.
+  void f64(double v);
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void tag(std::uint32_t t) { u32(t); }
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+
+ private:
+  void put(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a byte span it does not own.
+/// Every accessor throws SnapshotError instead of reading past the end.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(get(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(get(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(get(4)); }
+  std::uint64_t u64() { return get(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(get(8)); }
+  bool b();
+  double f64();
+  std::string str();
+
+  /// Consumes a tag and requires it to equal `expected` — the payload-level
+  /// framing check that catches desynchronized or reordered sections.
+  void expect_tag(std::uint32_t expected);
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+  /// Trailing unread bytes mean the decode went out of sync somewhere.
+  void require_end() const;
+
+ private:
+  std::uint64_t get(int bytes);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Serialization interface for stateful pipeline components. save_state must
+/// write a byte-stable encoding: serialize -> deserialize -> serialize yields
+/// the identical buffer (tests/test_snapshot.cpp holds every implementor to
+/// this), which requires emitting unordered containers in a canonical order.
+class Snapshottable {
+ public:
+  virtual ~Snapshottable() = default;
+  virtual void save_state(Writer& w) const = 0;
+  /// Restores from `r`, throwing SnapshotError on malformed input. A throw
+  /// may leave the object partially updated; callers discard it and rebuild
+  /// (the checkpoint recovery path constructs a fresh Simulator per attempt).
+  virtual void load_state(Reader& r) = 0;
+};
+
+/// Wraps `payload` in the envelope and writes it atomically: the bytes land
+/// in "<path>.tmp" first and are renamed over `path`, so `path` always holds
+/// either the previous complete snapshot or the new complete snapshot.
+/// Throws SnapshotError on any filesystem failure.
+void write_file(const std::string& path, const std::vector<std::uint8_t>& payload);
+
+/// Reads and validates an envelope; returns the payload. Throws SnapshotError
+/// on open failure, short file, bad magic, version mismatch, length mismatch
+/// or CRC mismatch.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+}  // namespace planaria::snapshot

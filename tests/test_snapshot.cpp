@@ -1,0 +1,549 @@
+// Snapshot subsystem tests (DESIGN.md §11).
+//
+// Three layers of guarantees:
+//   * Codec: Writer/Reader round-trip every primitive (doubles as IEEE-754
+//     bit patterns), and the Reader rejects malformed input — truncation,
+//     out-of-range bools, tag desync, trailing bytes — by throwing
+//     SnapshotError, never by reading out of bounds (run under ASan via the
+//     sanitize job).
+//   * Components: every Snapshottable satisfies the byte-stability property
+//     serialize -> deserialize -> serialize == identical bytes, exercised on
+//     warmed-up state (a mid-run simulator covers the SLP/TLP tables, the
+//     coordinators, every baseline prefetcher, the cache + replacement
+//     policies, the DRAM channel, the fault injectors and the MSHR map).
+//     Fuzz-truncated payload prefixes must all be rejected cleanly.
+//   * Format stability: a golden snapshot committed at tests/data/golden.snap
+//     must keep decoding. If this test fails after a serialization change,
+//     bump snapshot::kFormatVersion and regenerate the golden with
+//     PLANARIA_WRITE_GOLDEN=1 (see SnapshotGolden below).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/system_cache.hpp"
+#include "check/contract.hpp"
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "snapshot/snapshot.hpp"
+#include "trace/apps.hpp"
+#include "trace/generator.hpp"
+
+namespace planaria {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Codec primitives
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotCodec, PrimitivesRoundTrip) {
+  snapshot::Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.b(true);
+  w.b(false);
+  w.f64(-0.0);
+  w.f64(1.0 / 3.0);
+  w.str("planaria");
+  w.str("");
+  w.tag(snapshot::tag4("TEST"));
+
+  snapshot::Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit pattern, not value, survives
+  EXPECT_EQ(r.f64(), 1.0 / 3.0);
+  EXPECT_EQ(r.str(), "planaria");
+  EXPECT_EQ(r.str(), "");
+  r.expect_tag(snapshot::tag4("TEST"));
+  EXPECT_TRUE(r.at_end());
+  r.require_end();
+}
+
+TEST(SnapshotCodec, ReaderRejectsMalformedInput) {
+  {
+    snapshot::Reader r(nullptr, 0);
+    EXPECT_THROW(r.u8(), snapshot::SnapshotError);
+  }
+  {
+    const std::uint8_t short_u64[] = {1, 2, 3};
+    snapshot::Reader r(short_u64, sizeof short_u64);
+    EXPECT_THROW(r.u64(), snapshot::SnapshotError);
+  }
+  {
+    const std::uint8_t bad_bool[] = {2};
+    snapshot::Reader r(bad_bool, sizeof bad_bool);
+    EXPECT_THROW(r.b(), snapshot::SnapshotError);
+  }
+  {
+    // String whose declared length exceeds the remaining bytes.
+    snapshot::Writer w;
+    w.u32(1000);
+    w.u8('x');
+    snapshot::Reader r(w.buffer());
+    EXPECT_THROW(r.str(), snapshot::SnapshotError);
+  }
+  {
+    snapshot::Writer w;
+    w.tag(snapshot::tag4("AAAA"));
+    snapshot::Reader r(w.buffer());
+    EXPECT_THROW(r.expect_tag(snapshot::tag4("BBBB")),
+                 snapshot::SnapshotError);
+  }
+  {
+    snapshot::Writer w;
+    w.u8(1);
+    w.u8(2);
+    snapshot::Reader r(w.buffer());
+    r.u8();
+    EXPECT_THROW(r.require_end(), snapshot::SnapshotError);  // trailing byte
+  }
+}
+
+// ---------------------------------------------------------------------------
+// File envelope
+// ---------------------------------------------------------------------------
+
+class SnapshotFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "planaria-test-snapshot";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(SnapshotFileTest, EnvelopeRoundTripsAndIsAtomic) {
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < 1000; ++i) {
+    payload.push_back(static_cast<std::uint8_t>(i * 7));
+  }
+  snapshot::write_file(path("a.snap"), payload);
+  EXPECT_EQ(snapshot::read_file(path("a.snap")), payload);
+  // No temp file left behind.
+  EXPECT_FALSE(fs::exists(path("a.snap") + ".tmp"));
+  // Overwrite with different content: the reader must see the new bytes.
+  std::vector<std::uint8_t> payload2 = {9, 9, 9};
+  snapshot::write_file(path("a.snap"), payload2);
+  EXPECT_EQ(snapshot::read_file(path("a.snap")), payload2);
+}
+
+TEST_F(SnapshotFileTest, RejectsMissingTruncatedAndCorruptFiles) {
+  EXPECT_THROW(snapshot::read_file(path("nonexistent.snap")),
+               snapshot::SnapshotError);
+
+  std::vector<std::uint8_t> payload(256, 0x5A);
+  snapshot::write_file(path("b.snap"), payload);
+
+  // Truncation at several depths: inside the header, and inside the payload.
+  for (const std::uintmax_t keep : {0u, 7u, 12u, 23u, 24u, 100u}) {
+    fs::copy_file(path("b.snap"), path("trunc.snap"),
+                  fs::copy_options::overwrite_existing);
+    fs::resize_file(path("trunc.snap"), keep);
+    EXPECT_THROW(snapshot::read_file(path("trunc.snap")),
+                 snapshot::SnapshotError)
+        << "accepted a file truncated to " << keep << " bytes";
+  }
+
+  // One flipped payload byte: the CRC must catch it.
+  {
+    std::fstream f(path("b.snap"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(24 + 17);
+    f.put(static_cast<char>(0x5A ^ 0x01));
+  }
+  EXPECT_THROW(snapshot::read_file(path("b.snap")), snapshot::SnapshotError);
+
+  // Bad magic and wrong version are both rejected before any payload read.
+  snapshot::write_file(path("c.snap"), payload);
+  {
+    std::fstream f(path("c.snap"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.put('X');
+  }
+  EXPECT_THROW(snapshot::read_file(path("c.snap")), snapshot::SnapshotError);
+  snapshot::write_file(path("d.snap"), payload);
+  {
+    std::fstream f(path("d.snap"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);
+    f.put(static_cast<char>(snapshot::kFormatVersion + 1));
+  }
+  EXPECT_THROW(snapshot::read_file(path("d.snap")), snapshot::SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Component round-trip property: serialize -> deserialize -> serialize is
+// byte-identical, on warmed (mid-run) state.
+// ---------------------------------------------------------------------------
+
+std::vector<trace::TraceRecord> test_trace(std::uint64_t records) {
+  return trace::generate_app_trace(trace::paper_apps().front(), records);
+}
+
+/// Simulator with real mid-run state: tables populated, requests in flight,
+/// DRAM queues non-empty (no finish(), so nothing has been drained).
+std::unique_ptr<sim::Simulator> warmed(sim::PrefetcherKind kind,
+                                       const std::vector<trace::TraceRecord>& t,
+                                       std::size_t feed,
+                                       const sim::SimConfig& config = {}) {
+  auto s = std::make_unique<sim::Simulator>(
+      config, sim::make_prefetcher_factory(kind),
+      sim::prefetcher_kind_name(kind));
+  s->run_sharded(t.data(), t.data() + feed);
+  return s;
+}
+
+TEST(SnapshotRoundTrip, EveryPrefetcherKindIsByteStable) {
+  const auto t = test_trace(12000);
+  for (sim::PrefetcherKind kind : sim::all_prefetcher_kinds()) {
+    SCOPED_TRACE(sim::prefetcher_kind_name(kind));
+    const auto original = warmed(kind, t, 9000);
+    snapshot::Writer first;
+    original->save_state(first);
+
+    auto restored = warmed(kind, t, 0);
+    snapshot::Reader r(first.buffer());
+    restored->load_state(r);
+    r.require_end();
+
+    snapshot::Writer second;
+    restored->save_state(second);
+    EXPECT_EQ(first.buffer(), second.buffer());
+  }
+}
+
+TEST(SnapshotRoundTrip, ArmedFaultInjectorsAreByteStable) {
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  for (int c = 0; c < fault::kFaultClassCount; ++c) {
+    plan.rate[c] = 0.02;
+  }
+  sim::SimConfig config;
+  config.fault = plan;
+  const auto t = test_trace(8000);
+
+  check::RecoveryScope scope;  // trace corruption fires the time contract
+  const auto original = warmed(sim::PrefetcherKind::kPlanaria, t, 6000, config);
+  snapshot::Writer first;
+  original->save_state(first);
+
+  auto restored = warmed(sim::PrefetcherKind::kPlanaria, t, 0, config);
+  snapshot::Reader r(first.buffer());
+  restored->load_state(r);
+  r.require_end();
+
+  snapshot::Writer second;
+  restored->save_state(second);
+  EXPECT_EQ(first.buffer(), second.buffer());
+}
+
+TEST(SnapshotRoundTrip, EveryReplacementPolicyIsByteStable) {
+  for (const cache::ReplacementKind kind :
+       {cache::ReplacementKind::kLru, cache::ReplacementKind::kRandom,
+        cache::ReplacementKind::kSrrip, cache::ReplacementKind::kDrrip}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    cache::CacheConfig config;
+    config.size_bytes = 1 << 16;  // small slice so evictions actually happen
+    config.replacement = kind;
+
+    cache::SystemCache original(config);
+    Rng rng(123);
+    for (int i = 0; i < 20000; ++i) {
+      const std::uint64_t block = rng.next_below(4096);
+      original.access(block, rng.chance(0.3) ? AccessType::kWrite
+                                             : AccessType::kRead);
+      if (rng.chance(0.7)) {
+        original.fill(block, rng.chance(0.5)
+                                 ? cache::FillSource::kPrefetchSlp
+                                 : cache::FillSource::kDemand);
+      }
+    }
+    snapshot::Writer first;
+    original.save_state(first);
+
+    cache::SystemCache restored(config);
+    snapshot::Reader r(first.buffer());
+    restored.load_state(r);
+    r.require_end();
+
+    snapshot::Writer second;
+    restored.save_state(second);
+    EXPECT_EQ(first.buffer(), second.buffer());
+  }
+}
+
+TEST(SnapshotRoundTrip, FaultInjectorResumesItsStreamsExactly) {
+  const auto plan = fault::FaultPlan::single(fault::FaultClass::kPrefetchDrop,
+                                            0.5, 99);
+  fault::FaultInjector a(plan, 3);
+  for (int i = 0; i < 1000; ++i) {
+    if (a.roll(fault::FaultClass::kPrefetchDrop)) {
+      a.record(fault::FaultClass::kPrefetchDrop);
+    }
+  }
+  snapshot::Writer w;
+  a.save_state(w);
+
+  fault::FaultInjector b(plan, 3);
+  snapshot::Reader r(w.buffer());
+  b.load_state(r);
+  r.require_end();
+  EXPECT_EQ(b.injected(fault::FaultClass::kPrefetchDrop),
+            a.injected(fault::FaultClass::kPrefetchDrop));
+  // Both streams must continue in lockstep after the restore.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.roll(fault::FaultClass::kPrefetchDrop),
+              b.roll(fault::FaultClass::kPrefetchDrop));
+  }
+}
+
+TEST(SnapshotRoundTrip, SimResultSurvivesVerbatim) {
+  sim::SimResult a;
+  a.prefetcher = "planaria";
+  a.demand_reads = 123456;
+  a.amat_cycles = 87.125609134847502;
+  a.ipc = 1.9999999999999998;  // adjacent representable doubles must survive
+  a.data_bus_utilization = 0.3333333333333333;
+  a.fault_injected_total = 42;
+  a.fault_dram_stalls = 17;
+
+  snapshot::Writer w;
+  a.save_state(w);
+  sim::SimResult b;
+  snapshot::Reader r(w.buffer());
+  b.load_state(r);
+  r.require_end();
+  EXPECT_TRUE(a == b);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzed damage: every truncated prefix of a full simulator payload must be
+// rejected with SnapshotError — never a crash, hang, or silent acceptance.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotFuzz, TruncatedPayloadsAreRejectedCleanly) {
+  const auto t = test_trace(6000);
+  const auto original = warmed(sim::PrefetcherKind::kPlanaria, t, 5000);
+  snapshot::Writer w;
+  original->save_state(w);
+  const auto& full = w.buffer();
+  ASSERT_GT(full.size(), 200u);
+
+  std::vector<std::size_t> cuts;
+  for (std::size_t n = 0; n < 64 && n < full.size(); ++n) cuts.push_back(n);
+  for (std::size_t n = 64; n < full.size(); n += 997) cuts.push_back(n);
+  cuts.push_back(full.size() - 1);
+
+  for (const std::size_t cut : cuts) {
+    auto fresh = warmed(sim::PrefetcherKind::kPlanaria, t, 0);
+    snapshot::Reader r(full.data(), cut);
+    EXPECT_THROW(
+        {
+          fresh->load_state(r);
+          r.require_end();  // a prefix that "loads" must still fail framing
+        },
+        snapshot::SnapshotError)
+        << "accepted a payload truncated to " << cut << " of " << full.size()
+        << " bytes";
+  }
+}
+
+TEST(SnapshotFuzz, WrongKindPayloadIsRejected) {
+  const auto t = test_trace(4000);
+  const auto bop = warmed(sim::PrefetcherKind::kBop, t, 3000);
+  snapshot::Writer w;
+  bop->save_state(w);
+  auto spp = warmed(sim::PrefetcherKind::kSpp, t, 0);
+  snapshot::Reader r(w.buffer());
+  EXPECT_THROW(spp->load_state(r), snapshot::SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume at the API level (the audit's crash stage covers the
+// full kill matrix; this is the fast in-tree slice of it).
+// ---------------------------------------------------------------------------
+
+TEST_F(SnapshotFileTest, ResumeMatchesUninterruptedRunBitForBit) {
+  const auto t = test_trace(10000);
+  const auto base = sim::Simulator::run(
+      sim::SimConfig{},
+      sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria), "planaria",
+      t);
+
+  // Run 6000 records, checkpoint, abandon; resume must complete identically.
+  const auto part = warmed(sim::PrefetcherKind::kPlanaria, t, 6000);
+  sim::CheckpointConfig ckpt;
+  ckpt.dir = dir_.string();
+  ckpt.every = 6000;
+  sim::write_checkpoint(*part, ckpt, 6000, sim::trace_fingerprint(t));
+
+  const auto resumed = sim::resume(
+      sim::SimConfig{},
+      sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria), "planaria",
+      t, ckpt.current_path());
+  EXPECT_TRUE(resumed == base);
+
+  // resume() on a damaged snapshot throws instead of falling back.
+  fs::resize_file(ckpt.current_path(), 30);
+  EXPECT_THROW(sim::resume(sim::SimConfig{},
+                           sim::make_prefetcher_factory(
+                               sim::PrefetcherKind::kPlanaria),
+                           "planaria", t, ckpt.current_path()),
+               snapshot::SnapshotError);
+}
+
+TEST_F(SnapshotFileTest, FingerprintMismatchForcesColdStart) {
+  const auto t = test_trace(8000);
+  const auto part = warmed(sim::PrefetcherKind::kPlanaria, t, 4000);
+  sim::CheckpointConfig ckpt;
+  ckpt.dir = dir_.string();
+  ckpt.every = 4000;
+  sim::write_checkpoint(*part, ckpt, 4000, sim::trace_fingerprint(t));
+
+  // A different trace must not resume from this snapshot.
+  const auto other = test_trace(8001);
+  sim::RecoveryReport rep;
+  const auto result = sim::run_checkpointed(
+      sim::SimConfig{},
+      sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria), "planaria",
+      other, ckpt, nullptr, &rep);
+  EXPECT_EQ(rep.outcome, sim::RecoveryReport::Outcome::kColdStart);
+  ASSERT_FALSE(rep.notes.empty());
+  EXPECT_NE(rep.notes.front().find("different trace"), std::string::npos);
+  const auto base = sim::Simulator::run(
+      sim::SimConfig{},
+      sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria), "planaria",
+      other);
+  EXPECT_TRUE(result == base);
+}
+
+TEST_F(SnapshotFileTest, SweepCellsResumeFromPersistedResults) {
+  sim::ExperimentRunner first(sim::SimConfig{}, 4000, 1);
+  first.set_checkpoint_dir(dir_.string());
+  const std::vector<sim::PrefetcherKind> kinds = {sim::PrefetcherKind::kNone,
+                                                  sim::PrefetcherKind::kBop};
+  const auto a = first.sweep(kinds);
+  // Every completed cell left a validated result file behind.
+  std::size_t cell_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    cell_files += entry.path().extension() == ".result" ? 1 : 0;
+  }
+  EXPECT_EQ(cell_files, trace::app_names().size() * kinds.size());
+
+  // A second runner must reload them verbatim.
+  sim::ExperimentRunner second(sim::SimConfig{}, 4000, 1);
+  second.set_checkpoint_dir(dir_.string());
+  const auto b = second.sweep(kinds);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [app, per_kind] : a) {
+    for (const auto& [kind_name, result] : per_kind) {
+      EXPECT_TRUE(result == b.at(app).at(kind_name)) << app << "/" << kind_name;
+    }
+  }
+
+  // A corrupted cell file is silently re-run, not trusted.
+  const auto victim = dir_ / ("cell_" + a.begin()->first + "_none.result");
+  ASSERT_TRUE(fs::exists(victim));
+  fs::resize_file(victim, 10);
+  sim::ExperimentRunner third(sim::SimConfig{}, 4000, 1);
+  third.set_checkpoint_dir(dir_.string());
+  const auto c = third.sweep(kinds);
+  EXPECT_TRUE(a.begin()->second.at("none") == c.at(a.begin()->first).at("none"));
+}
+
+// ---------------------------------------------------------------------------
+// Golden snapshot: format stability across commits.
+// ---------------------------------------------------------------------------
+
+/// Hand-constructed deterministic trace (kept independent of the trace
+/// generator so generator tuning can never invalidate the golden file).
+/// Addresses walk all four channels; every 7th record is a write.
+std::vector<trace::TraceRecord> golden_trace() {
+  std::vector<trace::TraceRecord> out;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  Cycle t = 0;
+  for (int i = 0; i < 512; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    trace::TraceRecord rec;
+    rec.address = (state >> 16) & 0xFFFFFFC0ull;  // 64B-aligned, 32-bit range
+    rec.arrival = t;
+    t += (state >> 58) + 1;
+    rec.type = i % 7 == 0 ? AccessType::kWrite : AccessType::kRead;
+    rec.device = static_cast<DeviceId>(i % static_cast<int>(DeviceId::kCount));
+    out.push_back(rec);
+  }
+  return out;
+}
+
+TEST(SnapshotGolden, CommittedSnapshotStillDecodes) {
+  const std::string golden = std::string(PLANARIA_TESTDATA_DIR) +
+                             "/golden.snap";
+  const auto t = golden_trace();
+  constexpr std::uint64_t kGoldenCursor = 256;
+
+  if (const char* write = std::getenv("PLANARIA_WRITE_GOLDEN");
+      write != nullptr && *write != '\0') {
+    const auto s = warmed(sim::PrefetcherKind::kPlanaria, t, kGoldenCursor);
+    snapshot::Writer w;
+    w.tag(snapshot::tag4("CKPT"));
+    w.u64(kGoldenCursor);
+    w.u64(sim::trace_fingerprint(t));
+    s->save_state(w);
+    snapshot::write_file(golden, w.buffer());
+    GTEST_SKIP() << "golden snapshot regenerated at " << golden;
+  }
+
+  ASSERT_TRUE(fs::exists(golden))
+      << "tests/data/golden.snap is missing; regenerate with "
+         "PLANARIA_WRITE_GOLDEN=1";
+  // Decode gate: the envelope validates, every component section loads, and
+  // the resume cursor is intact. A failure here means the serialization
+  // changed without a kFormatVersion bump (see snapshot.hpp's versioning
+  // rule).
+  auto s = warmed(sim::PrefetcherKind::kPlanaria, t, 0);
+  const std::uint64_t cursor =
+      sim::load_checkpoint(*s, golden, sim::trace_fingerprint(t));
+  EXPECT_EQ(cursor, kGoldenCursor);
+
+  // And the restored state is live: completing the run reproduces the
+  // uninterrupted result bit for bit.
+  s->run_sharded(t.data() + cursor, t.data() + t.size());
+  const auto resumed = s->finish();
+  const auto base = sim::Simulator::run(
+      sim::SimConfig{},
+      sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria), "planaria",
+      t);
+  EXPECT_TRUE(resumed == base);
+}
+
+}  // namespace
+}  // namespace planaria

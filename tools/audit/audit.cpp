@@ -1,6 +1,6 @@
 // planaria-audit — the invariant audit gate CI runs on every change.
 //
-// Four stages (select with --stage, default all):
+// Five stages (select with --stage, default all):
 //   1. Self-test: deliberately injects a storage-budget violation and checks
 //      the contract layer flags it. A gate that cannot see a planted bug is
 //      blind; this stage failing exits 2 and nothing else is trusted.
@@ -23,20 +23,30 @@
 //      violation tally matches the injector's applied-fault count per the
 //      class's manifestation rule, and the flagship kind reproduces the same
 //      result and counters across two serial runs and a 4-thread run.
+//   5. Crash audit: kills checkpointed runs at randomized record indices,
+//      resumes from the on-disk snapshot, and requires the resumed result to
+//      be bit-identical to the uninterrupted run for every (app x kind) cell,
+//      serial and 4-thread, with and without an armed FaultPlan; damaged
+//      snapshots (truncation, CRC corruption) must degrade gracefully to
+//      .prev and then to a cold start, with a populated RecoveryReport.
 //
 // Exit codes: 0 = clean, 1 = an audit check failed, 2 = self-test failed.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "check/contract.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "core/storage.hpp"
 #include "core/storage_layout.hpp"
 #include "fault/fault.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/simulator.hpp"
 #include "trace/apps.hpp"
 #include "trace/generator.hpp"
@@ -67,37 +77,11 @@ bool expect(bool ok, const std::string& what) {
 /// drifting past this bound has outgrown the hardware the paper costed.
 constexpr double kBudgetSlack = 1.05;
 
-/// Exact (bit-identical) SimResult comparison for the parallel replay stage.
-/// Doubles are compared with == on purpose: the parallel engine's contract is
-/// bit-identity with the serial path, not numeric tolerance.
+/// Exact (bit-identical) SimResult comparison for the determinism stages:
+/// SimResult::operator== is defaulted memberwise equality, doubles compared
+/// with == on purpose — the contract is bit-identity, not numeric tolerance.
 bool results_identical(const sim::SimResult& a, const sim::SimResult& b) {
-  return a.prefetcher == b.prefetcher && a.demand_reads == b.demand_reads &&
-         a.demand_writes == b.demand_writes && a.amat_cycles == b.amat_cycles &&
-         a.sc_hit_rate == b.sc_hit_rate &&
-         a.prefetch_accuracy == b.prefetch_accuracy &&
-         a.prefetch_coverage == b.prefetch_coverage &&
-         a.prefetch_issued == b.prefetch_issued &&
-         a.prefetch_dropped == b.prefetch_dropped &&
-         a.dram_reads == b.dram_reads && a.dram_writes == b.dram_writes &&
-         a.dram_traffic_blocks == b.dram_traffic_blocks &&
-         a.dram_power_mw == b.dram_power_mw &&
-         a.sram_power_mw == b.sram_power_mw &&
-         a.total_power_mw == b.total_power_mw && a.ipc == b.ipc &&
-         a.elapsed == b.elapsed && a.hits_on_slp == b.hits_on_slp &&
-         a.hits_on_tlp == b.hits_on_tlp &&
-         a.hits_on_other_pf == b.hits_on_other_pf &&
-         a.pollution_misses == b.pollution_misses &&
-         a.slp_issues == b.slp_issues && a.tlp_issues == b.tlp_issues &&
-         a.late_prefetch_merges == b.late_prefetch_merges &&
-         a.data_bus_utilization == b.data_bus_utilization &&
-         a.storage_bits == b.storage_bits &&
-         a.fault_injected_total == b.fault_injected_total &&
-         a.fault_trace_corruptions == b.fault_trace_corruptions &&
-         a.fault_slp_flips == b.fault_slp_flips &&
-         a.fault_tlp_flips == b.fault_tlp_flips &&
-         a.fault_prefetch_drops == b.fault_prefetch_drops &&
-         a.fault_prefetch_delays == b.fault_prefetch_delays &&
-         a.fault_dram_stalls == b.fault_dram_stalls;
+  return a == b;
 }
 
 /// The storage contract applied to one configuration: the field-by-field
@@ -412,6 +396,203 @@ void chaos_audit(std::uint64_t records, std::uint64_t seed) {
   check::reset_recoveries();
 }
 
+/// In-process crash model for the crash-recovery audit. Drives a simulator
+/// exactly the way run_checkpointed would — full `every`-record chunks with a
+/// checkpoint after each — then feeds the partial chunk past the last
+/// checkpoint WITHOUT checkpointing and abandons the instance (finish() is
+/// never called). That is what SIGKILL at record `kill_at` leaves behind: a
+/// last-good snapshot on disk, all in-memory progress since it lost.
+void crash_at(const sim::SimConfig& config, sim::PrefetcherKind kind,
+              const std::vector<trace::TraceRecord>& records,
+              const sim::CheckpointConfig& ckpt, std::uint64_t kill_at,
+              std::uint64_t fingerprint, planaria::common::ThreadPool* pool) {
+  sim::Simulator doomed(config, sim::make_prefetcher_factory(kind),
+                        sim::prefetcher_kind_name(kind));
+  std::uint64_t cursor = 0;
+  while (cursor + ckpt.every <= kill_at) {
+    doomed.run_sharded(records.data() + cursor,
+                       records.data() + cursor + ckpt.every, pool);
+    cursor += ckpt.every;
+    sim::write_checkpoint(doomed, ckpt, cursor, fingerprint);
+  }
+  if (cursor < kill_at) {
+    doomed.run_sharded(records.data() + cursor, records.data() + kill_at,
+                       pool);
+  }
+}
+
+void scrub_snapshots(const sim::CheckpointConfig& ckpt) {
+  std::error_code ec;
+  std::filesystem::remove(ckpt.current_path(), ec);
+  std::filesystem::remove(ckpt.prev_path(), ec);
+}
+
+/// Flips one payload byte in a snapshot file; the envelope CRC must catch it.
+void corrupt_snapshot(const std::string& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(40);  // past the 24-byte envelope header, inside the payload
+  char byte = 0;
+  f.get(byte);
+  f.seekp(40);
+  f.put(static_cast<char>(byte ^ 0x40));
+}
+
+/// Stage 5: crash-recovery audit. For every (app x kind) cell, kill the run
+/// at randomized record indices (deterministic xoshiro streams), restart from
+/// the on-disk snapshot via run_checkpointed, and require the resumed
+/// SimResult to be bit-identical to the uninterrupted run — serial and
+/// 4-thread, zero-fault and with an armed FaultPlan. Then, on the flagship
+/// kind, damage the snapshots on purpose (truncation, CRC corruption, both
+/// generations) and require graceful degradation: fall back to .prev, else
+/// cold start, with a populated RecoveryReport — never a crash, never a
+/// silently wrong result.
+void crash_audit(std::uint64_t records, std::uint64_t seed) {
+  std::printf(
+      "crash audit: %llu records/app, kill/resume every kind, "
+      "bit-identical gate\n",
+      static_cast<unsigned long long>(records));
+  // Recover mode for the whole stage: the armed-fault legs deliberately fire
+  // the time-order contract (trace corruption), which must recover, not
+  // abort. The closing gate requires every violation to have been recovered.
+  check::RecoveryScope scope;
+  check::reset_violations();
+  check::reset_recoveries();
+
+  const std::vector<trace::AppProfile> profiles = audit_profiles(seed);
+  planaria::common::ThreadPool pool(4);
+  const auto traces = trace::generate_app_traces(profiles, records, &pool);
+
+  sim::CheckpointConfig ckpt;
+  std::error_code ec;
+  const auto dir =
+      std::filesystem::temp_directory_path() / "planaria-crash-audit";
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  ckpt.dir = dir.string();
+  // A deliberately trace-misaligned interval so kills land both before the
+  // first checkpoint (cold-start resume) and between later ones.
+  ckpt.every = std::max<std::uint64_t>(1, records / 7);
+  ckpt.label = "audit";
+
+  // Armed leg: timing-shifting classes plus trace corruption, so the resumed
+  // run must reproduce the injector streams and the recovery path mid-flight.
+  fault::FaultPlan armed;
+  armed.seed = seed;
+  armed.rate[static_cast<int>(fault::FaultClass::kTraceCorruption)] = 0.002;
+  armed.rate[static_cast<int>(fault::FaultClass::kPrefetchDrop)] = 0.05;
+  armed.rate[static_cast<int>(fault::FaultClass::kDramStall)] = 0.001;
+
+  std::uint64_t cell_index = 0;
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const auto& app = profiles[p];
+    const auto& trace_records = traces[p];
+    const std::uint64_t n = trace_records.size();
+    if (n < 2) continue;
+    const std::uint64_t fingerprint = sim::trace_fingerprint(trace_records);
+    for (sim::PrefetcherKind kind : sim::all_prefetcher_kinds()) {
+      for (const bool with_faults : {false, true}) {
+        sim::SimConfig config;
+        if (with_faults) config.fault = armed;
+        for (planaria::common::ThreadPool* cell_pool :
+             {static_cast<planaria::common::ThreadPool*>(nullptr), &pool}) {
+          const std::string cell =
+              app.name + " x " + sim::prefetcher_kind_name(kind) +
+              (with_faults ? " / faults" : "") +
+              (cell_pool != nullptr ? " / 4-thread" : " / serial");
+          scrub_snapshots(ckpt);
+          const auto base = sim::Simulator::run(
+              config, sim::make_prefetcher_factory(kind),
+              sim::prefetcher_kind_name(kind), trace_records, cell_pool);
+
+          planaria::Rng kills(seed ^ (++cell_index * 0x9E3779B97F4A7C15ull));
+          bool identical = true;
+          bool outcomes_ok = true;
+          for (int drill = 0; drill < 3; ++drill) {
+            scrub_snapshots(ckpt);
+            const std::uint64_t kill_at = 1 + kills.next_below(n - 1);
+            crash_at(config, kind, trace_records, ckpt, kill_at, fingerprint,
+                     cell_pool);
+            sim::RecoveryReport rep;
+            const auto resumed = sim::run_checkpointed(
+                config, sim::make_prefetcher_factory(kind),
+                sim::prefetcher_kind_name(kind), trace_records, ckpt,
+                cell_pool, &rep);
+            identical = identical && resumed == base;
+            // A kill past the first boundary must resume from the snapshot;
+            // an earlier kill finds no snapshot and cold-starts quietly.
+            const std::uint64_t expect_cursor =
+                kill_at / ckpt.every * ckpt.every;
+            outcomes_ok =
+                outcomes_ok &&
+                (expect_cursor > 0
+                     ? rep.outcome == sim::RecoveryReport::Outcome::kResumed &&
+                           rep.resumed_cursor == expect_cursor
+                     : rep.outcome ==
+                           sim::RecoveryReport::Outcome::kColdStart) &&
+                rep.notes.empty();
+          }
+          expect(identical && outcomes_ok,
+                 cell + ": 3 kill/resume drills bit-identical");
+        }
+      }
+    }
+  }
+
+  // Corruption drills (flagship kind, serial, zero-fault): damage the
+  // snapshot generations on purpose and require graceful degradation.
+  const auto& flagship_records = traces[0];
+  const std::uint64_t n = flagship_records.size();
+  const std::uint64_t kill_at = 3 * ckpt.every;  // leaves .snap and .prev
+  if (kill_at < n) {
+    const std::uint64_t fingerprint =
+        sim::trace_fingerprint(flagship_records);
+    const sim::SimConfig config;
+    const auto kind = sim::PrefetcherKind::kPlanaria;
+    const auto base = sim::Simulator::run(
+        config, sim::make_prefetcher_factory(kind),
+        sim::prefetcher_kind_name(kind), flagship_records, nullptr);
+    const auto drill = [&](const char* what, auto&& damage,
+                           sim::RecoveryReport::Outcome want,
+                           std::size_t want_notes) {
+      scrub_snapshots(ckpt);
+      crash_at(config, kind, flagship_records, ckpt, kill_at, fingerprint,
+               nullptr);
+      damage();
+      sim::RecoveryReport rep;
+      const auto resumed = sim::run_checkpointed(
+          config, sim::make_prefetcher_factory(kind),
+          sim::prefetcher_kind_name(kind), flagship_records, ckpt, nullptr,
+          &rep);
+      expect(resumed == base && rep.outcome == want &&
+                 rep.notes.size() == want_notes,
+             std::string("corruption drill: ") + what + " -> " +
+                 sim::recovery_outcome_name(want) + ", bit-identical");
+    };
+    drill("truncated current snapshot",
+          [&] {
+            std::filesystem::resize_file(
+                ckpt.current_path(),
+                std::filesystem::file_size(ckpt.current_path()) / 2);
+          },
+          sim::RecoveryReport::Outcome::kFellBack, 1);
+    drill("CRC-corrupt current snapshot",
+          [&] { corrupt_snapshot(ckpt.current_path()); },
+          sim::RecoveryReport::Outcome::kFellBack, 1);
+    drill("both generations corrupt",
+          [&] {
+            corrupt_snapshot(ckpt.current_path());
+            std::filesystem::resize_file(ckpt.prev_path(), 10);
+          },
+          sim::RecoveryReport::Outcome::kColdStart, 2);
+  }
+
+  expect(check::total_recoveries() == check::total_violations(),
+         "every contract violation during crash drills was recovered");
+  std::filesystem::remove_all(dir, ec);
+  check::reset_violations();
+  check::reset_recoveries();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -432,7 +613,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: planaria-audit [--records N] [--seed S] "
-                   "[--stage all|self-test|static|replay|chaos]\n");
+                   "[--stage all|self-test|static|replay|chaos|crash]\n");
       return 1;
     }
   }
@@ -441,7 +622,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (stage != "all" && stage != "self-test" && stage != "static" &&
-      stage != "replay" && stage != "chaos") {
+      stage != "replay" && stage != "chaos" && stage != "crash") {
     std::fprintf(stderr, "planaria-audit: unknown --stage '%s'\n",
                  stage.c_str());
     return 1;
@@ -456,6 +637,7 @@ int main(int argc, char** argv) {
   if (stage == "all" || stage == "static") static_audit();
   if (stage == "all" || stage == "replay") replay_audit(records, seed);
   if (stage == "all" || stage == "chaos") chaos_audit(records, seed);
+  if (stage == "all" || stage == "crash") crash_audit(records, seed);
 
   if (g_failures > 0) {
     std::fprintf(stderr, "planaria-audit: %d check(s) FAILED\n", g_failures);
