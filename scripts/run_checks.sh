@@ -3,22 +3,27 @@
 #
 # Runs, in order:
 #   1. release  — -Werror build of everything + full ctest suite
-#   2. sanitize — ASan+UBSan build (arms PLANARIA_DASSERT) + full ctest suite
-#   3. audit    — planaria-audit invariant gate (from the sanitizer build, so
+#   2. lint     — planaria-lint over src/, tools/, bench/, tests/: layering
+#                 DAG, determinism bans, snapshot pairing/round-trip coverage,
+#                 contract coverage, hygiene; writes the --json report to
+#                 build-release/lint-report.json (CI uploads it as an
+#                 artifact)
+#   3. sanitize — ASan+UBSan build (arms PLANARIA_DASSERT) + full ctest suite
+#   4. audit    — planaria-audit invariant gate (from the sanitizer build, so
 #                 the replay stage runs instrumented; includes the serial-vs-
 #                 parallel bit-identity replay)
-#   4. chaos    — planaria-audit --stage chaos: every (app x kind) cell under
+#   5. chaos    — planaria-audit --stage chaos: every (app x kind) cell under
 #                 each fault class with contracts in recover mode; exits
 #                 nonzero on any abort or injected-vs-recovered counter
 #                 mismatch
-#   5. crash    — planaria-audit --stage crash: kill-and-resume drills at
+#   6. crash    — planaria-audit --stage crash: kill-and-resume drills at
 #                 randomized record indices across the full (app x kind x
 #                 faults x threads) matrix, asserting the resumed run is
 #                 bit-identical to an uninterrupted one, plus truncated /
 #                 CRC-corrupt snapshot recovery
-#   6. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
+#   7. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
 #                 PLANARIA_THREADS pool
-#   7. tidy     — clang-tidy over src/ against the compilation database
+#   8. tidy     — clang-tidy over src/ against the compilation database
 #                 (skipped with a notice if clang-tidy is not installed)
 #
 # Every stage runs even if an earlier one fails; each stage runs under a
@@ -82,6 +87,10 @@ stage_sanitize() {
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
 }
 
+stage_lint() {
+  ./build-release/tools/lint/planaria-lint --json=build-release/lint-report.json
+}
+
 stage_audit() {
   "$AUDIT" --stage static
   "$AUDIT" --stage replay
@@ -104,11 +113,13 @@ stage_tsan() {
 }
 
 stage_tidy() {
-  mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+  # Fixture corpus excluded: deliberately-bad code with no compile commands.
+  mapfile -t sources < <(find src tools -name '*.cpp' -not -path 'tools/lint/fixtures/*' | sort)
   clang-tidy -p build-release --quiet "${sources[@]}"
 }
 
 run_stage release 1800 stage_release
+run_stage lint 120 stage_lint
 
 if [[ "$SKIP_SANITIZE" -eq 0 ]]; then
   run_stage sanitize 1800 stage_sanitize

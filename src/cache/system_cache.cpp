@@ -77,6 +77,10 @@ AccessResult SystemCache::access(std::uint64_t block, AccessType type) {
       ++stats_.demand_misses;
       if (pollution_set_.count(block) != 0) ++stats_.pollution_misses;
     }
+    PLANARIA_ENSURE_MSG(kStorageBudget,
+                        stats_.demand_hits + stats_.demand_misses ==
+                            stats_.demand_accesses,
+                        "demand accounting must stay exact");
     return result;
   }
 
@@ -209,6 +213,7 @@ void SystemCache::save_state(snapshot::Writer& w) const {
   w.u64(static_cast<std::uint64_t>(pollution_fifo_.size()));
   for (std::uint64_t v : pollution_fifo_) w.u64(v);
   w.u64(static_cast<std::uint64_t>(pollution_head_));
+  // lint: suppress(unordered-iteration) members are collected then sorted; the encoding is canonical
   std::vector<std::uint64_t> members(pollution_set_.begin(),
                                      pollution_set_.end());
   std::sort(members.begin(), members.end());

@@ -13,7 +13,6 @@
 #include <vector>
 
 #include "common/assert.hpp"
-#include "snapshot/snapshot.hpp"
 
 namespace planaria {
 
@@ -139,8 +138,10 @@ class SetAssocTable {
   /// encoding is byte-stable across save/load cycles), with the exact LRU
   /// timestamps — replacement decisions after a restore match the
   /// uninterrupted run bit for bit. `sp(w, payload)` encodes one payload.
-  template <typename SavePayload>
-  void save_state(snapshot::Writer& w, SavePayload&& sp) const {
+  /// Templated on the writer type so the common layer never depends on the
+  /// snapshot module (see common/table.hpp).
+  template <typename Writer, typename SavePayload>
+  void save_state(Writer& w, SavePayload&& sp) const {
     w.u64(tick_);
     w.u64(static_cast<std::uint64_t>(live_));
     for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -155,20 +156,20 @@ class SetAssocTable {
 
   /// Restore counterpart; `lp(r)` decodes one payload. Geometry must match
   /// the constructed table (slot indices out of range, descending, or
-  /// duplicated reject the snapshot).
-  template <typename LoadPayload>
-  void load_state(snapshot::Reader& r, LoadPayload&& lp) {
+  /// duplicated reject the snapshot via `r.fail`, which must not return).
+  template <typename Reader, typename LoadPayload>
+  void load_state(Reader& r, LoadPayload&& lp) {
     clear();
     tick_ = r.u64();
     const std::uint64_t count = r.u64();
     if (count > entries_.size()) {
-      throw snapshot::SnapshotError("set table live count exceeds capacity");
+      r.fail("set table live count exceeds capacity");
     }
     std::uint64_t prev = 0;
     for (std::uint64_t n = 0; n < count; ++n) {
       const std::uint64_t i = r.u64();
       if (i >= entries_.size() || (n > 0 && i <= prev)) {
-        throw snapshot::SnapshotError("set table slot index out of order");
+        r.fail("set table slot index out of order");
       }
       prev = i;
       Entry& e = entries_[i];

@@ -16,7 +16,6 @@
 #include <vector>
 
 #include "common/assert.hpp"
-#include "snapshot/snapshot.hpp"
 
 namespace planaria {
 
@@ -145,9 +144,12 @@ class LruTable {
 
   /// Checkpoint: valid slots in ascending slot order with exact LRU
   /// timestamps, mirroring SetAssocTable::save_state (same canonical,
-  /// byte-stable layout guarantees).
-  template <typename SavePayload>
-  void save_state(snapshot::Writer& w, SavePayload&& sp) const {
+  /// byte-stable layout guarantees). Templated on the writer type so the
+  /// common layer never depends on the snapshot module (the layering DAG in
+  /// tools/lint/layers.conf forbids that edge); any encoder with the
+  /// snapshot::Writer integer interface works.
+  template <typename Writer, typename SavePayload>
+  void save_state(Writer& w, SavePayload&& sp) const {
     w.u64(tick_);
     w.u64(static_cast<std::uint64_t>(live_));
     for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -160,19 +162,22 @@ class LruTable {
     }
   }
 
-  template <typename LoadPayload>
-  void load_state(snapshot::Reader& r, LoadPayload&& lp) {
+  /// Restore counterpart; malformed input is rejected through
+  /// `r.fail(message)`, which must not return (snapshot::Reader throws
+  /// SnapshotError).
+  template <typename Reader, typename LoadPayload>
+  void load_state(Reader& r, LoadPayload&& lp) {
     clear();
     tick_ = r.u64();
     const std::uint64_t count = r.u64();
     if (count > entries_.size()) {
-      throw snapshot::SnapshotError("lru table live count exceeds capacity");
+      r.fail("lru table live count exceeds capacity");
     }
     std::uint64_t prev = 0;
     for (std::uint64_t n = 0; n < count; ++n) {
       const std::uint64_t i = r.u64();
       if (i >= entries_.size() || (n > 0 && i <= prev)) {
-        throw snapshot::SnapshotError("lru table slot index out of order");
+        r.fail("lru table slot index out of order");
       }
       prev = i;
       Entry& e = entries_[i];

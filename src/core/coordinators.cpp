@@ -81,6 +81,7 @@ ParallelComposite::ParallelComposite(const ParallelCoordinatorConfig& config)
 
 void ParallelComposite::on_demand(const prefetch::DemandEvent& event,
                                   std::vector<prefetch::PrefetchRequest>& out) {
+  const std::size_t queued_before = out.size();
   slp_.learn(event);
   tlp_.learn(event);
   if (event.sc_hit) return;
@@ -89,6 +90,8 @@ void ParallelComposite::on_demand(const prefetch::DemandEvent& event,
   // knows the page — the accuracy cost of parallel issuing.
   slp_.issue(event, out);
   tlp_.issue(event, out);
+  PLANARIA_ENSURE_MSG(kCoordinatorExclusivity, out.size() >= queued_before,
+                      "issuing may only append prefetch requests");
 }
 
 std::uint64_t ParallelComposite::storage_bits() const {

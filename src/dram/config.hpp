@@ -100,6 +100,7 @@ struct BlockLocation {
 /// pages interleave across banks (and ranks, when present) and sequential
 /// traffic earns row hits. Table 1 uses 1 rank per channel; the rank digit
 /// then decodes to 0 everywhere and the layout is unchanged.
+// lint: suppress(snapshot-missing) geometry_ is derived from config at construction; nothing mutates
 class AddressMapper {
  public:
   explicit AddressMapper(const GeometryConfig& g) : geometry_(g) {}

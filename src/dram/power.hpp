@@ -35,6 +35,7 @@ struct PowerParams {
   }
 };
 
+// lint: suppress(snapshot-missing) params_ holds validated constants; the model is stateless per query
 class PowerModel {
  public:
   explicit PowerModel(const PowerParams& params = {}) : params_(params) {

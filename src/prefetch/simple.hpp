@@ -13,6 +13,7 @@
 namespace planaria::prefetch {
 
 /// Prefetches the next `degree` sequential blocks on every demand miss.
+// lint: suppress(snapshot-missing) degree_ is a config constant; the base class no-op codec is exact
 class NextLinePrefetcher final : public Prefetcher {
  public:
   explicit NextLinePrefetcher(int degree = 1);

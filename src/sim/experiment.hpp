@@ -42,6 +42,7 @@ struct FailureReport {
   std::string what;   ///< message of the last attempt's exception
 };
 
+// lint: suppress(snapshot-missing) sweep progress persists per-cell as .result files, not via the codec
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(

@@ -366,6 +366,7 @@ SimResult Simulator::finish() {
     ch.dram->drain();
     process_completions(ch);
     // Any still-unresolved in-flight entries would indicate lost completions.
+    // lint: suppress(unordered-iteration) order-independent emptiness check; no value leaves this loop
     for (const auto& [block, fly] : ch.in_flight) {
       PLANARIA_ENSURE_MSG(kTimingMonotonicity, fly.demand_waiters.empty(),
                           "demand read never completed");
@@ -522,6 +523,7 @@ void Simulator::save_state(snapshot::Writer& w) const {
     // MSHR map, sorted by block so the encoding is canonical.
     std::vector<std::uint64_t> blocks;
     blocks.reserve(ch.in_flight.size());
+    // lint: suppress(unordered-iteration) keys are collected then sorted; the encoding below is canonical
     for (const auto& [block, fly] : ch.in_flight) blocks.push_back(block);
     std::sort(blocks.begin(), blocks.end());
     w.u64(static_cast<std::uint64_t>(blocks.size()));

@@ -1,0 +1,446 @@
+// planaria-lint engine tests (DESIGN.md §12).
+//
+// Four layers:
+//   * Tokenizer: the heuristic lexer must survive the constructs that break
+//     naive regex scanners — raw strings, line continuations, block comments
+//     containing directives — because every rule downstream trusts it.
+//   * Config + rules: each rule fires on the in-memory and on-disk fixture
+//     corpus (tools/lint/fixtures/<rule>/), and ONLY the targeted rule fires
+//     per fixture, so a regression in one rule cannot hide behind another.
+//   * The real tree: the repo must lint clean at HEAD, and the committed
+//     layers.conf must be load-bearing — removing any single layer or allow
+//     line has to produce findings (or a config error). Same for deleting a
+//     load_state: the pairing rule must catch it.
+//   * Report: the --json schema (schema_version 1) is byte-pinned.
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace planaria::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(LintTokenizer, RawStringsSwallowQuotesAndCommentMarkers) {
+  const TokenizedSource src = tokenize(
+      "const char* s = R\"x(quote \" slash // star /* )x\";\nint after = 1;");
+  std::size_t strings = 0;
+  for (const Token& t : src.tokens) {
+    if (t.kind == TokenKind::kString) {
+      ++strings;
+      EXPECT_EQ(t.text, "quote \" slash // star /* ");
+    }
+  }
+  EXPECT_EQ(strings, 1u);
+  // Nothing after the raw string was lost.
+  bool saw_after = false;
+  for (const Token& t : src.tokens) saw_after |= t.text == "after";
+  EXPECT_TRUE(saw_after);
+  EXPECT_TRUE(src.comments.empty());
+}
+
+TEST(LintTokenizer, LineContinuationsSpliceButKeepCounting) {
+  const TokenizedSource src = tokenize(
+      "int a \\\n    = 3;\n"
+      "#define TWICE(x) \\\n  ((x) + (x))\n"
+      "int b = 4;");
+  int line_a = 0;
+  int line_b = 0;
+  for (const Token& t : src.tokens) {
+    if (t.text == "a") line_a = t.line;
+    if (t.text == "b") line_b = t.line;
+  }
+  EXPECT_EQ(line_a, 1);
+  // The continuation inside the #define still advances the line counter.
+  EXPECT_EQ(line_b, 5);
+}
+
+TEST(LintTokenizer, BlockCommentsHideIncludeDirectives) {
+  const TokenizedSource src = tokenize(
+      "/* #include \"fake.hpp\"\n   spans lines */\n"
+      "#include \"real.hpp\"\n"
+      "#include <vector>\n");
+  ASSERT_EQ(src.includes.size(), 2u);
+  EXPECT_EQ(src.includes[0].path, "real.hpp");
+  EXPECT_TRUE(src.includes[0].quoted);
+  EXPECT_EQ(src.includes[0].line, 3);
+  EXPECT_EQ(src.includes[1].path, "vector");
+  EXPECT_FALSE(src.includes[1].quoted);
+  ASSERT_EQ(src.comments.size(), 1u);
+  EXPECT_NE(src.comments[0].text.find("fake.hpp"), std::string::npos);
+}
+
+TEST(LintTokenizer, PragmaOnceAndPpNumbersAndCharLiterals) {
+  const TokenizedSource src = tokenize(
+      "#pragma once\n"
+      "double d = 1.5e+3;\n"
+      "unsigned h = 0x1Fu;\n"
+      "char c = '\\'';\n");
+  EXPECT_TRUE(src.has_pragma_once);
+  std::vector<std::string> numbers;
+  std::size_t chars = 0;
+  for (const Token& t : src.tokens) {
+    if (t.kind == TokenKind::kNumber) numbers.push_back(t.text);
+    if (t.kind == TokenKind::kChar) ++chars;
+  }
+  // The exponent sign stays glued to the pp-number.
+  ASSERT_EQ(numbers.size(), 2u);
+  EXPECT_EQ(numbers[0], "1.5e+3");
+  EXPECT_EQ(numbers[1], "0x1Fu");
+  EXPECT_EQ(chars, 1u);
+  EXPECT_FALSE(tokenize("int x = 0;").has_pragma_once);
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+const char* const kMiniConf =
+    "layer common\n"
+    "layer cache core\n"
+    "layer sim\n"
+    "allow core -> sim : fixture reason\n"
+    "sanction determinism src/sim/clock.cpp : config-time only\n"
+    "snapshot-modules core\n"
+    "contract-modules cache\n"
+    "roundtrip-test tests/test_roundtrip.cpp\n";
+
+TEST(LintConfig, ParsesLayersEdgesAndSanctions) {
+  const Config c = parse_config(kMiniConf, "mini.conf");
+  EXPECT_EQ(c.layer_of("common"), 0);
+  EXPECT_EQ(c.layer_of("cache"), 1);
+  EXPECT_EQ(c.layer_of("core"), 1);
+  EXPECT_EQ(c.layer_of("sim"), 2);
+  EXPECT_EQ(c.layer_of("nope"), -1);
+  EXPECT_TRUE(c.edge_allowed("core", "sim"));
+  EXPECT_FALSE(c.edge_allowed("cache", "sim"));
+  EXPECT_TRUE(c.sanctioned("determinism", "src/sim/clock.cpp"));
+  EXPECT_FALSE(c.sanctioned("determinism", "src/sim/other.cpp"));
+  EXPECT_FALSE(c.sanctioned("raw-assert", "src/sim/clock.cpp"));
+  EXPECT_EQ(c.snapshot_modules.count("core"), 1u);
+  EXPECT_EQ(c.contract_modules.count("cache"), 1u);
+  // Defaults: save_state and finish mark serialization contexts.
+  EXPECT_EQ(c.serialization_apis.count("save_state"), 1u);
+  EXPECT_EQ(c.serialization_apis.count("finish"), 1u);
+}
+
+TEST(LintConfig, RejectsMalformedLines) {
+  // Reason-less allow edge.
+  EXPECT_THROW(parse_config("layer a b\nallow a -> b\n", "c"),
+               std::runtime_error);
+  // Allow edge naming an undeclared module.
+  EXPECT_THROW(parse_config("layer a\nallow a -> ghost : why\n", "c"),
+               std::runtime_error);
+  // Unknown keyword.
+  EXPECT_THROW(parse_config("layer a\nforbid a\n", "c"), std::runtime_error);
+  // Reason-less sanction.
+  EXPECT_THROW(parse_config("layer a\nsanction determinism src/a/x.cpp\n", "c"),
+               std::runtime_error);
+  // No layers at all.
+  EXPECT_THROW(parse_config("# empty\n", "c"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Rules and suppressions, in memory
+// ---------------------------------------------------------------------------
+
+std::set<std::string> rule_set(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& f : findings) rules.insert(f.rule);
+  return rules;
+}
+
+TEST(LintRules, DeletingLoadStateIsCaught) {
+  const Config c = parse_config(kMiniConf, "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/pair.hpp"] =
+      "#pragma once\n"
+      "struct Writer;\n"
+      "struct Reader;\n"
+      "class Paired {\n"
+      " public:\n"
+      "  void save_state(Writer& w) const;\n"
+      "  void load_state(Reader& r);\n"
+      " private:\n"
+      "  int counter_ = 0;\n"
+      "};\n";
+  // The mention must be a real token — a comment would not count.
+  files["tests/test_roundtrip.cpp"] =
+      "struct Paired;\nint main() { return 0; }\n";
+  EXPECT_TRUE(run_lint_on(files, c).clean());
+
+  // Delete the load_state declaration: the class decodes nothing it encodes.
+  std::string& header = files["src/core/pair.hpp"];
+  const std::size_t at = header.find("  void load_state(Reader& r);\n");
+  ASSERT_NE(at, std::string::npos);
+  header.erase(at, std::string("  void load_state(Reader& r);\n").size());
+  const Report broken = run_lint_on(files, c);
+  EXPECT_FALSE(broken.clean());
+  EXPECT_EQ(rule_set(broken.findings).count("snapshot-pairing"), 1u);
+}
+
+TEST(LintRules, SuppressionWithReasonSilencesAndIsReported) {
+  const Config c = parse_config(kMiniConf, "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/seeded.cpp"] =
+      "#include <cstdlib>\n"
+      "// lint: suppress(determinism) fixture reason text\n"
+      "int f() { return rand(); }\n";
+  const Report r = run_lint_on(files, c);
+  EXPECT_TRUE(r.clean());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "determinism");
+  EXPECT_EQ(r.suppressed[0].suppress_reason, "fixture reason text");
+}
+
+TEST(LintRules, SuppressionWithoutReasonIsItselfAFinding) {
+  const Config c = parse_config(kMiniConf, "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/seeded.cpp"] =
+      "#include <cstdlib>\n"
+      "// lint: suppress(determinism)\n"
+      "int f() { return rand(); }\n";
+  const Report r = run_lint_on(files, c);
+  const std::set<std::string> rules = rule_set(r.findings);
+  // The malformed directive is reported AND does not silence the finding.
+  EXPECT_EQ(rules.count("suppression"), 1u);
+  EXPECT_EQ(rules.count("determinism"), 1u);
+}
+
+TEST(LintRules, UnknownRuleInSuppressionIsAFinding) {
+  const Config c = parse_config(kMiniConf, "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/odd.cpp"] =
+      "// lint: suppress(not-a-rule) some reason\n"
+      "int f() { return 1; }\n";
+  const Report r = run_lint_on(files, c);
+  EXPECT_EQ(rule_set(r.findings).count("suppression"), 1u);
+}
+
+TEST(LintRules, FileScopeSuppressionCoversEveryLine) {
+  const Config c = parse_config(kMiniConf, "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/clocks.cpp"] =
+      "// lint: suppress-file(determinism) fixture-wide waiver\n"
+      "#include <ctime>\n"
+      "long f() { return time(nullptr); }\n"
+      "long g() { return clock(); }\n";
+  const Report r = run_lint_on(files, c);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.suppressed.size(), 2u);
+}
+
+TEST(LintRules, NoContractWaiverCoversContractCoverage) {
+  const Config c = parse_config(kMiniConf, "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/cache/bump.hpp"] =
+      "#pragma once\n"
+      "class Bump {\n"
+      " public:\n"
+      "  void advance(int by);\n"
+      " private:\n"
+      "  int position_ = 0;\n"
+      "  int steps_ = 0;\n"
+      "};\n";
+  files["src/cache/bump.cpp"] =
+      "#include \"cache/bump.hpp\"\n"
+      "void Bump::advance(int by) {\n"
+      "  position_ += by;\n"
+      "  steps_ += 1;\n"
+      "  if (position_ > 9) { position_ = 0; }\n"
+      "}\n";
+  const Report bare = run_lint_on(files, c);
+  EXPECT_EQ(rule_set(bare.findings).count("contract-coverage"), 1u);
+
+  files["src/cache/bump.cpp"] =
+      "#include \"cache/bump.hpp\"\n"
+      "// lint: no-contract(wraparound counter, nothing to assert)\n"
+      "void Bump::advance(int by) {\n"
+      "  position_ += by;\n"
+      "  steps_ += 1;\n"
+      "  if (position_ > 9) { position_ = 0; }\n"
+      "}\n";
+  const Report waived = run_lint_on(files, c);
+  EXPECT_TRUE(waived.clean());
+  ASSERT_EQ(waived.suppressed.size(), 1u);
+  EXPECT_EQ(waived.suppressed[0].rule, "contract-coverage");
+}
+
+// ---------------------------------------------------------------------------
+// Fixture corpus on disk: each directory trips exactly its namesake rule
+// ---------------------------------------------------------------------------
+
+TEST(LintFixtures, EveryFixtureFailsWithItsNamesakeRule) {
+  const fs::path fixtures(PLANARIA_LINT_FIXTURES_DIR);
+  ASSERT_TRUE(fs::is_directory(fixtures));
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(fixtures)) {
+    if (entry.is_directory()) names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  // One fixture per rule id; growing the rule catalog must grow the corpus.
+  const std::vector<std::string> expected = {
+      "contract-coverage", "determinism",        "layer-cycle",
+      "layer-undeclared",  "layering",           "pragma-once",
+      "raw-assert",        "snapshot-missing",   "snapshot-pairing",
+      "snapshot-roundtrip", "suppression",       "unordered-iteration",
+      "using-namespace"};
+  EXPECT_EQ(names, expected);
+
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    Options options;
+    options.root = (fixtures / name).string();
+    const Report report = run_lint(options);
+    EXPECT_FALSE(report.clean());
+    const std::set<std::string> rules = rule_set(report.findings);
+    // The namesake rule fires...
+    EXPECT_EQ(rules.count(name), 1u);
+    // ...and nothing else does: a fixture that trips extra rules can no
+    // longer prove the namesake rule caused the nonzero exit.
+    EXPECT_EQ(rules.size(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The real tree
+// ---------------------------------------------------------------------------
+
+TEST(LintRepo, TreeIsCleanAtHead) {
+  Options options;
+  options.root = PLANARIA_LINT_REPO_ROOT;
+  const Report report = run_lint(options);
+  for (const Finding& f : report.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+  EXPECT_GT(report.files_scanned, 50);
+  // Every suppression in the tree carries a reason; that is what makes the
+  // suppressed list auditable rather than a mute button.
+  for (const Finding& f : report.suppressed) {
+    EXPECT_FALSE(f.suppress_reason.empty()) << f.file << ":" << f.line;
+  }
+}
+
+/// Removes line `index` (0-based, counting only lines matching `prefix`) from
+/// the committed layers.conf and returns the mutated text; empty when there
+/// is no such line.
+std::string drop_nth_line_with_prefix(const std::string& text,
+                                      const std::string& prefix,
+                                      std::size_t index) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  std::size_t seen = 0;
+  bool dropped = false;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      if (seen++ == index) {
+        dropped = true;
+        continue;
+      }
+    }
+    out << line << "\n";
+  }
+  return dropped ? out.str() : std::string();
+}
+
+TEST(LintRepo, EveryConfigLineIsLoadBearing) {
+  const fs::path repo(PLANARIA_LINT_REPO_ROOT);
+  std::ifstream in(repo / "tools/lint/layers.conf");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string committed = buf.str();
+
+  const fs::path scratch =
+      fs::temp_directory_path() / "planaria-lint-mutation";
+  fs::create_directories(scratch);
+
+  int mutations = 0;
+  for (const std::string prefix : {"layer ", "allow "}) {
+    for (std::size_t i = 0;; ++i) {
+      const std::string mutated =
+          drop_nth_line_with_prefix(committed, prefix, i);
+      if (mutated.empty()) break;
+      ++mutations;
+      SCOPED_TRACE(prefix + "line " + std::to_string(i));
+      const fs::path conf = scratch / ("mutated_" + std::to_string(mutations) +
+                                       ".conf");
+      std::ofstream(conf) << mutated;
+
+      Options options;
+      options.root = repo.string();
+      options.config_path = conf.string();
+      try {
+        const Report report = run_lint(options);
+        // Dropping a layer or allow line must surface findings: the config
+        // carries no decorative lines.
+        EXPECT_FALSE(report.clean());
+      } catch (const std::runtime_error&) {
+        // Also acceptable: dropping a layer line orphans an allow edge and
+        // the config no longer parses. The gate still fails.
+      }
+    }
+  }
+  // The committed config declares 7 layer lines and 7 allow edges; a rewrite
+  // that shrinks it should be a deliberate act, visible here.
+  EXPECT_EQ(mutations, 14);
+  fs::remove_all(scratch);
+}
+
+// ---------------------------------------------------------------------------
+// JSON report schema (version 1) is byte-pinned
+// ---------------------------------------------------------------------------
+
+TEST(LintReport, JsonSchemaVersion1IsStable) {
+  Report report;
+  report.files_scanned = 2;
+  Finding active;
+  active.rule = "determinism";
+  active.file = "src/core/a.cpp";
+  active.line = 7;
+  active.message = "call to 'rand()'";
+  report.findings.push_back(active);
+  Finding quiet;
+  quiet.rule = "raw-assert";
+  quiet.file = "src/core/b.cpp";
+  quiet.line = 3;
+  quiet.message = "say \"why\"";
+  quiet.suppress_reason = "legacy\tcode";
+  report.suppressed.push_back(quiet);
+
+  const std::string expected =
+      "{\"tool\":\"planaria-lint\",\"schema_version\":1,\"root\":\"/r\","
+      "\"files_scanned\":2,\"findings\":[{\"rule\":\"determinism\","
+      "\"file\":\"src/core/a.cpp\",\"line\":7,"
+      "\"message\":\"call to 'rand()'\"}],\"suppressed\":["
+      "{\"rule\":\"raw-assert\",\"file\":\"src/core/b.cpp\",\"line\":3,"
+      "\"message\":\"say \\\"why\\\"\",\"reason\":\"legacy\\tcode\"}],"
+      "\"counts\":{\"findings\":1,\"suppressed\":1}}";
+  EXPECT_EQ(to_json(report, "/r"), expected);
+
+  Report empty;
+  EXPECT_EQ(to_json(empty, ""),
+            "{\"tool\":\"planaria-lint\",\"schema_version\":1,\"root\":\"\","
+            "\"files_scanned\":0,\"findings\":[],\"suppressed\":[],"
+            "\"counts\":{\"findings\":0,\"suppressed\":0}}");
+}
+
+}  // namespace
+}  // namespace planaria::lint

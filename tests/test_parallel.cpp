@@ -104,6 +104,7 @@ TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
 class ThreadsEnvTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // lint: suppress(determinism) the test saves/restores PLANARIA_THREADS to exercise pool sizing
     const char* prior = std::getenv("PLANARIA_THREADS");
     if (prior != nullptr) saved_ = prior;
     unsetenv("PLANARIA_THREADS");

@@ -1,6 +1,6 @@
 // planaria-audit — the invariant audit gate CI runs on every change.
 //
-// Five stages (select with --stage, default all):
+// Six stages (select with --stage, default all):
 //   1. Self-test: deliberately injects a storage-budget violation and checks
 //      the contract layer flags it. A gate that cannot see a planted bug is
 //      blind; this stage failing exits 2 and nothing else is trusted.
@@ -29,6 +29,10 @@
 //      serial and 4-thread, with and without an armed FaultPlan; damaged
 //      snapshots (truncation, CRC corruption) must degrade gracefully to
 //      .prev and then to a cold start, with a populated RecoveryReport.
+//   6. Lint audit: runs planaria-lint (tools/lint) over the source tree this
+//      binary was built from — layering DAG, determinism bans, snapshot
+//      pairing/round-trip coverage, contract coverage, hygiene. Any
+//      unsuppressed finding fails the gate.
 //
 // Exit codes: 0 = clean, 1 = an audit check failed, 2 = self-test failed.
 
@@ -41,6 +45,7 @@
 
 #include "check/contract.hpp"
 #include "common/rng.hpp"
+#include "lint/lint.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "core/storage.hpp"
@@ -593,6 +598,34 @@ void crash_audit(std::uint64_t records, std::uint64_t seed) {
   check::reset_recoveries();
 }
 
+// ---------------------------------------------------------------------------
+// Stage 6: lint audit
+// ---------------------------------------------------------------------------
+
+/// Runs planaria-lint in-process over the tree this binary was compiled from
+/// (PLANARIA_AUDIT_SOURCE_ROOT is baked in by CMake). A rebuilt binary always
+/// audits its own sources; stale trees require a rebuild, which is the point.
+void lint_audit() {
+  std::printf("[lint audit] root=%s\n", PLANARIA_AUDIT_SOURCE_ROOT);
+  namespace lint = planaria::lint;
+  lint::Options options;
+  options.root = PLANARIA_AUDIT_SOURCE_ROOT;
+  try {
+    const lint::Report report = lint::run_lint(options);
+    for (const lint::Finding& f : report.findings) {
+      std::printf("  %s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    expect(report.files_scanned > 0, "lint scanned the source tree");
+    expect(report.clean(),
+           "no unsuppressed lint findings (" +
+               std::to_string(report.findings.size()) + " active, " +
+               std::to_string(report.suppressed.size()) + " suppressed)");
+  } catch (const std::exception& e) {
+    expect(false, std::string("lint engine ran to completion: ") + e.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -613,7 +646,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: planaria-audit [--records N] [--seed S] "
-                   "[--stage all|self-test|static|replay|chaos|crash]\n");
+                   "[--stage all|self-test|static|lint|replay|chaos|crash]\n");
       return 1;
     }
   }
@@ -622,7 +655,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (stage != "all" && stage != "self-test" && stage != "static" &&
-      stage != "replay" && stage != "chaos" && stage != "crash") {
+      stage != "lint" && stage != "replay" && stage != "chaos" &&
+      stage != "crash") {
     std::fprintf(stderr, "planaria-audit: unknown --stage '%s'\n",
                  stage.c_str());
     return 1;
@@ -635,6 +669,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (stage == "all" || stage == "static") static_audit();
+  if (stage == "all" || stage == "lint") lint_audit();
   if (stage == "all" || stage == "replay") replay_audit(records, seed);
   if (stage == "all" || stage == "chaos") chaos_audit(records, seed);
   if (stage == "all" || stage == "crash") crash_audit(records, seed);

@@ -1,0 +1,349 @@
+// Structural analysis layer of planaria-lint: turns a token stream into the
+// shapes the rules reason about — suppression directives, function
+// definitions with body ranges, class declarations with access-tracked
+// members, and unordered-container identifiers.
+//
+// This is heuristic parsing, tuned to the project's own style (clang-format,
+// trailing-underscore members) rather than a general C++ grammar; DESIGN.md
+// §12 documents the contract. Where the heuristics have known blind spots
+// the rules err toward silence — a project-specific linter that cries wolf
+// gets deleted, one that misses a case gets a fixture added.
+#include "lint/internal.hpp"
+
+#include <algorithm>
+
+namespace planaria::lint {
+
+namespace {
+
+const std::set<std::string>& statement_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch",        "catch",
+      "return", "sizeof", "alignof", "static_assert", "decltype",
+      "new",    "delete", "throw",  "co_return",     "co_await",
+  };
+  return kw;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+/// Index of the punct matching opener/closer starting at `open`; npos when
+/// unbalanced (the file is then analyzed as far as the tokens allow).
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          const char* opener, const char* closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], opener)) ++depth;
+    else if (is_punct(toks[i], closer) && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+void parse_suppressions(FileInfo& file, std::vector<Finding>& malformed) {
+  for (const Comment& c : file.src.comments) {
+    const std::size_t at = c.text.find("lint:");
+    if (at == std::string::npos) continue;
+    std::string body = c.text.substr(at + 5);
+    while (!body.empty() && body.front() == ' ') body.erase(body.begin());
+    // Only the two directive verbs make a comment a directive; prose that
+    // merely mentions "lint:" (docs, this file's own header) is not one.
+    if (body.rfind("suppress", 0) != 0 && body.rfind("no-contract", 0) != 0) {
+      continue;
+    }
+
+    Suppression s;
+    s.line = c.line;
+    std::string head;
+    if (body.rfind("suppress-file(", 0) == 0) {
+      s.file_scope = true;
+      head = body.substr(14);
+    } else if (body.rfind("suppress(", 0) == 0) {
+      head = body.substr(9);
+    } else if (body.rfind("no-contract(", 0) == 0) {
+      // Sugar: the whole parenthesized text is the reason.
+      const std::size_t close = body.rfind(')');
+      s.rule = "contract-coverage";
+      s.reason = close == std::string::npos || close <= 12
+                     ? std::string()
+                     : body.substr(12, close - 12);
+      if (s.reason.empty()) {
+        malformed.push_back({"suppression", file.path, c.line,
+                             "no-contract() requires a reason inside the "
+                             "parentheses",
+                             ""});
+        continue;
+      }
+      file.suppressions.push_back(s);
+      continue;
+    } else {
+      malformed.push_back({"suppression", file.path, c.line,
+                           "unrecognized lint directive '" + body +
+                               "' (expected a suppress(<rule>) <reason>, "
+                               "suppress-file(<rule>) <reason>, or "
+                               "no-contract(<reason>) form)",
+                           ""});
+      continue;
+    }
+    const std::size_t close = head.find(')');
+    if (close == std::string::npos) {
+      malformed.push_back({"suppression", file.path, c.line,
+                           "unterminated suppress( directive", ""});
+      continue;
+    }
+    s.rule = head.substr(0, close);
+    s.reason = head.substr(close + 1);
+    while (!s.reason.empty() && s.reason.front() == ' ') {
+      s.reason.erase(s.reason.begin());
+    }
+    if (s.rule.empty() || !known_rule(s.rule)) {
+      malformed.push_back({"suppression", file.path, c.line,
+                           "suppression names unknown rule '" + s.rule + "'",
+                           ""});
+      continue;
+    }
+    if (s.rule == "suppression") {
+      malformed.push_back({"suppression", file.path, c.line,
+                           "the suppression rule cannot be suppressed", ""});
+      continue;
+    }
+    if (s.reason.empty()) {
+      malformed.push_back({"suppression", file.path, c.line,
+                           "suppression of '" + s.rule +
+                               "' carries no reason — every exception must "
+                               "say why",
+                           ""});
+      continue;
+    }
+    file.suppressions.push_back(s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unordered-container identifiers
+
+void collect_unordered_names(FileInfo& file) {
+  const auto& toks = file.src.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "unordered_map") &&
+        !is_ident(toks[i], "unordered_set")) {
+      continue;
+    }
+    // Skip the template argument list, then take the declarator name. A bare
+    // mention without <...> (e.g. in a using-declaration) declares nothing.
+    std::size_t j = i + 1;
+    if (j >= toks.size() || !is_punct(toks[j], "<")) continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "<")) ++depth;
+      else if (is_punct(toks[j], ">") && --depth == 0) break;
+    }
+    for (++j; j < toks.size(); ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier) {
+        file.unordered_names.insert(toks[j].text);
+        break;
+      }
+      // `>` of a nested template, `&`, `*`, `const` are part of the type;
+      // anything that ends a declaration means there was no declarator.
+      if (is_punct(toks[j], ";") || is_punct(toks[j], ")") ||
+          is_punct(toks[j], ",") || is_punct(toks[j], "(")) {
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Function definitions
+
+void collect_functions(FileInfo& file) {
+  const auto& toks = file.src.tokens;
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    if (!is_punct(toks[i], "(")) continue;
+    const Token& name = toks[i - 1];
+    if (name.kind != TokenKind::kIdentifier) continue;
+    if (statement_keywords().count(name.text) != 0) continue;
+
+    const std::size_t close = match_forward(toks, i, "(", ")");
+    if (close == std::string::npos) continue;
+
+    // Trailer: const/noexcept/override/final, then `{`, `;`, or a ctor
+    // initializer list (identifier + balanced (…)/{…} groups, commas).
+    std::size_t j = close + 1;
+    bool is_const = false;
+    while (j < toks.size() &&
+           (is_ident(toks[j], "const") || is_ident(toks[j], "noexcept") ||
+            is_ident(toks[j], "override") || is_ident(toks[j], "final"))) {
+      if (toks[j].text == "const") is_const = true;
+      ++j;
+    }
+    if (j < toks.size() && is_punct(toks[j], "(")) {
+      // noexcept(expr)
+      const std::size_t ne = match_forward(toks, j, "(", ")");
+      if (ne == std::string::npos) continue;
+      j = ne + 1;
+    }
+    if (j < toks.size() && is_punct(toks[j], ":")) {
+      // Constructor initializer list: consume `ident (…)`/`ident {…}` groups
+      // until the token after a group is not a comma — that `{` is the body.
+      ++j;
+      for (;;) {
+        while (j < toks.size() && !is_punct(toks[j], "(") &&
+               !is_punct(toks[j], "{") && !is_punct(toks[j], ";")) {
+          ++j;
+        }
+        if (j >= toks.size() || is_punct(toks[j], ";")) break;
+        if (is_punct(toks[j], "(")) {
+          const std::size_t g = match_forward(toks, j, "(", ")");
+          if (g == std::string::npos) break;
+          j = g + 1;
+        } else {
+          const std::size_t g = match_forward(toks, j, "{", "}");
+          if (g == std::string::npos) break;
+          j = g + 1;
+        }
+        if (j < toks.size() && is_punct(toks[j], ",")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+    }
+    if (j >= toks.size() || !is_punct(toks[j], "{")) continue;
+    const std::size_t body_end = match_forward(toks, j, "{", "}");
+    if (body_end == std::string::npos) continue;
+
+    FunctionDef fn;
+    fn.name = name.text;
+    fn.line = name.line;
+    fn.is_const = is_const;
+    fn.params_begin = i;
+    fn.params_end = close;
+    fn.body_begin = j;
+    fn.body_end = body_end;
+    if (i >= 3 && is_punct(toks[i - 2], ":") && is_punct(toks[i - 3], ":") &&
+        i >= 4 && toks[i - 4].kind == TokenKind::kIdentifier) {
+      fn.class_name = toks[i - 4].text;
+    }
+    file.functions.push_back(std::move(fn));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Class declarations
+
+void collect_classes(FileInfo& file) {
+  const auto& toks = file.src.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const bool is_class_kw = is_ident(toks[i], "class");
+    if (!is_class_kw && !is_ident(toks[i], "struct")) continue;
+    // `enum class` is not a class.
+    if (i > 0 && is_ident(toks[i - 1], "enum")) continue;
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].kind != TokenKind::kIdentifier) continue;
+    ClassInfo cls;
+    cls.name = toks[j].text;
+    cls.line = toks[j].line;
+    cls.is_class = is_class_kw;
+    ++j;
+    if (j < toks.size() && is_ident(toks[j], "final")) ++j;
+    // Base clause: skip to the opening brace; a `;` first means forward
+    // declaration, a `(` means this was e.g. a function parameter.
+    while (j < toks.size() && !is_punct(toks[j], "{") &&
+           !is_punct(toks[j], ";") && !is_punct(toks[j], "(") &&
+           !is_punct(toks[j], ")") && !is_punct(toks[j], "=")) {
+      if (toks[j].kind == TokenKind::kIdentifier &&
+          !is_ident(toks[j], "public") && !is_ident(toks[j], "private") &&
+          !is_ident(toks[j], "protected") && !is_ident(toks[j], "virtual")) {
+        cls.bases.push_back(toks[j].text);
+      }
+      ++j;
+    }
+    if (j >= toks.size() || !is_punct(toks[j], "{")) continue;
+    const std::size_t body_end = match_forward(toks, j, "{", "}");
+    if (body_end == std::string::npos) continue;
+
+    // Walk the body at depth 1 (relative to the class brace), tracking
+    // access sections; deeper braces (method bodies, nested classes) are
+    // invisible to the member scan.
+    bool is_public = !is_class_kw;
+    int depth = 0;
+    for (std::size_t k = j; k <= body_end; ++k) {
+      const Token& t = toks[k];
+      if (is_punct(t, "{")) {
+        ++depth;
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        --depth;
+        continue;
+      }
+      if (depth != 1) continue;
+      if (t.kind == TokenKind::kIdentifier && k + 1 <= body_end &&
+          is_punct(toks[k + 1], ":") &&
+          !(k + 2 <= body_end && is_punct(toks[k + 2], ":"))) {
+        if (t.text == "public") is_public = true;
+        else if (t.text == "private" || t.text == "protected") is_public = false;
+        continue;
+      }
+      if (t.kind != TokenKind::kIdentifier) continue;
+      const bool call_like = k + 1 <= body_end && is_punct(toks[k + 1], "(");
+      if (call_like) {
+        if (t.text == "save_state") cls.save_state_line = t.line;
+        if (t.text == "load_state") cls.load_state_line = t.line;
+        if (statement_keywords().count(t.text) != 0) continue;
+        if (t.text == cls.name) continue;  // constructor
+        if (k > 0 && is_punct(toks[k - 1], "~")) continue;  // destructor
+        if (k > 0 && (is_punct(toks[k - 1], ".") ||
+                      (is_punct(toks[k - 1], ">") && k > 1 &&
+                       is_punct(toks[k - 2], "-")))) {
+          continue;  // member call (`.` / `->`) inside a default initializer
+        }
+        // Method declaration or inline definition: constness from the
+        // trailer after the parameter list.
+        const std::size_t close = match_forward(toks, k + 1, "(", ")");
+        if (close == std::string::npos) continue;
+        bool is_const = false;
+        std::size_t after = close + 1;
+        while (after <= body_end &&
+               (is_ident(toks[after], "const") ||
+                is_ident(toks[after], "noexcept") ||
+                is_ident(toks[after], "override") ||
+                is_ident(toks[after], "final"))) {
+          if (toks[after].text == "const") is_const = true;
+          ++after;
+        }
+        if (is_public && !is_const) {
+          cls.public_mutating_methods.emplace(t.text, t.line);
+        }
+        continue;
+      }
+      // Data member, by project convention: trailing-underscore identifier
+      // followed by `;`, `=`, `{`, or `[`.
+      if (!t.text.empty() && t.text.back() == '_' && k + 1 <= body_end &&
+          (is_punct(toks[k + 1], ";") || is_punct(toks[k + 1], "=") ||
+           is_punct(toks[k + 1], "{") || is_punct(toks[k + 1], "["))) {
+        cls.members.push_back({t.text, t.line});
+      }
+    }
+    file.classes.push_back(std::move(cls));
+  }
+}
+
+void analyze(FileInfo& file, std::vector<Finding>& malformed) {
+  parse_suppressions(file, malformed);
+  collect_unordered_names(file);
+  collect_functions(file);
+  collect_classes(file);
+}
+
+}  // namespace planaria::lint

@@ -1,0 +1,162 @@
+// layers.conf parser for planaria-lint.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//
+//   layer <module> [<module>...]
+//       Declares the next layer up. Modules on one line are siblings: they
+//       may include any lower layer but not each other. Order of `layer`
+//       lines is the DAG.
+//   allow <from> -> <to> : <reason>
+//       Permits one extra include edge outside the layer order. The reason
+//       is mandatory and both modules must be declared.
+//   sanction <rule> <path> : <reason>
+//       Exempts one file (repo-relative) from one rule, with a reason —
+//       e.g. the env-reading configuration files for `determinism`.
+//   snapshot-modules <module>...
+//       Modules where snapshot-missing / snapshot-roundtrip apply.
+//   contract-modules <module>...
+//       Modules where contract-coverage applies.
+//   roundtrip-test <path>
+//       File that must mention every snapshottable class (repeatable).
+//   serialization-api <name>...
+//       Extra function names treated as serialization/accounting context by
+//       the unordered-iteration rule (save_state is always one).
+#include "lint/lint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace planaria::lint {
+
+int Config::layer_of(const std::string& module) const {
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    for (const auto& m : layers[i]) {
+      if (m == module) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool Config::edge_allowed(const std::string& from,
+                          const std::string& to) const {
+  for (const auto& e : allowed_edges) {
+    if (e.from == from && e.to == to) return true;
+  }
+  return false;
+}
+
+bool Config::sanctioned(const std::string& rule,
+                        const std::string& path) const {
+  for (const auto& s : sanctions) {
+    if (s.rule == rule && s.path == path) return true;
+  }
+  return false;
+}
+
+namespace {
+
+[[noreturn]] void conf_error(const std::string& filename, int line,
+                             const std::string& what) {
+  throw std::runtime_error(filename + ":" + std::to_string(line) + ": " +
+                           what);
+}
+
+std::vector<std::string> split_words(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> out;
+  std::string w;
+  while (in >> w) out.push_back(w);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+Config parse_config(const std::string& text, const std::string& filename) {
+  Config config;
+  config.serialization_apis = {"save_state", "finish"};
+
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+
+    const std::size_t sp = line.find(' ');
+    const std::string keyword = line.substr(0, sp);
+    const std::string rest =
+        sp == std::string::npos ? std::string() : trim(line.substr(sp + 1));
+
+    if (keyword == "layer") {
+      const auto modules = split_words(rest);
+      if (modules.empty()) conf_error(filename, lineno, "layer needs modules");
+      for (const auto& m : modules) {
+        if (config.layer_of(m) >= 0) {
+          conf_error(filename, lineno, "module '" + m + "' declared twice");
+        }
+      }
+      config.layers.push_back(modules);
+    } else if (keyword == "allow" || keyword == "sanction") {
+      const std::size_t colon = rest.find(':');
+      if (colon == std::string::npos || trim(rest.substr(colon + 1)).empty()) {
+        conf_error(filename, lineno,
+                   keyword + " requires ': <reason>' — undocumented "
+                             "exceptions are findings waiting to happen");
+      }
+      const std::string head = trim(rest.substr(0, colon));
+      const std::string reason = trim(rest.substr(colon + 1));
+      const auto words = split_words(head);
+      if (keyword == "allow") {
+        if (words.size() != 3 || words[1] != "->") {
+          conf_error(filename, lineno, "expected: allow <from> -> <to> : <reason>");
+        }
+        if (config.layer_of(words[0]) < 0 || config.layer_of(words[2]) < 0) {
+          conf_error(filename, lineno,
+                     "allow edge names an undeclared module (declare layers "
+                     "before allow lines)");
+        }
+        config.allowed_edges.push_back({words[0], words[2], reason});
+      } else {
+        if (words.size() != 2) {
+          conf_error(filename, lineno, "expected: sanction <rule> <path> : <reason>");
+        }
+        config.sanctions.push_back({words[0], words[1], reason});
+      }
+    } else if (keyword == "snapshot-modules") {
+      for (const auto& m : split_words(rest)) config.snapshot_modules.insert(m);
+    } else if (keyword == "contract-modules") {
+      for (const auto& m : split_words(rest)) config.contract_modules.insert(m);
+    } else if (keyword == "roundtrip-test") {
+      if (rest.empty()) conf_error(filename, lineno, "roundtrip-test needs a path");
+      config.roundtrip_tests.push_back(rest);
+    } else if (keyword == "serialization-api") {
+      for (const auto& f : split_words(rest)) config.serialization_apis.insert(f);
+    } else {
+      conf_error(filename, lineno, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (config.layers.empty()) {
+    throw std::runtime_error(filename + ": no layer lines — nothing to enforce");
+  }
+  return config;
+}
+
+Config load_config(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open lint config: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_config(buf.str(), path);
+}
+
+}  // namespace planaria::lint

@@ -1,0 +1,15 @@
+#include "core/mutator.hpp"
+
+namespace fx::core {
+
+// BAD: mutates observable state with no REQUIRE/ENSURE/DASSERT and no
+// no-contract waiver.
+void Mutator::advance(std::uint64_t by) {
+  position_ += by;
+  steps_ += 1;
+  if (position_ > 1000) {
+    position_ = 0;
+  }
+}
+
+}  // namespace fx::core

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+
+namespace fx::core {
+
+class Mutator {
+ public:
+  void advance(std::uint64_t by);
+
+ private:
+  std::uint64_t position_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace fx::core

@@ -1,0 +1,20 @@
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fx::core {
+
+long stamp() {
+  return static_cast<long>(time(nullptr));  // BAD: wall clock
+}
+
+int roll() {
+  std::random_device rd;  // BAD: hardware entropy
+  return rand() + static_cast<int>(rd());  // BAD: libc randomness
+}
+
+const char* knob() {
+  return std::getenv("FX_KNOB");  // BAD: environment read
+}
+
+}  // namespace fx::core

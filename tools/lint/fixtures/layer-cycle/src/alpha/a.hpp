@@ -1,0 +1,7 @@
+#pragma once
+
+#include "beta/b.hpp"
+
+namespace fx::alpha {
+inline int a() { return 1; }
+}  // namespace fx::alpha

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "alpha/a.hpp"
+
+namespace fx::beta {
+inline int b() { return 2; }
+}  // namespace fx::beta

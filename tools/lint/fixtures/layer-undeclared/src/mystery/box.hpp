@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx::mystery {
+inline int box() { return 7; }
+}  // namespace fx::mystery

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "core/engine.hpp"  // BAD: common sits below core in the DAG
+
+namespace fx::common {
+inline int helper() { return fx::core::answer(); }
+}  // namespace fx::common

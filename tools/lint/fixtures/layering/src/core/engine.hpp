@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx::core {
+inline int answer() { return 42; }
+}  // namespace fx::core

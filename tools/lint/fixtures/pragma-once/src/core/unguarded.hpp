@@ -1,0 +1,5 @@
+// BAD: no #pragma once.
+
+namespace fx::core {
+inline int unguarded() { return 3; }
+}  // namespace fx::core

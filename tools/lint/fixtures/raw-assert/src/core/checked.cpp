@@ -1,0 +1,10 @@
+#include <cassert>
+
+namespace fx::core {
+
+int halve(int v) {
+  assert(v % 2 == 0);  // BAD: raw assert bypasses the contract layer
+  return v / 2;
+}
+
+}  // namespace fx::core

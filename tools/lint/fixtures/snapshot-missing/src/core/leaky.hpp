@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+
+namespace fx::core {
+
+class Leaky {
+ public:
+  void bump() { ++hits_; }
+
+ private:
+  std::uint64_t hits_ = 0;  // BAD: mutable state, no save_state/load_state
+};
+
+}  // namespace fx::core

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+
+namespace fx::core {
+
+struct Writer;
+
+class OneWay {
+ public:
+  void save_state(Writer& w) const;  // BAD: no load_state counterpart
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace fx::core

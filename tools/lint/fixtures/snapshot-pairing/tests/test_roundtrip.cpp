@@ -1,0 +1,8 @@
+// Fixture round-trip suite: names OneWay so only snapshot-pairing fires.
+#include "core/oneway.hpp"
+
+int main() {
+  fx::core::OneWay one_way;
+  (void)one_way;
+  return 0;
+}

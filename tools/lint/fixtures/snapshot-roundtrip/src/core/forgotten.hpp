@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+namespace fx::core {
+
+struct Writer;
+struct Reader;
+
+class Forgotten {
+ public:
+  void save_state(Writer& w) const;
+  void load_state(Reader& r);
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace fx::core

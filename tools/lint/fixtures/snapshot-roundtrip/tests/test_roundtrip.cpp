@@ -1,0 +1,2 @@
+// Fixture round-trip suite that does NOT mention the Forgotten class.
+int main() { return 0; }

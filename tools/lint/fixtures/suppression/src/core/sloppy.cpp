@@ -1,0 +1,11 @@
+#include <cstdint>
+
+namespace fx::core {
+
+// lint: suppress(made-up-rule) some words
+std::uint64_t a() { return 1; }
+
+// lint: suppress(determinism)
+std::uint64_t b() { return 2; }
+
+}  // namespace fx::core

@@ -1,0 +1,25 @@
+#include <cstdint>
+#include <unordered_map>
+
+namespace fx::core {
+
+struct Writer {
+  void u64(std::uint64_t v) { sum += v; }
+  std::uint64_t sum = 0;
+};
+
+class Accounts {
+ public:
+  void save_state(Writer& w) const {
+    // BAD: hash-order dependent encoding.
+    for (const auto& [key, value] : balances_) {
+      w.u64(key);
+      w.u64(value);
+    }
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> balances_;
+};
+
+}  // namespace fx::core

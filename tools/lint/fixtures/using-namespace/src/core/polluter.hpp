@@ -1,0 +1,9 @@
+#pragma once
+
+#include <string>
+
+using namespace std;  // BAD: leaks into every includer
+
+namespace fx::core {
+inline string shout() { return "hi"; }
+}  // namespace fx::core

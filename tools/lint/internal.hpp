@@ -1,0 +1,72 @@
+// Internal shapes shared between planaria-lint's analysis, rules, and
+// engine translation units. Not part of the public lint.hpp surface.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace planaria::lint {
+
+struct Suppression {
+  std::string rule;
+  std::string reason;
+  int line = 0;
+  bool file_scope = false;
+};
+
+struct FunctionDef {
+  std::string name;
+  std::string class_name;  ///< `Cls` for `Cls::name(...)` definitions
+  bool is_const = false;
+  int line = 0;
+  std::size_t params_begin = 0, params_end = 0;  ///< token indices of ( )
+  std::size_t body_begin = 0, body_end = 0;      ///< token indices of { }
+};
+
+struct DataMember {
+  std::string name;
+  int line = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  int line = 0;
+  bool is_class = false;  ///< `class` vs `struct`
+  std::vector<std::string> bases;
+  int save_state_line = 0;  ///< 0 = no save_state declared
+  int load_state_line = 0;
+  std::vector<DataMember> members;
+  /// Public non-const methods declared in the class body: name -> line.
+  std::multimap<std::string, int> public_mutating_methods;
+
+  bool has_save() const { return save_state_line != 0; }
+  bool has_load() const { return load_state_line != 0; }
+};
+
+struct FileInfo {
+  std::string path;    ///< repo-relative, '/' separators
+  std::string module;  ///< `<mod>` for src/<mod>/...; empty otherwise
+  bool is_header = false;
+  TokenizedSource src;
+  std::vector<Suppression> suppressions;
+  std::set<std::string> unordered_names;
+  std::vector<FunctionDef> functions;
+  std::vector<ClassInfo> classes;
+};
+
+/// True for every rule id the engine can emit (suppressions must name one).
+bool known_rule(const std::string& rule);
+
+/// Tokenize + structural passes; malformed suppressions land in `malformed`.
+void analyze(FileInfo& file, std::vector<Finding>& malformed);
+
+/// All rule passes over the analyzed file set; returns raw findings (the
+/// engine applies suppressions afterwards).
+std::vector<Finding> run_rules(const std::vector<FileInfo>& files,
+                               const Config& config);
+
+}  // namespace planaria::lint

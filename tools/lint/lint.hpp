@@ -1,0 +1,172 @@
+// planaria-lint — a project-specific static analyzer for the Planaria
+// reproduction (DESIGN.md §12).
+//
+// Generic tooling (clang-tidy, sanitizers) cannot express the properties the
+// last few PRs stake correctness on: bit-identical replay forbids hidden
+// nondeterminism, crash recovery requires save_state/load_state to stay in
+// sync with every stateful class, and the SLP → TLP → coordinator pipeline
+// only stays reviewable if the module layering holds. This tool encodes
+// those rules directly: a lightweight C++ tokenizer (raw strings, line
+// continuations, comments, preprocessor lines), an include-graph builder,
+// and a rule engine driven by a committed config (tools/lint/layers.conf).
+//
+// Rule catalog (rule ids are what suppressions name):
+//   layering              cross-module #include violates the declared DAG
+//   layer-cycle           actual module include graph has a cycle
+//   layer-undeclared      a src/ module is missing from layers.conf
+//   determinism           banned nondeterminism source (time/clock/rand/
+//                         random_device/getenv/...) outside sanctioned files
+//   unordered-iteration   iteration over an unordered container inside a
+//                         function that serializes or merges accounting
+//   snapshot-pairing      save_state without load_state (or vice versa)
+//   snapshot-roundtrip    a snapshottable class never named in the
+//                         round-trip test file
+//   snapshot-missing      a stateful class in a snapshot-reachable module
+//                         with no save_state
+//   contract-coverage     public mutating method in a contract-gated module
+//                         with no REQUIRE/ENSURE/INVARIANT/DASSERT
+//   pragma-once           header without #pragma once
+//   using-namespace       `using namespace` at file scope in a header
+//   raw-assert            <cassert> assert() instead of PLANARIA_ASSERT
+//   suppression           malformed suppression (missing reason or unknown
+//                         rule) — never suppressible itself
+//
+// Suppressions (inline comments, reason mandatory, each prefixed "lint:"):
+//   suppress(<rule>) <reason>       — covers its own line and the next
+//   suppress-file(<rule>) <reason>  — covers the whole file
+//   no-contract(<reason>)           — sugar for suppressing contract-coverage
+//
+// The engine is dependency-free (no libclang); everything is std C++20.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace planaria::lint {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+enum class TokenKind {
+  kIdentifier,   ///< identifiers and keywords
+  kNumber,       ///< numeric literal (pp-number, including 0x.., 1.5f)
+  kString,       ///< string literal, raw strings included (text = contents)
+  kChar,         ///< character literal
+  kPunct,        ///< one operator/punctuator per token (">>" splits to ">",">")
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct Comment {
+  std::string text;  ///< without the // or /* */ markers, trimmed
+  int line = 0;      ///< line the comment starts on
+};
+
+struct IncludeDirective {
+  std::string path;
+  int line = 0;
+  bool quoted = false;  ///< "" include (project) vs <> include (system)
+};
+
+/// A fully tokenized source file. Line continuations are spliced (tokens
+/// carry the line the construct started on), comments and preprocessor
+/// directives are captured out-of-band rather than appearing in `tokens`.
+struct TokenizedSource {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+  bool has_pragma_once = false;
+};
+
+TokenizedSource tokenize(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Configuration (tools/lint/layers.conf)
+
+struct AllowedEdge {
+  std::string from, to, reason;
+};
+
+struct FileSanction {
+  std::string rule, path, reason;  ///< path is repo-relative, '/' separators
+};
+
+struct Config {
+  /// layers[i] = set of sibling modules at layer i; a module may include any
+  /// module in a strictly lower layer, never a sibling or a higher layer.
+  std::vector<std::vector<std::string>> layers;
+  std::vector<AllowedEdge> allowed_edges;
+  std::vector<FileSanction> sanctions;
+  /// Modules where snapshot-missing / snapshot-roundtrip apply.
+  std::set<std::string> snapshot_modules;
+  /// Modules where contract-coverage applies.
+  std::set<std::string> contract_modules;
+  /// Repo-relative file(s) that must mention every snapshottable class.
+  std::vector<std::string> roundtrip_tests;
+  /// Function names that mark a function as a serialization/accounting
+  /// context for the unordered-iteration rule (defaults: save_state, finish).
+  std::set<std::string> serialization_apis;
+
+  int layer_of(const std::string& module) const;  ///< -1 if undeclared
+  bool edge_allowed(const std::string& from, const std::string& to) const;
+  bool sanctioned(const std::string& rule, const std::string& path) const;
+};
+
+/// Parses layers.conf. Throws std::runtime_error with file:line on a
+/// malformed line (unknown keyword, allow-edge naming an undeclared module,
+/// missing reason).
+Config parse_config(const std::string& text, const std::string& filename);
+Config load_config(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Findings and report
+
+struct Finding {
+  std::string rule;
+  std::string file;  ///< repo-relative path
+  int line = 0;
+  std::string message;
+  std::string suppress_reason;  ///< non-empty when suppressed
+};
+
+struct Report {
+  std::vector<Finding> findings;    ///< active (unsuppressed) findings
+  std::vector<Finding> suppressed;  ///< findings silenced with a reason
+  int files_scanned = 0;
+
+  bool clean() const { return findings.empty(); }
+};
+
+/// Renders the stable machine-readable report (schema_version 1). Keys and
+/// their order are part of the contract tests/test_lint.cpp pins down.
+std::string to_json(const Report& report, const std::string& root);
+
+// ---------------------------------------------------------------------------
+// Engine
+
+struct Options {
+  std::string root;         ///< repo root; scan roots are relative to it
+  std::string config_path;  ///< defaults to <root>/tools/lint/layers.conf
+  /// Directories under root to scan (repo-relative).
+  std::vector<std::string> scan_roots = {"src", "tools", "bench", "tests"};
+  /// Path prefixes to skip (the deliberately-bad fixture corpus).
+  std::vector<std::string> skip_prefixes = {"tools/lint/fixtures"};
+};
+
+/// Scans the tree and runs every rule. Throws std::runtime_error on config
+/// or I/O errors (missing root, unparseable layers.conf).
+Report run_lint(const Options& options);
+
+/// In-memory variant used by the unit tests and fixtures: `files` maps
+/// repo-relative paths to contents.
+Report run_lint_on(const std::map<std::string, std::string>& files,
+                   const Config& config);
+
+}  // namespace planaria::lint

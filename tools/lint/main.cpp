@@ -1,0 +1,100 @@
+// planaria-lint CLI.
+//
+//   planaria-lint [--root DIR] [--config FILE] [--json[=FILE]] [--quiet]
+//
+// Scans src/, tools/, bench/, and tests/ under the root (default: the
+// source tree this binary was built from, overridable with --root or
+// PLANARIA_LINT_ROOT) against tools/lint/layers.conf and prints findings as
+// `file:line: [rule] message`. Exit codes: 0 clean, 1 unsuppressed
+// findings, 2 usage/config/I-O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "lint/lint.hpp"
+
+#ifndef PLANARIA_LINT_DEFAULT_ROOT
+#define PLANARIA_LINT_DEFAULT_ROOT ""
+#endif
+
+namespace lint = planaria::lint;
+
+int main(int argc, char** argv) {
+  lint::Options options;
+  options.root = PLANARIA_LINT_DEFAULT_ROOT;
+  if (const char* env = std::getenv("PLANARIA_LINT_ROOT")) options.root = env;
+
+  bool emit_json = false;
+  bool quiet = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      options.root = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      options.config_path = argv[++i];
+    } else if (arg == "--json") {
+      emit_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      emit_json = true;
+      json_path = arg.substr(7);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: planaria-lint [--root DIR] [--config FILE] "
+                   "[--json[=FILE]] [--quiet]\n");
+      return 2;
+    }
+  }
+  if (options.root.empty()) {
+    std::fprintf(stderr,
+                 "planaria-lint: no root (pass --root or set "
+                 "PLANARIA_LINT_ROOT)\n");
+    return 2;
+  }
+
+  lint::Report report;
+  try {
+    report = lint::run_lint(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "planaria-lint: %s\n", e.what());
+    return 2;
+  }
+
+  if (emit_json) {
+    const std::string json = lint::to_json(report, options.root);
+    if (json_path.empty()) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "planaria-lint: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+      }
+      out << json << "\n";
+    }
+  }
+  if (!emit_json || !json_path.empty()) {
+    if (!quiet) {
+      for (const auto& f : report.suppressed) {
+        std::printf("%s:%d: [%s/suppressed] %s (reason: %s)\n",
+                    f.file.c_str(), f.line, f.rule.c_str(), f.message.c_str(),
+                    f.suppress_reason.c_str());
+      }
+    }
+    for (const auto& f : report.findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    std::printf(
+        "planaria-lint: %d file(s), %zu finding(s), %zu suppressed\n",
+        report.files_scanned, report.findings.size(),
+        report.suppressed.size());
+  }
+  return report.clean() ? 0 : 1;
+}

@@ -1,0 +1,453 @@
+// Rule passes of planaria-lint. Each rule consumes the analyzed file set
+// and emits raw findings; the engine applies suppressions afterwards so a
+// suppressed finding still shows up (with its reason) in the JSON report.
+#include "lint/internal.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace planaria::lint {
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// layering / layer-cycle / layer-undeclared
+
+/// Module of a quoted project include ("core/slp.hpp" -> "core"), or empty.
+std::string include_module(const IncludeDirective& inc) {
+  if (!inc.quoted) return {};
+  const std::size_t slash = inc.path.find('/');
+  return slash == std::string::npos ? std::string() : inc.path.substr(0, slash);
+}
+
+void rule_layering(const std::vector<FileInfo>& files, const Config& config,
+                   std::vector<Finding>& out) {
+  std::set<std::string> modules_in_tree;
+  for (const FileInfo& f : files) {
+    if (!f.module.empty()) modules_in_tree.insert(f.module);
+  }
+
+  std::set<std::string> undeclared_reported;
+  // from-module -> (to-module -> first include location), for cycle search.
+  std::map<std::string, std::map<std::string, std::pair<std::string, int>>>
+      edges;
+
+  for (const FileInfo& f : files) {
+    if (f.module.empty()) continue;  // tools/tests/bench sit above the DAG
+    const int from_layer = config.layer_of(f.module);
+    if (from_layer < 0) {
+      if (undeclared_reported.insert(f.module).second) {
+        out.push_back({"layer-undeclared", f.path, 1,
+                       "module 'src/" + f.module +
+                           "' is not declared in layers.conf — every module "
+                           "must have a place in the DAG",
+                       ""});
+      }
+      continue;
+    }
+    for (const IncludeDirective& inc : f.src.includes) {
+      const std::string to = include_module(inc);
+      if (to.empty() || to == f.module) continue;
+      if (modules_in_tree.count(to) == 0) continue;  // not a src module
+      edges[f.module].emplace(to, std::make_pair(f.path, inc.line));
+      const int to_layer = config.layer_of(to);
+      if (to_layer < 0) {
+        if (undeclared_reported.insert(to).second) {
+          out.push_back({"layer-undeclared", f.path, inc.line,
+                         "included module 'src/" + to +
+                             "' is not declared in layers.conf",
+                         ""});
+        }
+        continue;
+      }
+      if (to_layer < from_layer) continue;  // downward edge: always legal
+      if (config.edge_allowed(f.module, to)) continue;
+      std::ostringstream msg;
+      msg << "layering: src/" << f.module << " (layer " << from_layer
+          << ") must not include \"" << inc.path << "\" (src/" << to
+          << ", layer " << to_layer << "); "
+          << (to_layer == from_layer
+                  ? "siblings in the DAG may not include each other"
+                  : "the edge points up the DAG")
+          << " — fix the dependency or add an `allow` edge with a reason to "
+             "layers.conf";
+      out.push_back({"layering", f.path, inc.line, msg.str(), ""});
+    }
+  }
+
+  // Cycle detection over the *actual* module graph (allow edges included —
+  // an allowed edge still must not close a cycle).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> cycle_reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& m) {
+    color[m] = 1;
+    stack.push_back(m);
+    for (const auto& [to, where] : edges[m]) {
+      if (color[to] == 1) {
+        // Reconstruct the cycle from the grey stack.
+        std::ostringstream msg;
+        msg << "module include cycle: ";
+        bool in_cycle = false;
+        for (const auto& s : stack) {
+          if (s == to) in_cycle = true;
+          if (in_cycle) msg << s << " -> ";
+        }
+        msg << to;
+        if (cycle_reported.insert(msg.str()).second) {
+          out.push_back(
+              {"layer-cycle", where.first, where.second, msg.str(), ""});
+        }
+      } else if (color[to] == 0) {
+        dfs(to);
+      }
+    }
+    stack.pop_back();
+    color[m] = 2;
+  };
+  for (const auto& [m, _] : edges) {
+    if (color[m] == 0) dfs(m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+
+void rule_determinism(const FileInfo& f, std::vector<Finding>& out) {
+  static const std::set<std::string> banned_calls = {
+      "time",       "clock",   "gettimeofday", "clock_gettime",
+      "timespec_get", "rand",  "srand",        "rand_r",
+      "drand48",    "getenv",  "secure_getenv",
+  };
+  static const std::set<std::string> banned_types = {
+      "random_device", "system_clock", "steady_clock", "high_resolution_clock",
+  };
+  const auto& toks = f.src.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (banned_types.count(t.text) != 0) {
+      out.push_back({"determinism", f.path, t.line,
+                     "'" + t.text +
+                         "' is a nondeterminism source; simulation state must "
+                         "derive only from the trace and the seed (use "
+                         "planaria::Rng)",
+                     ""});
+      continue;
+    }
+    if (banned_calls.count(t.text) == 0) continue;
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+    // A member named like a banned function (obj.time(...)) is not libc's.
+    if (i > 0 && (is_punct(toks[i - 1], ".") ||
+                  (is_punct(toks[i - 1], ">") && i > 1 &&
+                   is_punct(toks[i - 2], "-")))) {
+      continue;
+    }
+    out.push_back({"determinism", f.path, t.line,
+                   "call to '" + t.text +
+                       "()' — wall clock, libc randomness, and environment "
+                       "reads break bit-identical replay; sanction the file "
+                       "in layers.conf if this use is config-time only",
+                   ""});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+
+void rule_unordered_iteration(const FileInfo& f,
+                              const std::map<std::string, const FileInfo*>& by_path,
+                              const Config& config,
+                              std::vector<Finding>& out) {
+  // Identifiers known to be unordered containers: declared in this file or
+  // in a directly-included project header (a .cpp sees its class's members).
+  std::set<std::string> unordered = f.unordered_names;
+  for (const IncludeDirective& inc : f.src.includes) {
+    if (!inc.quoted) continue;
+    for (const char* root : {"src/", "tools/", "bench/", "tests/"}) {
+      const auto it = by_path.find(root + inc.path);
+      if (it != by_path.end()) {
+        unordered.insert(it->second->unordered_names.begin(),
+                         it->second->unordered_names.end());
+      }
+    }
+  }
+  if (unordered.empty()) return;
+
+  const auto& toks = f.src.tokens;
+  for (const FunctionDef& fn : f.functions) {
+    // Serialization / accounting context?
+    bool serializes = config.serialization_apis.count(fn.name) != 0;
+    for (std::size_t i = fn.params_begin;
+         !serializes && i <= fn.params_end && i < toks.size(); ++i) {
+      if (is_ident(toks[i], "Writer")) serializes = true;
+    }
+    for (std::size_t i = fn.body_begin;
+         !serializes && i <= fn.body_end && i < toks.size(); ++i) {
+      if (toks[i].kind == TokenKind::kIdentifier && i + 1 <= fn.body_end &&
+          is_punct(toks[i + 1], "(") &&
+          config.serialization_apis.count(toks[i].text) != 0) {
+        serializes = true;
+      }
+    }
+    if (!serializes) continue;
+
+    for (std::size_t i = fn.body_begin; i <= fn.body_end && i < toks.size();
+         ++i) {
+      // Pattern A: range-for whose range expression names an unordered
+      // container: for ( ... : <range> )
+      if (is_ident(toks[i], "for") && i + 1 <= fn.body_end &&
+          is_punct(toks[i + 1], "(")) {
+        int depth = 0;
+        std::size_t colon = 0, close = 0;
+        for (std::size_t j = i + 1; j <= fn.body_end; ++j) {
+          if (is_punct(toks[j], "(")) ++depth;
+          else if (is_punct(toks[j], ")")) {
+            if (--depth == 0) {
+              close = j;
+              break;
+            }
+          } else if (depth == 1 && colon == 0 && is_punct(toks[j], ":") &&
+                     j + 1 < toks.size() && !is_punct(toks[j + 1], ":") &&
+                     j > 0 && !is_punct(toks[j - 1], ":")) {
+            colon = j;
+          }
+        }
+        if (colon != 0 && close != 0) {
+          for (std::size_t j = colon + 1; j < close; ++j) {
+            if (toks[j].kind == TokenKind::kIdentifier &&
+                unordered.count(toks[j].text) != 0) {
+              out.push_back(
+                  {"unordered-iteration", f.path, toks[j].line,
+                   "iteration over unordered container '" + toks[j].text +
+                       "' inside '" + fn.name +
+                       "', which serializes or merges accounted state — "
+                       "hash-order dependence breaks byte-stable encodings; "
+                       "iterate a sorted copy instead",
+                   ""});
+              break;
+            }
+          }
+        }
+      }
+      // Pattern B: explicit iterator walk, `container.begin(`.
+      if (toks[i].kind == TokenKind::kIdentifier &&
+          unordered.count(toks[i].text) != 0 && i + 3 <= fn.body_end &&
+          is_punct(toks[i + 1], ".") &&
+          (is_ident(toks[i + 2], "begin") || is_ident(toks[i + 2], "cbegin")) &&
+          is_punct(toks[i + 3], "(")) {
+        out.push_back({"unordered-iteration", f.path, toks[i].line,
+                       "iterator walk over unordered container '" +
+                           toks[i].text + "' inside '" + fn.name +
+                           "', which serializes or merges accounted state",
+                       ""});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// snapshot-pairing / snapshot-roundtrip / snapshot-missing
+
+void rule_snapshot(const std::vector<FileInfo>& files, const Config& config,
+                   std::vector<Finding>& out) {
+  // Identifier sets of the round-trip test files.
+  std::set<std::string> roundtrip_idents;
+  bool have_roundtrip_file = false;
+  for (const FileInfo& f : files) {
+    if (std::find(config.roundtrip_tests.begin(), config.roundtrip_tests.end(),
+                  f.path) == config.roundtrip_tests.end()) {
+      continue;
+    }
+    have_roundtrip_file = true;
+    for (const Token& t : f.src.tokens) {
+      if (t.kind == TokenKind::kIdentifier) roundtrip_idents.insert(t.text);
+    }
+  }
+
+  for (const FileInfo& f : files) {
+    if (!f.is_header) continue;
+    for (const ClassInfo& cls : f.classes) {
+      if (cls.has_save() != cls.has_load()) {
+        const char* has = cls.has_save() ? "save_state" : "load_state";
+        const char* missing = cls.has_save() ? "load_state" : "save_state";
+        out.push_back(
+            {"snapshot-pairing", f.path,
+             cls.has_save() ? cls.save_state_line : cls.load_state_line,
+             "class '" + cls.name + "' declares " + has + " but no " +
+                 missing +
+                 " — checkpoint encode and decode must evolve together",
+             ""});
+      }
+      if (cls.has_save() && cls.has_load() && have_roundtrip_file &&
+          roundtrip_idents.count(cls.name) == 0) {
+        out.push_back({"snapshot-roundtrip", f.path, cls.save_state_line,
+                       "snapshottable class '" + cls.name +
+                           "' is never mentioned in the round-trip test (" +
+                           config.roundtrip_tests.front() +
+                           ") — byte-stability is only real if a test holds "
+                           "it",
+                       ""});
+      }
+      if (!f.module.empty() && config.snapshot_modules.count(f.module) != 0 &&
+          cls.is_class && !cls.members.empty() && !cls.has_save() &&
+          !cls.has_load()) {
+        out.push_back({"snapshot-missing", f.path, cls.line,
+                       "class '" + cls.name + "' in snapshot-reachable "
+                       "module 'src/" + f.module + "' holds state (" +
+                           std::to_string(cls.members.size()) +
+                           " member(s), e.g. '" + cls.members.front().name +
+                           "') but has no save_state — a checkpointed run "
+                           "would silently lose it",
+                       ""});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// contract-coverage
+
+void rule_contract_coverage(const std::vector<FileInfo>& files,
+                            const Config& config,
+                            std::vector<Finding>& out) {
+  static const std::set<std::string> contract_macros = {
+      "PLANARIA_REQUIRE",      "PLANARIA_REQUIRE_MSG",
+      "PLANARIA_ENSURE",       "PLANARIA_ENSURE_MSG",
+      "PLANARIA_INVARIANT",    "PLANARIA_INVARIANT_MSG",
+      "PLANARIA_ASSERT",       "PLANARIA_ASSERT_MSG",
+      "PLANARIA_DASSERT",      "PLANARIA_DASSERT_MSG",
+      "PLANARIA_UNREACHABLE",
+  };
+
+  // Public mutating methods per class, from headers of contract modules.
+  std::map<std::string, std::set<std::string>> public_mutating;
+  for (const FileInfo& f : files) {
+    if (!f.is_header || f.module.empty() ||
+        config.contract_modules.count(f.module) == 0) {
+      continue;
+    }
+    for (const ClassInfo& cls : f.classes) {
+      for (const auto& method : cls.public_mutating_methods) {
+        public_mutating[cls.name].insert(method.first);
+      }
+    }
+  }
+
+  for (const FileInfo& f : files) {
+    if (f.module.empty() || config.contract_modules.count(f.module) == 0) {
+      continue;
+    }
+    const auto& toks = f.src.tokens;
+    for (const FunctionDef& fn : f.functions) {
+      if (fn.is_const || fn.class_name.empty()) continue;
+      const auto cls = public_mutating.find(fn.class_name);
+      if (cls == public_mutating.end() || cls->second.count(fn.name) == 0) {
+        continue;  // not a public mutating method of a known class
+      }
+      if (fn.name == fn.class_name || fn.name == "load_state") {
+        // Constructors establish invariants rather than check them;
+        // load_state validates via the snapshot Reader (throws on bad input).
+        continue;
+      }
+      bool has_contract = false;
+      int statements = 0;
+      for (std::size_t i = fn.body_begin; i <= fn.body_end && i < toks.size();
+           ++i) {
+        if (is_punct(toks[i], ";")) ++statements;
+        if (toks[i].kind == TokenKind::kIdentifier &&
+            contract_macros.count(toks[i].text) != 0) {
+          has_contract = true;
+          break;
+        }
+      }
+      // Trivial bodies (a forwarding call or a couple of assignments) would
+      // only grow noise contracts; the threshold is part of the rule's
+      // documented contract (DESIGN.md §12).
+      if (has_contract || statements <= 2) continue;
+      out.push_back(
+          {"contract-coverage", f.path, fn.line,
+           "public mutating method '" + fn.class_name + "::" + fn.name +
+               "' has no REQUIRE/ENSURE/INVARIANT/DASSERT — state-changing "
+               "entry points in src/" + f.module +
+               " must check something or carry // lint: no-contract(<why>)",
+           ""});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hygiene: pragma-once / using-namespace / raw-assert
+
+void rule_hygiene(const FileInfo& f, std::vector<Finding>& out) {
+  const auto& toks = f.src.tokens;
+  if (f.is_header) {
+    if (!f.src.has_pragma_once) {
+      out.push_back({"pragma-once", f.path, 1,
+                     "header lacks #pragma once (project headers use pragma "
+                     "guards exclusively)",
+                     ""});
+    }
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (is_ident(toks[i], "using") && is_ident(toks[i + 1], "namespace")) {
+        out.push_back({"using-namespace", f.path, toks[i].line,
+                       "`using namespace` in a header leaks into every "
+                       "includer",
+                       ""});
+      }
+    }
+  }
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (is_ident(toks[i], "assert") && is_punct(toks[i + 1], "(")) {
+      if (i > 0 && (is_punct(toks[i - 1], ".") ||
+                    (is_punct(toks[i - 1], ">") && i > 1 &&
+                     is_punct(toks[i - 2], "-")))) {
+        continue;
+      }
+      out.push_back({"raw-assert", f.path, toks[i].line,
+                     "raw assert() compiles out in release builds — use "
+                     "PLANARIA_ASSERT (always on) or PLANARIA_DASSERT "
+                     "(debug-only, sanitizer-armed)",
+                     ""});
+    }
+  }
+}
+
+}  // namespace
+
+bool known_rule(const std::string& rule) {
+  static const std::set<std::string> rules = {
+      "layering",          "layer-cycle",        "layer-undeclared",
+      "determinism",       "unordered-iteration", "snapshot-pairing",
+      "snapshot-roundtrip", "snapshot-missing",   "contract-coverage",
+      "pragma-once",       "using-namespace",     "raw-assert",
+      "suppression",
+  };
+  return rules.count(rule) != 0;
+}
+
+std::vector<Finding> run_rules(const std::vector<FileInfo>& files,
+                               const Config& config) {
+  std::vector<Finding> out;
+  std::map<std::string, const FileInfo*> by_path;
+  for (const FileInfo& f : files) by_path.emplace(f.path, &f);
+
+  rule_layering(files, config, out);
+  rule_snapshot(files, config, out);
+  rule_contract_coverage(files, config, out);
+  for (const FileInfo& f : files) {
+    rule_determinism(f, out);
+    rule_unordered_iteration(f, by_path, config, out);
+    rule_hygiene(f, out);
+  }
+  return out;
+}
+
+}  // namespace planaria::lint

@@ -1,0 +1,330 @@
+// Lightweight C++ tokenizer for planaria-lint.
+//
+// Deliberately not a full lexer: the rules only need identifiers, literals,
+// punctuation, comments, and preprocessor directives, each with a line
+// number. The corner cases that matter for correctness of the *rules* are
+// handled exactly:
+//   * line continuations (backslash-newline) are spliced anywhere, including
+//     inside // comments and #include lines, without losing line numbers;
+//   * raw string literals R"delim(...)delim" — an #include or banned call
+//     inside one is data, not code;
+//   * block comments spanning lines, including ones containing "#include";
+//   * digraphs and multi-char operators are split into single-char puncts,
+//     which is lossless for every pattern the rules match on.
+#include "lint/lint.hpp"
+
+#include <cctype>
+
+namespace planaria::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  TokenizedSource run() {
+    while (pos_ < text_.size()) {
+      skip_continuations();
+      if (pos_ >= text_.size()) break;
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && peek(1) == '"') {
+        raw_string();
+        continue;
+      }
+      // Encoding prefixes on ordinary/raw literals: u8"", u"", U"", L"".
+      if ((c == 'u' || c == 'U' || c == 'L') && string_prefix()) continue;
+      if (c == '"') {
+        quoted_string('"', TokenKind::kString);
+        continue;
+      }
+      if (c == '\'') {
+        quoted_string('\'', TokenKind::kChar);
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+        continue;
+      }
+      out_.tokens.push_back({TokenKind::kPunct, std::string(1, c), line_});
+      ++pos_;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    // A backslash-newline between this char and the next is handled by
+    // skip_continuations at consumption time; for lookahead, skip it here.
+    std::size_t p = pos_ + 1;
+    std::size_t skipped = 0;
+    while (p + 1 < text_.size() && text_[p] == '\\' &&
+           (text_[p + 1] == '\n' ||
+            (text_[p + 1] == '\r' && p + 2 < text_.size() &&
+             text_[p + 2] == '\n'))) {
+      p += text_[p + 1] == '\r' ? 3 : 2;
+    }
+    (void)skipped;
+    if (ahead == 1) return p < text_.size() ? text_[p] : '\0';
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  /// Splices backslash-newline at the cursor (possibly several in a row).
+  void skip_continuations() {
+    while (pos_ + 1 < text_.size() && text_[pos_] == '\\') {
+      if (text_[pos_ + 1] == '\n') {
+        pos_ += 2;
+        ++line_;
+      } else if (text_[pos_ + 1] == '\r' && pos_ + 2 < text_.size() &&
+                 text_[pos_ + 2] == '\n') {
+        pos_ += 3;
+        ++line_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  /// Advances one character, splicing continuations and counting lines.
+  /// Returns '\0' at end of input.
+  char take() {
+    skip_continuations();
+    if (pos_ >= text_.size()) return '\0';
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void line_comment() {
+    const int start = line_;
+    pos_ += 2;
+    std::string body;
+    for (;;) {
+      skip_continuations();  // a \-newline extends the comment
+      if (pos_ >= text_.size() || text_[pos_] == '\n') break;
+      body.push_back(text_[pos_++]);
+    }
+    out_.comments.push_back({trim(body), start});
+  }
+
+  void block_comment() {
+    const int start = line_;
+    pos_ += 2;
+    std::string body;
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '*' && pos_ + 1 < text_.size() &&
+          text_[pos_ + 1] == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (text_[pos_] == '\n') ++line_;
+      body.push_back(text_[pos_++]);
+    }
+    out_.comments.push_back({trim(body), start});
+  }
+
+  /// Consumes a whole preprocessor logical line (continuations spliced) and
+  /// records #include / #pragma once. A // comment ends the directive; a
+  /// raw "#include" inside it is already dead by then.
+  void preprocessor_line() {
+    const int start = line_;
+    std::string body;
+    ++pos_;  // '#'
+    for (;;) {
+      skip_continuations();
+      if (pos_ >= text_.size() || text_[pos_] == '\n') break;
+      if (text_[pos_] == '/' && pos_ + 1 < text_.size() &&
+          (text_[pos_ + 1] == '/' || text_[pos_ + 1] == '*')) {
+        if (text_[pos_ + 1] == '/') {
+          line_comment();
+          break;
+        }
+        block_comment();
+        continue;
+      }
+      body.push_back(text_[pos_++]);
+    }
+    parse_directive(trim(body), start);
+    at_line_start_ = true;
+  }
+
+  void parse_directive(const std::string& body, int start) {
+    std::size_t i = 0;
+    auto word = [&] {
+      while (i < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+      std::string w;
+      while (i < body.size() && ident_char(body[i])) w.push_back(body[i++]);
+      return w;
+    };
+    const std::string kw = word();
+    if (kw == "include") {
+      while (i < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+      if (i < body.size() && (body[i] == '"' || body[i] == '<')) {
+        const char close = body[i] == '"' ? '"' : '>';
+        const bool quoted = body[i] == '"';
+        ++i;
+        std::string path;
+        while (i < body.size() && body[i] != close) path.push_back(body[i++]);
+        out_.includes.push_back({path, start, quoted});
+      }
+    } else if (kw == "pragma" && word() == "once") {
+      out_.has_pragma_once = true;
+    }
+  }
+
+  void raw_string() {
+    const int start = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(') {
+      delim.push_back(text_[pos_++]);
+    }
+    if (pos_ < text_.size()) ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string body;
+    while (pos_ < text_.size() &&
+           text_.compare(pos_, closer.size(), closer) != 0) {
+      if (text_[pos_] == '\n') ++line_;
+      body.push_back(text_[pos_++]);
+    }
+    pos_ += std::min(closer.size(), text_.size() - pos_);
+    out_.tokens.push_back({TokenKind::kString, body, start});
+  }
+
+  /// Handles u8"..", u'..', U"..", L"..", uR"..(..)..": consumes the prefix
+  /// and dispatches. Returns false when the u/U/L starts a plain identifier.
+  bool string_prefix() {
+    std::size_t p = pos_ + 1;
+    if (text_[pos_] == 'u' && p < text_.size() && text_[p] == '8') ++p;
+    if (p >= text_.size()) return false;
+    if (text_[p] == 'R' && p + 1 < text_.size() && text_[p + 1] == '"') {
+      pos_ = p;
+      raw_string();
+      return true;
+    }
+    if (text_[p] == '"' || text_[p] == '\'') {
+      const char q = text_[p];
+      pos_ = p;
+      quoted_string(q, q == '"' ? TokenKind::kString : TokenKind::kChar);
+      return true;
+    }
+    return false;
+  }
+
+  void quoted_string(char quote, TokenKind kind) {
+    const int start = line_;
+    ++pos_;
+    std::string body;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        // Keep escapes verbatim; a \" must not terminate the literal and a
+        // \<newline> inside a literal is a continuation.
+        if (text_[pos_ + 1] == '\n') {
+          pos_ += 2;
+          ++line_;
+          continue;
+        }
+        body.push_back(text_[pos_++]);
+        body.push_back(text_[pos_++]);
+        continue;
+      }
+      if (text_[pos_] == '\n') break;  // unterminated; don't eat the file
+      body.push_back(text_[pos_++]);
+    }
+    if (pos_ < text_.size() && text_[pos_] == quote) ++pos_;
+    out_.tokens.push_back({kind, body, start});
+  }
+
+  void identifier() {
+    const int start = line_;
+    std::string word;
+    word.push_back(text_[pos_++]);
+    for (;;) {
+      skip_continuations();
+      if (pos_ >= text_.size() || !ident_char(text_[pos_])) break;
+      word.push_back(text_[pos_++]);
+    }
+    out_.tokens.push_back({TokenKind::kIdentifier, std::move(word), start});
+  }
+
+  void number() {
+    const int start = line_;
+    std::string word;
+    // pp-number: digits, idents, dots, and exponent signs glue together.
+    while (pos_ < text_.size()) {
+      skip_continuations();
+      const char c = pos_ < text_.size() ? text_[pos_] : '\0';
+      if (ident_char(c) || c == '.') {
+        word.push_back(c);
+        ++pos_;
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            pos_ < text_.size() &&
+            (text_[pos_] == '+' || text_[pos_] == '-')) {
+          word.push_back(text_[pos_++]);
+        }
+      } else {
+        break;
+      }
+    }
+    out_.tokens.push_back({TokenKind::kNumber, std::move(word), start});
+  }
+
+  static std::string trim(const std::string& s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  TokenizedSource out_;
+};
+
+}  // namespace
+
+TokenizedSource tokenize(const std::string& text) { return Lexer(text).run(); }
+
+}  // namespace planaria::lint
