@@ -6,16 +6,19 @@
 // timing anything it asserts the engine's determinism contract: the pooled
 // sweep must return bit-identical SimResults to the serial sweep for every
 // registered prefetcher kind (a throughput number from a wrong simulation is
-// worthless). Results also land in BENCH_throughput.json so the perf
-// trajectory is machine-trackable across PRs.
+// worthless). Each run APPENDS one JSON-lines entry (git rev, per-thread-count
+// records/sec, hardware concurrency) to the repo-root BENCH_throughput.json,
+// so the file accumulates a machine-trackable perf trajectory across PRs
+// instead of remembering only the latest run.
 //
 // Record count defaults to a quick-run length; scale with PLANARIA_RECORDS.
 // PLANARIA_THREADS does not apply here — this bench sweeps thread counts
-// itself.
+// itself. PLANARIA_BENCH_TRAJECTORY overrides the trajectory file path.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -89,16 +92,17 @@ int main() {
 
   std::printf("%8s %12s %14s %10s\n", "threads", "seconds", "records/sec",
               "speedup");
-  FILE* json = std::fopen("BENCH_throughput.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n  \"records_per_cell\": %llu,\n  \"apps\": %zu,\n"
-                 "  \"kinds\": %zu,\n  \"grid_records\": %llu,\n"
-                 "  \"hardware_concurrency\": %u,\n  \"runs\": [\n",
-                 static_cast<unsigned long long>(records),
-                 trace::app_names().size(), kinds.size(),
-                 static_cast<unsigned long long>(grid_records), hw);
-  }
+
+  // One self-contained JSON object per bench invocation, accumulated as a
+  // JSON-lines trajectory (append, never overwrite): each line records the
+  // revision the numbers were measured at.
+  std::string entry =
+      "{\"git_rev\": \"" PLANARIA_GIT_REV "\", \"records_per_cell\": " +
+      std::to_string(records) +
+      ", \"apps\": " + std::to_string(trace::app_names().size()) +
+      ", \"kinds\": " + std::to_string(kinds.size()) +
+      ", \"grid_records\": " + std::to_string(grid_records) +
+      ", \"hardware_concurrency\": " + std::to_string(hw) + ", \"runs\": [";
 
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     const std::size_t threads = thread_counts[i];
@@ -111,18 +115,27 @@ int main() {
                            : 0.0;
     const double speedup = seconds > 0.0 ? serial_s / seconds : 0.0;
     std::printf("%8zu %12.3f %14.0f %9.2fx\n", threads, seconds, rps, speedup);
-    if (json != nullptr) {
-      std::fprintf(json,
-                   "    {\"threads\": %zu, \"seconds\": %.6f, "
-                   "\"records_per_sec\": %.1f, \"speedup_vs_serial\": %.4f}%s\n",
-                   threads, seconds, rps, speedup,
-                   i + 1 < thread_counts.size() ? "," : "");
-    }
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"threads\": %zu, \"seconds\": %.6f, "
+                  "\"records_per_sec\": %.1f, \"speedup_vs_serial\": %.4f}",
+                  i == 0 ? "" : ", ", threads, seconds, rps, speedup);
+    entry += buf;
   }
+  entry += "]}\n";
+
+  const char* traj_env = std::getenv("PLANARIA_BENCH_TRAJECTORY");
+  const std::string trajectory = traj_env != nullptr && *traj_env != '\0'
+                                     ? std::string(traj_env)
+                                     : std::string(PLANARIA_BENCH_TRAJECTORY);
+  FILE* json = std::fopen(trajectory.c_str(), "a");
   if (json != nullptr) {
-    std::fprintf(json, "  ]\n}\n");
+    std::fputs(entry.c_str(), json);
     std::fclose(json);
-    std::printf("\nwrote BENCH_throughput.json\n");
+    std::printf("\nappended trajectory entry (rev %s) to %s\n",
+                PLANARIA_GIT_REV, trajectory.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot append to %s\n", trajectory.c_str());
   }
   std::printf(
       "\nthe grid is embarrassingly parallel (110 independent cells, 4\n"

@@ -5,9 +5,12 @@
 #   1. release  — -Werror build of everything + full ctest suite
 #   2. lint     — planaria-lint over src/, tools/, bench/, tests/: layering
 #                 DAG, determinism bans, snapshot pairing/round-trip coverage,
-#                 contract coverage, hygiene; writes the --json report to
-#                 build-release/lint-report.json (CI uploads it as an
-#                 artifact)
+#                 contract coverage, hygiene, plus the interprocedural race-*
+#                 (parallel-region capture/static/non-const-call) and hot-*
+#                 (alloc/string/iostream/throw/mutex/env on hot-root paths)
+#                 families; must finish under a 10s budget; writes the --json
+#                 report to build-release/lint-report.json (CI uploads it as
+#                 an artifact)
 #   3. sanitize — ASan+UBSan build (arms PLANARIA_DASSERT) + full ctest suite
 #   4. audit    — planaria-audit invariant gate (from the sanitizer build, so
 #                 the replay stage runs instrumented; includes the serial-vs-
@@ -88,7 +91,11 @@ stage_sanitize() {
 }
 
 stage_lint() {
-  ./build-release/tools/lint/planaria-lint --json=build-release/lint-report.json
+  # Budget assertion (DESIGN.md §13): the full-repo analysis — call graph,
+  # race and hot families included — must finish in under 10 seconds, or the
+  # gate has become too slow to run on every push.
+  timeout 10 ./build-release/tools/lint/planaria-lint \
+    --json=build-release/lint-report.json
 }
 
 stage_audit() {
@@ -119,7 +126,8 @@ stage_tidy() {
 }
 
 run_stage release 1800 stage_release
-run_stage lint 120 stage_lint
+# The stage timeout only needs headroom over the 10s in-stage budget.
+run_stage lint 30 stage_lint
 
 if [[ "$SKIP_SANITIZE" -eq 0 ]]; then
   run_stage sanitize 1800 stage_sanitize

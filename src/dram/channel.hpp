@@ -89,6 +89,10 @@ class DramChannel {
   }
 
   /// Completions accumulated since the last call (sorted by finish cycle).
+  /// The sink overload swaps the pending buffer into `out` (cleared first),
+  /// so a caller that reuses one scratch vector ping-pongs two allocations
+  /// for the channel's whole lifetime instead of reallocating every step.
+  void take_completions(std::vector<DramCompletion>& out);
   std::vector<DramCompletion> take_completions();
 
   Cycle now() const { return now_; }

@@ -136,7 +136,8 @@ Simulator::Simulator(const SimConfig& config, PrefetcherFactory factory,
 }
 
 void Simulator::process_completions(Channel& ch) {
-  for (const auto& done : ch.dram->take_completions()) {
+  ch.dram->take_completions(ch.done_scratch);
+  for (const auto& done : ch.done_scratch) {
     if (done.is_write) continue;  // posted; nothing waits on write data
     const std::uint64_t block = done.tag;
     auto it = ch.in_flight.find(block);
@@ -321,6 +322,7 @@ void Simulator::run_sharded(const trace::TraceRecord* begin,
   // same serial admission step() uses), then split into per-channel streams.
   // Each stream is a subsequence of a non-decreasing (post-clamp) sequence,
   // so per-channel monotonicity is inherited.
+  // lint: suppress(hot-alloc) one allocation per run_sharded batch, not per record; thousands of records amortize it and the shards alias a corrupted copy of caller storage that must not outlive the call
   std::vector<std::vector<trace::TraceRecord>> shards(
       static_cast<std::size_t>(kChannels));
   for (auto& shard : shards) shard.reserve(count / kChannels + 1);

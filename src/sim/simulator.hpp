@@ -189,6 +189,9 @@ class Simulator {
     Accounting acct;
     std::vector<prefetch::PrefetchRequest> scratch;  ///< per-channel: shards
                                                      ///< run concurrently
+    /// Reused completion buffer for take_completions (hot-alloc: the sink
+    /// overload ping-pongs this capacity with the channel's pending buffer).
+    std::vector<dram::DramCompletion> done_scratch;
     /// Per-channel fault injector (null when no class is armed). Channel
     /// faults draw from a channel-indexed stream, so injection stays
     /// deterministic however the channels are scheduled.

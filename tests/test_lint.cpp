@@ -11,7 +11,10 @@
 //     layers.conf must be load-bearing — removing any single layer or allow
 //     line has to produce findings (or a config error). Same for deleting a
 //     load_state: the pairing rule must catch it.
-//   * Report: the --json schema (schema_version 1) is byte-pinned.
+//   * Interprocedural layer: the call graph (recursion, overload merging,
+//     qualified binding, method-pointer degradation), the lambda capture
+//     table, and the race/hot rule families over in-memory trees.
+//   * Report: the --json schema (schema_version 2) is byte-pinned.
 
 #include <algorithm>
 #include <cstddef>
@@ -25,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include "lint/internal.hpp"
 #include "lint/lint.hpp"
 
 namespace planaria::lint {
@@ -282,6 +286,197 @@ TEST(LintRules, NoContractWaiverCoversContractCoverage) {
 }
 
 // ---------------------------------------------------------------------------
+// Interprocedural layer: config keywords, call graph, capture table, and the
+// race/hot families over in-memory trees
+// ---------------------------------------------------------------------------
+
+TEST(LintConfig, ParsesHotRootsStopsAndParallelApis) {
+  const Config c = parse_config(
+      "layer core\n"
+      "hot-root Simulator::step on_demand\n"
+      "hot-stop ThreadPool::parallel_for : amortized batch dispatch\n"
+      "parallel-api run_jobs\n",
+      "c");
+  ASSERT_EQ(c.hot_roots.size(), 2u);
+  EXPECT_EQ(c.hot_roots[0], "Simulator::step");
+  EXPECT_EQ(c.hot_roots[1], "on_demand");
+  ASSERT_EQ(c.hot_stops.size(), 1u);
+  // The '::' in a qualified spec must not be mistaken for the ':' that
+  // separates the reason.
+  EXPECT_EQ(c.hot_stops[0].spec, "ThreadPool::parallel_for");
+  EXPECT_EQ(c.hot_stops[0].reason, "amortized batch dispatch");
+  EXPECT_EQ(c.parallel_apis.count("run_jobs"), 1u);
+  // The built-in parallel APIs stay in alongside additions.
+  EXPECT_EQ(c.parallel_apis.count("parallel_for"), 1u);
+  EXPECT_EQ(c.parallel_apis.count("submit"), 1u);
+  // A hot-stop without a reason is an undocumented exception: rejected.
+  EXPECT_THROW(parse_config("layer a\nhot-stop f\n", "c"), std::runtime_error);
+}
+
+FileInfo analyzed_file(const std::string& path, const std::string& text) {
+  FileInfo f;
+  f.path = path;
+  f.module = "core";
+  f.src = tokenize(text);
+  std::vector<Finding> sink;
+  analyze(f, sink);
+  return f;
+}
+
+TEST(LintCallGraph, RecursionOverloadsAndQualifiedBinding) {
+  std::vector<FileInfo> files;
+  files.push_back(analyzed_file(
+      "src/core/a.cpp",
+      "namespace fx {\n"
+      "int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }\n"
+      "int fib(long n) { return static_cast<int>(n); }\n"
+      "struct Runner { void go(); void sweep(); };\n"
+      "void Runner::go() { sweep(); }\n"
+      "void Runner::sweep() { fib(3); }\n"
+      "struct Cleaner { void sweep(); };\n"
+      "void Cleaner::sweep() {}\n"
+      "}\n"));
+  const CallGraph g = build_call_graph(files);
+  // Recursion terminates; a bare spec reaches every overload of the name.
+  const auto from_fib = g.reachable({"fib"}, {}, nullptr);
+  EXPECT_EQ(from_fib.size(), 2u);
+  // Unqualified sweep() inside Runner::go binds to Runner::sweep — not to
+  // every sweep in the program (C++ lookup prefers the member).
+  std::map<std::size_t, std::string> prov;
+  const auto from_go = g.reachable({"Runner::go"}, {}, &prov);
+  std::set<std::string> names;
+  for (const std::size_t id : from_go) names.insert(g.nodes[id].qualified);
+  EXPECT_EQ(names.count("Runner::sweep"), 1u);
+  EXPECT_EQ(names.count("Cleaner::sweep"), 0u);
+  // fib is reached through Runner::sweep, so the whole closure carries the
+  // root spec that discovered it.
+  EXPECT_EQ(names.count("fib"), 1u);
+  for (const std::size_t id : from_go) EXPECT_EQ(prov[id], "Runner::go");
+}
+
+TEST(LintCallGraph, MethodPointersCreateNoEdgesAndStopsCut) {
+  std::vector<FileInfo> files;
+  files.push_back(analyzed_file(
+      "src/core/mp.cpp",
+      "struct W { void work(); };\n"
+      "void W::work() {}\n"
+      "void dispatch() { auto fp = &W::work; (void)fp; }\n"
+      "void chain_c() {}\n"
+      "void chain_b() { chain_c(); }\n"
+      "void chain_a() { chain_b(); }\n"));
+  const CallGraph g = build_call_graph(files);
+  // Taking a method's address is not a call: reachability degrades
+  // gracefully to just the root instead of guessing an edge.
+  const auto from_dispatch = g.reachable({"dispatch"}, {}, nullptr);
+  ASSERT_EQ(from_dispatch.size(), 1u);
+  EXPECT_EQ(g.nodes[from_dispatch[0]].bare, "dispatch");
+  // A stop removes the node and everything only reachable through it.
+  const auto cut = g.reachable({"chain_a"}, {"chain_b"}, nullptr);
+  std::set<std::string> names;
+  for (const std::size_t id : cut) names.insert(g.nodes[id].bare);
+  EXPECT_EQ(names, (std::set<std::string>{"chain_a"}));
+}
+
+TEST(LintCaptureTable, LambdasInLambdasAndCaptureModes) {
+  const FileInfo f = analyzed_file(
+      "src/core/lam.cpp",
+      "void outer(int shared) {\n"
+      "  int x = 1;\n"
+      "  auto a = [&](int i) {\n"
+      "    auto b = [=](int j) { return j + i; };\n"
+      "    b(i);\n"
+      "  };\n"
+      "  a(shared);\n"
+      "  auto c = [x](int k) { return k + x; };\n"
+      "  c(2);\n"
+      "}\n");
+  ASSERT_EQ(f.lambdas.size(), 3u);  // sorted by intro position: a, b, c
+  const LambdaInfo& a = f.lambdas[0];
+  EXPECT_TRUE(a.ref_default);
+  EXPECT_EQ(a.bound_name, "a");
+  EXPECT_EQ(a.first_param, "i");
+  // The nested lambda is its own entry, nested inside a's body range, with
+  // its own capture default.
+  const LambdaInfo& b = f.lambdas[1];
+  EXPECT_TRUE(b.value_default);
+  EXPECT_FALSE(b.ref_default);
+  EXPECT_GT(b.intro_begin, a.body_begin);
+  EXPECT_LT(b.body_end, a.body_end);
+  const LambdaInfo& c = f.lambdas[2];
+  EXPECT_FALSE(c.ref_default);
+  EXPECT_EQ(c.by_value.count("x"), 1u);
+}
+
+// Acceptance mutation seed: a by-ref-capture write introduced into a
+// parallel_for body MUST be caught by the race family.
+TEST(LintRules, SeededCaptureWriteIntoParallelForIsCaught) {
+  const Config c = parse_config(kMiniConf, "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/shard.cpp"] =
+      "struct Pool { void parallel_for(int n, void (*f)(int)); };\n"
+      "int tally(Pool& pool, int n) {\n"
+      "  int acc = 0;\n"
+      "  pool.parallel_for(n, [&](int i) { acc += i; });\n"
+      "  return acc;\n"
+      "}\n";
+  const Report r = run_lint_on(files, c);
+  EXPECT_EQ(rule_set(r.findings).count("race-capture-write"), 1u);
+}
+
+TEST(LintRules, DisjointSlotWritesAndAtomicsAreNotRaces) {
+  const Config c = parse_config(kMiniConf, "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/ok.cpp"] =
+      "#include <atomic>\n"
+      "#include <cstddef>\n"
+      "#include <vector>\n"
+      "struct Pool { void parallel_for(std::size_t n, void (*f)(std::size_t)); };\n"
+      "void fill(Pool& pool, std::vector<int>& out, std::atomic<int>& hits) {\n"
+      "  pool.parallel_for(out.size(), [&](std::size_t i) {\n"
+      "    out[i] = static_cast<int>(i) * 2;\n"  // disjoint slot per index
+      "    hits.fetch_add(1);\n"                 // atomic RMW
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(run_lint_on(files, c).clean());
+}
+
+TEST(LintRules, HotFamilyFollowsReachabilityAndStops) {
+  const Config c = parse_config(
+      "layer core\n"
+      "hot-root outer\n"
+      "hot-stop slow_path : error reporting is off the per-record path\n",
+      "c");
+  std::map<std::string, std::string> files;
+  files["src/core/hot.cpp"] =
+      "int* helper(int n) { return new int[n]; }\n"
+      "void slow_path(int n) { throw n; }\n"
+      "int outer(int n) {\n"
+      "  if (n < 0) slow_path(n);\n"
+      "  int* p = helper(n);\n"
+      "  return p[0];\n"
+      "}\n";
+  const Report r = run_lint_on(files, c);
+  const std::set<std::string> rules = rule_set(r.findings);
+  // helper is in outer's closure: its allocation is hot.
+  EXPECT_EQ(rules.count("hot-alloc"), 1u);
+  // slow_path is stopped: its throw is not.
+  EXPECT_EQ(rules.count("hot-throw"), 0u);
+  bool saw_provenance = false;
+  for (const Finding& f : r.findings) {
+    saw_provenance |=
+        f.message.find("reachable from hot-root 'outer'") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_provenance);
+}
+
+TEST(LintRules, NoHotRootsMeansHotFamilyIsInert) {
+  const Config c = parse_config(kMiniConf, "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/quiet.cpp"] = "int* f(int n) { return new int[n]; }\n";
+  EXPECT_TRUE(run_lint_on(files, c).clean());
+}
+
+// ---------------------------------------------------------------------------
 // Fixture corpus on disk: each directory trips exactly its namesake rule
 // ---------------------------------------------------------------------------
 
@@ -295,9 +490,12 @@ TEST(LintFixtures, EveryFixtureFailsWithItsNamesakeRule) {
   std::sort(names.begin(), names.end());
   // One fixture per rule id; growing the rule catalog must grow the corpus.
   const std::vector<std::string> expected = {
-      "contract-coverage", "determinism",        "layer-cycle",
-      "layer-undeclared",  "layering",           "pragma-once",
-      "raw-assert",        "snapshot-missing",   "snapshot-pairing",
+      "contract-coverage",  "determinism",       "hot-alloc",
+      "hot-env-read",       "hot-iostream",      "hot-mutex",
+      "hot-string",         "hot-throw",         "layer-cycle",
+      "layer-undeclared",   "layering",          "pragma-once",
+      "race-capture-write", "race-nonconst-call", "race-shared-static",
+      "raw-assert",         "snapshot-missing",  "snapshot-pairing",
       "snapshot-roundtrip", "suppression",       "unordered-iteration",
       "using-namespace"};
   EXPECT_EQ(names, expected);
@@ -373,7 +571,7 @@ TEST(LintRepo, EveryConfigLineIsLoadBearing) {
   fs::create_directories(scratch);
 
   int mutations = 0;
-  for (const std::string prefix : {"layer ", "allow "}) {
+  for (const std::string prefix : {"layer ", "allow ", "hot-stop "}) {
     for (std::size_t i = 0;; ++i) {
       const std::string mutated =
           drop_nth_line_with_prefix(committed, prefix, i);
@@ -398,17 +596,19 @@ TEST(LintRepo, EveryConfigLineIsLoadBearing) {
       }
     }
   }
-  // The committed config declares 7 layer lines and 7 allow edges; a rewrite
-  // that shrinks it should be a deliberate act, visible here.
-  EXPECT_EQ(mutations, 14);
+  // The committed config declares 7 layer lines, 7 allow edges, and 1
+  // hot-stop (dropping the stop floods the hot family with thread-pool
+  // internals); a rewrite that shrinks it should be a deliberate act,
+  // visible here.
+  EXPECT_EQ(mutations, 15);
   fs::remove_all(scratch);
 }
 
 // ---------------------------------------------------------------------------
-// JSON report schema (version 1) is byte-pinned
+// JSON report schema (version 2) is byte-pinned
 // ---------------------------------------------------------------------------
 
-TEST(LintReport, JsonSchemaVersion1IsStable) {
+TEST(LintReport, JsonSchemaVersion2IsStable) {
   Report report;
   report.files_scanned = 2;
   Finding active;
@@ -417,6 +617,18 @@ TEST(LintReport, JsonSchemaVersion1IsStable) {
   active.line = 7;
   active.message = "call to 'rand()'";
   report.findings.push_back(active);
+  Finding race;
+  race.rule = "race-capture-write";
+  race.file = "src/core/a.cpp";
+  race.line = 9;
+  race.message = "write to 'n'";
+  report.findings.push_back(race);
+  Finding hot;
+  hot.rule = "hot-alloc";
+  hot.file = "src/core/a.cpp";
+  hot.line = 11;
+  hot.message = "operator new";
+  report.findings.push_back(hot);
   Finding quiet;
   quiet.rule = "raw-assert";
   quiet.file = "src/core/b.cpp";
@@ -425,21 +637,28 @@ TEST(LintReport, JsonSchemaVersion1IsStable) {
   quiet.suppress_reason = "legacy\tcode";
   report.suppressed.push_back(quiet);
 
+  // Version 2 adds per-family "race"/"hot" counts over ACTIVE findings only,
+  // so CI can gate the interprocedural families without parsing messages.
   const std::string expected =
-      "{\"tool\":\"planaria-lint\",\"schema_version\":1,\"root\":\"/r\","
+      "{\"tool\":\"planaria-lint\",\"schema_version\":2,\"root\":\"/r\","
       "\"files_scanned\":2,\"findings\":[{\"rule\":\"determinism\","
       "\"file\":\"src/core/a.cpp\",\"line\":7,"
-      "\"message\":\"call to 'rand()'\"}],\"suppressed\":["
+      "\"message\":\"call to 'rand()'\"},{\"rule\":\"race-capture-write\","
+      "\"file\":\"src/core/a.cpp\",\"line\":9,"
+      "\"message\":\"write to 'n'\"},{\"rule\":\"hot-alloc\","
+      "\"file\":\"src/core/a.cpp\",\"line\":11,"
+      "\"message\":\"operator new\"}],\"suppressed\":["
       "{\"rule\":\"raw-assert\",\"file\":\"src/core/b.cpp\",\"line\":3,"
       "\"message\":\"say \\\"why\\\"\",\"reason\":\"legacy\\tcode\"}],"
-      "\"counts\":{\"findings\":1,\"suppressed\":1}}";
+      "\"counts\":{\"findings\":3,\"suppressed\":1,\"race\":1,\"hot\":1}}";
   EXPECT_EQ(to_json(report, "/r"), expected);
 
   Report empty;
   EXPECT_EQ(to_json(empty, ""),
-            "{\"tool\":\"planaria-lint\",\"schema_version\":1,\"root\":\"\","
+            "{\"tool\":\"planaria-lint\",\"schema_version\":2,\"root\":\"\","
             "\"files_scanned\":0,\"findings\":[],\"suppressed\":[],"
-            "\"counts\":{\"findings\":0,\"suppressed\":0}}");
+            "\"counts\":{\"findings\":0,\"suppressed\":0,\"race\":0,"
+            "\"hot\":0}}");
 }
 
 }  // namespace

@@ -31,7 +31,8 @@
 //      .prev and then to a cold start, with a populated RecoveryReport.
 //   6. Lint audit: runs planaria-lint (tools/lint) over the source tree this
 //      binary was built from — layering DAG, determinism bans, snapshot
-//      pairing/round-trip coverage, contract coverage, hygiene. Any
+//      pairing/round-trip coverage, contract coverage, hygiene, and the
+//      interprocedural race-* / hot-* families (DESIGN.md §13). Any
 //      unsuppressed finding fails the gate.
 //
 // Exit codes: 0 = clean, 1 = an audit check failed, 2 = self-test failed.

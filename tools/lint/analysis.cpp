@@ -163,6 +163,37 @@ void collect_unordered_names(FileInfo& file) {
 }
 
 // ---------------------------------------------------------------------------
+// Atomic identifiers (exempt from the race-capture-write rule)
+
+void collect_atomic_names(FileInfo& file) {
+  const auto& toks = file.src.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "atomic") && !is_ident(toks[i], "atomic_flag")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (is_punct(toks[j], "<")) {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "<")) ++depth;
+        else if (is_punct(toks[j], ">") && --depth == 0) break;
+      }
+      ++j;
+    }
+    for (; j < toks.size(); ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier) {
+        file.atomic_names.insert(toks[j].text);
+        break;
+      }
+      if (is_punct(toks[j], ";") || is_punct(toks[j], ")") ||
+          is_punct(toks[j], ",") || is_punct(toks[j], "(")) {
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Function definitions
 
 void collect_functions(FileInfo& file) {
@@ -296,6 +327,12 @@ void collect_classes(FileInfo& file) {
         continue;
       }
       if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text == "mutex" || t.text == "shared_mutex" ||
+          t.text == "recursive_mutex") {
+        // A mutex member at class-body depth marks the class internally
+        // synchronized for the race rules (DESIGN.md §13).
+        cls.has_mutex_member = true;
+      }
       const bool call_like = k + 1 <= body_end && is_punct(toks[k + 1], "(");
       if (call_like) {
         if (t.text == "save_state") cls.save_state_line = t.line;
@@ -322,7 +359,21 @@ void collect_classes(FileInfo& file) {
           if (toks[after].text == "const") is_const = true;
           ++after;
         }
-        if (is_public && !is_const) {
+        // static / constexpr methods never mutate instance state; scan a few
+        // tokens back (bounded by the previous declaration) for either.
+        bool is_static = false;
+        for (std::size_t b = k; b-- > j && k - b < 8;) {
+          if (is_ident(toks[b], "static") || is_ident(toks[b], "constexpr")) {
+            is_static = true;
+            break;
+          }
+          if (is_punct(toks[b], ";") || is_punct(toks[b], "{") ||
+              is_punct(toks[b], "}") || is_punct(toks[b], "(") ||
+              is_punct(toks[b], ")")) {
+            break;
+          }
+        }
+        if (is_public && !is_const && !is_static) {
           cls.public_mutating_methods.emplace(t.text, t.line);
         }
         continue;
@@ -342,8 +393,10 @@ void collect_classes(FileInfo& file) {
 void analyze(FileInfo& file, std::vector<Finding>& malformed) {
   parse_suppressions(file, malformed);
   collect_unordered_names(file);
+  collect_atomic_names(file);
   collect_functions(file);
   collect_classes(file);
+  collect_lambdas(file);
 }
 
 }  // namespace planaria::lint

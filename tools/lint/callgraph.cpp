@@ -1,0 +1,409 @@
+// Interprocedural layer of planaria-lint (DESIGN.md §13): a best-effort
+// call graph and lambda-capture table built on the same token stream the
+// per-file rules use.
+//
+// Soundness limits, deliberate and documented:
+//   * no template instantiation — a template function is one node, analyzed
+//     once over its written body;
+//   * no virtual-call resolution — a member call `obj->f(...)` adds an edge
+//     to *every* definition named `f`, which over-approximates dispatch (the
+//     direction that finds races rather than hides them);
+//   * method pointers (`&Cls::f`) create no edge — taking an address is not
+//     a call, so reachability degrades gracefully instead of guessing;
+//   * overloads merge by name — one bare name keys all definitions.
+#include "lint/internal.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace planaria::lint {
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          const char* opener, const char* closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], opener)) ++depth;
+    else if (is_punct(toks[i], closer) && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// Keywords and keyword-like idents that look like calls but are not.
+const std::set<std::string>& non_call_idents() {
+  static const std::set<std::string> kw = {
+      "if",       "for",      "while",    "switch",     "catch",
+      "return",   "sizeof",   "alignof",  "static_assert", "decltype",
+      "new",      "delete",   "throw",    "co_return",  "co_await",
+      "constexpr", "noexcept", "defined", "alignas",    "assert",
+  };
+  return kw;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Call sites
+
+std::set<std::string> collect_callees(const TokenizedSource& src,
+                                      std::size_t begin, std::size_t end) {
+  const auto& toks = src.tokens;
+  std::set<std::string> out;
+  for (std::size_t i = begin; i <= end && i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+    if (non_call_idents().count(toks[i].text) != 0) continue;
+    // `&Cls::f` is an address-of, not a call — but that pattern has no `(`
+    // after the name, so it never reaches here; nothing special to do.
+    // Member calls (`obj.f(`, `p->f(`) ARE collected: with no type
+    // information an edge to every `f` approximates virtual dispatch.
+    out.insert(toks[i].text);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lambda collection
+
+namespace {
+
+/// Parses the capture list between intro_begin and intro_end into `lam`.
+void parse_captures(const std::vector<Token>& toks, LambdaInfo& lam) {
+  std::size_t k = lam.intro_begin + 1;
+  const std::size_t end = lam.intro_end;
+  // Skips an init-capture initializer up to the next top-level comma.
+  const auto skip_to_comma = [&](std::size_t from) {
+    int depth = 0;
+    for (std::size_t j = from; j < end; ++j) {
+      if (is_punct(toks[j], "(") || is_punct(toks[j], "[") ||
+          is_punct(toks[j], "{") || is_punct(toks[j], "<")) {
+        ++depth;
+      } else if (is_punct(toks[j], ")") || is_punct(toks[j], "]") ||
+                 is_punct(toks[j], "}") || is_punct(toks[j], ">")) {
+        --depth;
+      } else if (depth == 0 && is_punct(toks[j], ",")) {
+        return j + 1;
+      }
+    }
+    return end;
+  };
+  while (k < end) {
+    const Token& t = toks[k];
+    if (is_punct(t, "&")) {
+      if (k + 1 < end && toks[k + 1].kind == TokenKind::kIdentifier &&
+          !is_ident(toks[k + 1], "this")) {
+        lam.by_ref.insert(toks[k + 1].text);
+        k = skip_to_comma(k + 2);
+      } else {
+        lam.ref_default = true;
+        ++k;
+      }
+      continue;
+    }
+    if (is_punct(t, "=")) {
+      lam.value_default = true;
+      ++k;
+      continue;
+    }
+    if (is_ident(t, "this")) {
+      lam.captures_this = true;
+      ++k;
+      continue;
+    }
+    if (is_punct(t, "*") && k + 1 < end && is_ident(toks[k + 1], "this")) {
+      // [*this] copies the object; writes land on the copy, not shared state.
+      k += 2;
+      continue;
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      lam.by_value.insert(t.text);
+      k = skip_to_comma(k + 1);
+      continue;
+    }
+    ++k;
+  }
+}
+
+/// Parses `( ... )` parameter list: the last identifier of each top-level
+/// comma segment is the parameter name (types like std::vector<int> leave
+/// their declarator last, the project style never uses trailing qualifiers).
+void parse_params(const std::vector<Token>& toks, std::size_t open,
+                  std::size_t close, LambdaInfo& lam) {
+  std::string last;
+  int depth = 0;
+  for (std::size_t j = open + 1; j < close; ++j) {
+    if (is_punct(toks[j], "(") || is_punct(toks[j], "<") ||
+        is_punct(toks[j], "[") || is_punct(toks[j], "{")) {
+      ++depth;
+    } else if (is_punct(toks[j], ")") || is_punct(toks[j], ">") ||
+               is_punct(toks[j], "]") || is_punct(toks[j], "}")) {
+      --depth;
+    } else if (depth == 0 && is_punct(toks[j], ",")) {
+      if (!last.empty()) {
+        lam.params.insert(last);
+        if (lam.first_param.empty()) lam.first_param = last;
+      }
+      last.clear();
+    } else if (toks[j].kind == TokenKind::kIdentifier) {
+      last = toks[j].text;
+    }
+  }
+  if (!last.empty()) {
+    lam.params.insert(last);
+    if (lam.first_param.empty()) lam.first_param = last;
+  }
+}
+
+/// Heuristic body-local declarations: `Type name =/;/{/(`, `Type& name :`
+/// (range-for), structured bindings after & or auto, and catch parameters.
+/// Misses err toward *reporting* (a missed local looks shared), so the
+/// patterns cover exactly the project's clang-formatted style.
+void collect_locals(const std::vector<Token>& toks, LambdaInfo& lam) {
+  for (std::size_t k = lam.body_begin + 1; k < lam.body_end; ++k) {
+    const Token& t = toks[k];
+    // Structured binding: `auto [a, b]` / `auto& [a, b]`.
+    if (is_punct(t, "[") && k > 0 &&
+        (is_punct(toks[k - 1], "&") || is_ident(toks[k - 1], "auto"))) {
+      const std::size_t close = match_forward(toks, k, "[", "]");
+      if (close == std::string::npos || close > lam.body_end) continue;
+      for (std::size_t j = k + 1; j < close; ++j) {
+        if (toks[j].kind == TokenKind::kIdentifier) {
+          lam.locals.insert(toks[j].text);
+        }
+      }
+      k = close;
+      continue;
+    }
+    // Catch parameter: `catch (const std::exception& e)`.
+    if (is_ident(t, "catch") && k + 1 < lam.body_end &&
+        is_punct(toks[k + 1], "(")) {
+      const std::size_t close = match_forward(toks, k + 1, "(", ")");
+      if (close == std::string::npos || close > lam.body_end) continue;
+      for (std::size_t j = close; j > k + 1; --j) {
+        if (toks[j].kind == TokenKind::kIdentifier) {
+          lam.locals.insert(toks[j].text);
+          break;
+        }
+      }
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier || k == 0) continue;
+    const Token& prev = toks[k - 1];
+    const bool type_before =
+        (prev.kind == TokenKind::kIdentifier &&
+         non_call_idents().count(prev.text) == 0) ||
+        is_punct(prev, "&") || is_punct(prev, "*") || is_punct(prev, ">");
+    if (!type_before) continue;
+    if (k + 1 >= lam.body_end) continue;
+    const Token& next = toks[k + 1];
+    if (is_punct(next, "=") || is_punct(next, ";") || is_punct(next, "{") ||
+        is_punct(next, ":") || is_punct(next, "(")) {
+      // `a = b` has a punct before `a`; two idents in a row followed by a
+      // declarator-ending token is a declaration in this codebase's style.
+      if (is_punct(next, ":") && k + 2 < lam.body_end &&
+          is_punct(toks[k + 2], ":")) {
+        continue;  // qualified name `ns::x`, not a range-for declarator
+      }
+      if (is_punct(next, "=") && k + 2 < lam.body_end &&
+          is_punct(toks[k + 2], "=")) {
+        continue;  // `T x == y` is not a declaration (comparison misparse)
+      }
+      lam.locals.insert(t.text);
+    }
+  }
+}
+
+}  // namespace
+
+void collect_lambdas(FileInfo& file) {
+  const auto& toks = file.src.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_punct(toks[i], "[")) continue;
+    if (i > 0) {
+      const Token& prev = toks[i - 1];
+      // Subscript (`a[i]`, `f()[0]`) or attribute (`[[nodiscard]]`) — the
+      // lambda-introducer positions are everything else.
+      if (prev.kind == TokenKind::kIdentifier ||
+          prev.kind == TokenKind::kString || prev.kind == TokenKind::kNumber ||
+          is_punct(prev, ")") || is_punct(prev, "]")) {
+        continue;
+      }
+    }
+    if (i + 1 < toks.size() && is_punct(toks[i + 1], "[")) continue;
+    const std::size_t close = match_forward(toks, i, "[", "]");
+    if (close == std::string::npos) continue;
+
+    LambdaInfo lam;
+    lam.line = toks[i].line;
+    lam.intro_begin = i;
+    lam.intro_end = close;
+
+    std::size_t j = close + 1;
+    if (j < toks.size() && is_punct(toks[j], "(")) {
+      const std::size_t pclose = match_forward(toks, j, "(", ")");
+      if (pclose == std::string::npos) continue;
+      parse_params(toks, j, pclose, lam);
+      j = pclose + 1;
+    }
+    // Trailer: mutable/noexcept(±expr)/-> return-type, then the body brace.
+    std::size_t guard = 0;
+    while (j < toks.size() && guard++ < 24 && !is_punct(toks[j], "{")) {
+      const Token& t = toks[j];
+      if (t.kind == TokenKind::kIdentifier) {
+        ++j;
+      } else if (is_punct(t, "(")) {
+        const std::size_t g = match_forward(toks, j, "(", ")");
+        if (g == std::string::npos) break;
+        j = g + 1;
+      } else if (is_punct(t, "<")) {
+        const std::size_t g = match_forward(toks, j, "<", ">");
+        if (g == std::string::npos) break;
+        j = g + 1;
+      } else if (t.kind == TokenKind::kPunct &&
+                 (t.text == "-" || t.text == ">" || t.text == ":" ||
+                  t.text == "*" || t.text == "&")) {
+        ++j;
+      } else {
+        break;
+      }
+    }
+    if (j >= toks.size() || !is_punct(toks[j], "{")) continue;
+    const std::size_t body_end = match_forward(toks, j, "{", "}");
+    if (body_end == std::string::npos) continue;
+    lam.body_begin = j;
+    lam.body_end = body_end;
+
+    parse_captures(toks, lam);
+    collect_locals(toks, lam);
+    if (i >= 2 && is_punct(toks[i - 1], "=") &&
+        toks[i - 2].kind == TokenKind::kIdentifier) {
+      lam.bound_name = toks[i - 2].text;
+    }
+    for (std::size_t k = lam.body_begin; k <= lam.body_end; ++k) {
+      if (is_ident(toks[k], "lock_guard") || is_ident(toks[k], "unique_lock") ||
+          is_ident(toks[k], "scoped_lock") || is_ident(toks[k], "shared_lock")) {
+        lam.has_lock = true;
+        break;
+      }
+    }
+    file.lambdas.push_back(std::move(lam));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction and reachability
+
+CallGraph build_call_graph(const std::vector<FileInfo>& files) {
+  CallGraph g;
+  // Pass 1: every function definition becomes a node, so pass 2 can bind
+  // unqualified calls against the full name index.
+  for (const FileInfo& f : files) {
+    for (const FunctionDef& fn : f.functions) {
+      CallGraphNode node;
+      node.bare = fn.name;
+      node.qualified =
+          fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+      node.file = &f;
+      node.fn = &fn;
+      g.by_bare[node.bare].push_back(g.nodes.size());
+      g.by_qualified[node.qualified].push_back(g.nodes.size());
+      g.nodes.push_back(std::move(node));
+    }
+  }
+  // Pass 2: callees, with the sharpest binding the tokens allow.
+  //   * `obj.f(` / `p->f(`  — bare name: no type info, so the edge goes to
+  //     every definition of `f` (virtual-dispatch over-approximation);
+  //   * `X::f(`             — qualified when a node `X::f` exists (out-of-
+  //     line member definitions); `std::f(` never binds into the project;
+  //     other qualifiers (namespaces) fall back to the bare name;
+  //   * unqualified `f(` inside a member of class C — binds to `C::f` when
+  //     that node exists (C++ lookup prefers the member), else bare. This
+  //     keeps `SmsPrefetcher::sweep()` from aliasing `ExperimentRunner::
+  //     sweep()` across the whole graph.
+  for (CallGraphNode& node : g.nodes) {
+    const auto& toks = node.file->src.tokens;
+    const FunctionDef& fn = *node.fn;
+    for (std::size_t i = fn.body_begin; i <= fn.body_end && i + 1 < toks.size();
+         ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      if (!is_punct(toks[i + 1], "(")) continue;
+      if (non_call_idents().count(toks[i].text) != 0) continue;
+      const std::string& name = toks[i].text;
+      const bool member =
+          i > 0 && (is_punct(toks[i - 1], ".") ||
+                    (is_punct(toks[i - 1], ">") && i > 1 &&
+                     is_punct(toks[i - 2], "-")));
+      if (member) {
+        node.callees.insert(name);
+        continue;
+      }
+      if (i >= 3 && is_punct(toks[i - 1], ":") && is_punct(toks[i - 2], ":") &&
+          toks[i - 3].kind == TokenKind::kIdentifier) {
+        const std::string& qual = toks[i - 3].text;
+        if (qual == "std") continue;  // std::move, std::to_string, ...
+        const std::string q = qual + "::" + name;
+        node.callees.insert(g.by_qualified.count(q) != 0 ? q : name);
+        continue;
+      }
+      if (!fn.class_name.empty()) {
+        const std::string q = fn.class_name + "::" + name;
+        if (g.by_qualified.count(q) != 0) {
+          node.callees.insert(q);
+          continue;
+        }
+      }
+      node.callees.insert(name);
+    }
+  }
+  return g;
+}
+
+std::vector<std::size_t> CallGraph::reachable(
+    const std::vector<std::string>& roots, const std::vector<std::string>& stops,
+    std::map<std::size_t, std::string>* provenance) const {
+  const auto resolve = [&](const std::string& spec) {
+    std::vector<std::size_t> ids;
+    const auto& index =
+        spec.find("::") != std::string::npos ? by_qualified : by_bare;
+    const auto it = index.find(spec);
+    if (it != index.end()) ids = it->second;
+    return ids;
+  };
+  std::set<std::size_t> stopped;
+  for (const std::string& s : stops) {
+    for (const std::size_t id : resolve(s)) stopped.insert(id);
+  }
+  std::set<std::size_t> visited;
+  std::deque<std::size_t> queue;
+  std::map<std::size_t, std::string> prov;
+  for (const std::string& r : roots) {
+    for (const std::size_t id : resolve(r)) {
+      if (stopped.count(id) != 0 || !visited.insert(id).second) continue;
+      prov[id] = r;
+      queue.push_back(id);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t n = queue.front();
+    queue.pop_front();
+    for (const std::string& callee : nodes[n].callees) {
+      for (const std::size_t m : resolve(callee)) {
+        if (stopped.count(m) != 0 || !visited.insert(m).second) continue;
+        prov[m] = prov[n];
+        queue.push_back(m);
+      }
+    }
+  }
+  std::vector<std::size_t> out(visited.begin(), visited.end());
+  if (provenance != nullptr) *provenance = std::move(prov);
+  return out;
+}
+
+}  // namespace planaria::lint

@@ -21,6 +21,17 @@
 //   serialization-api <name>...
 //       Extra function names treated as serialization/accounting context by
 //       the unordered-iteration rule (save_state is always one).
+//   hot-root <spec>...
+//       Hot-path roots for the hot-* cost rules: `Cls::name` matches one
+//       member definition exactly, a bare name matches every definition of
+//       that name (all overloads, every class). No hot-root lines = the
+//       hot-path family is off.
+//   hot-stop <spec> : <reason>
+//       Cuts the hot reachable set at one function (plus everything only
+//       reachable through it), with a mandatory reason.
+//   parallel-api <name>...
+//       Extra function names whose lambda arguments become parallel regions
+//       for the race-* rules (parallel_for and submit are always in).
 #include "lint/lint.hpp"
 
 #include <fstream>
@@ -82,6 +93,7 @@ std::string trim(const std::string& s) {
 Config parse_config(const std::string& text, const std::string& filename) {
   Config config;
   config.serialization_apis = {"save_state", "finish"};
+  config.parallel_apis = {"parallel_for", "submit"};
 
   std::istringstream in(text);
   std::string raw;
@@ -106,8 +118,17 @@ Config parse_config(const std::string& text, const std::string& filename) {
         }
       }
       config.layers.push_back(modules);
-    } else if (keyword == "allow" || keyword == "sanction") {
-      const std::size_t colon = rest.find(':');
+    } else if (keyword == "allow" || keyword == "sanction" ||
+               keyword == "hot-stop") {
+      // The reason separator is a single ':' — skip over '::' so qualified
+      // specs (hot-stop ThreadPool::parallel_for : ...) parse whole.
+      std::size_t colon = std::string::npos;
+      for (std::size_t i = 0; i < rest.size(); ++i) {
+        if (rest[i] != ':') continue;
+        if (i + 1 < rest.size() && rest[i + 1] == ':') { ++i; continue; }
+        colon = i;
+        break;
+      }
       if (colon == std::string::npos || trim(rest.substr(colon + 1)).empty()) {
         conf_error(filename, lineno,
                    keyword + " requires ': <reason>' — undocumented "
@@ -126,12 +147,23 @@ Config parse_config(const std::string& text, const std::string& filename) {
                      "before allow lines)");
         }
         config.allowed_edges.push_back({words[0], words[2], reason});
-      } else {
+      } else if (keyword == "sanction") {
         if (words.size() != 2) {
           conf_error(filename, lineno, "expected: sanction <rule> <path> : <reason>");
         }
         config.sanctions.push_back({words[0], words[1], reason});
+      } else {
+        if (words.size() != 1) {
+          conf_error(filename, lineno, "expected: hot-stop <spec> : <reason>");
+        }
+        config.hot_stops.push_back({words[0], reason});
       }
+    } else if (keyword == "hot-root") {
+      const auto specs = split_words(rest);
+      if (specs.empty()) conf_error(filename, lineno, "hot-root needs specs");
+      for (const auto& s : specs) config.hot_roots.push_back(s);
+    } else if (keyword == "parallel-api") {
+      for (const auto& f : split_words(rest)) config.parallel_apis.insert(f);
     } else if (keyword == "snapshot-modules") {
       for (const auto& m : split_words(rest)) config.snapshot_modules.insert(m);
     } else if (keyword == "contract-modules") {

@@ -192,7 +192,7 @@ Report run_lint(const Options& options) {
 
 std::string to_json(const Report& report, const std::string& root) {
   std::ostringstream out;
-  out << "{\"tool\":\"planaria-lint\",\"schema_version\":1,\"root\":\""
+  out << "{\"tool\":\"planaria-lint\",\"schema_version\":2,\"root\":\""
       << json_escape(root) << "\",\"files_scanned\":" << report.files_scanned
       << ",\"findings\":[";
   for (std::size_t i = 0; i < report.findings.size(); ++i) {
@@ -204,8 +204,16 @@ std::string to_json(const Report& report, const std::string& root) {
     if (i != 0) out << ",";
     json_finding(out, report.suppressed[i], true);
   }
+  // schema_version 2: per-family counts over *active* findings, so CI can
+  // gate the interprocedural families without re-parsing messages.
+  std::size_t race = 0, hot = 0;
+  for (const Finding& f : report.findings) {
+    if (f.rule.rfind("race-", 0) == 0) ++race;
+    if (f.rule.rfind("hot-", 0) == 0) ++hot;
+  }
   out << "],\"counts\":{\"findings\":" << report.findings.size()
-      << ",\"suppressed\":" << report.suppressed.size() << "}}";
+      << ",\"suppressed\":" << report.suppressed.size() << ",\"race\":" << race
+      << ",\"hot\":" << hot << "}}";
   return out.str();
 }
 

@@ -1,0 +1,11 @@
+#include <cstddef>
+
+namespace fx::core {
+
+int* spin(std::size_t n) {
+  int* buf = new int[n];  // BAD: per-call heap allocation on the hot path
+  for (std::size_t i = 0; i < n; ++i) buf[i] = static_cast<int>(i);
+  return buf;
+}
+
+}  // namespace fx::core

@@ -1,0 +1,11 @@
+#include <cstddef>
+
+namespace fx::core {
+
+std::size_t threads_from_env(std::size_t fallback);
+
+std::size_t spin(std::size_t records) {
+  return records / threads_from_env(4);  // BAD: env-derived config per call
+}
+
+}  // namespace fx::core

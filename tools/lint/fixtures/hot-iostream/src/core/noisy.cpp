@@ -1,0 +1,9 @@
+#include <iostream>
+
+namespace fx::core {
+
+void spin(long value) {
+  std::cout << value << '\n';  // BAD: stream I/O per record
+}
+
+}  // namespace fx::core

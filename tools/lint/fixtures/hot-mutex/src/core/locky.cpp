@@ -1,0 +1,14 @@
+#include <mutex>
+
+namespace fx::core {
+
+std::mutex g_meter_mutex;
+long g_meter = 0;
+
+long spin(long value) {
+  std::lock_guard<std::mutex> lock(g_meter_mutex);  // BAD: per-record lock
+  g_meter += value;
+  return g_meter;
+}
+
+}  // namespace fx::core

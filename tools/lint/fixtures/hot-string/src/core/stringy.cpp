@@ -1,0 +1,10 @@
+#include <string>
+
+namespace fx::core {
+
+bool spin(const char* name) {
+  std::string key(name);  // BAD: per-call string construction on the hot path
+  return !key.empty();
+}
+
+}  // namespace fx::core

@@ -1,0 +1,8 @@
+namespace fx::core {
+
+long spin(long value) {
+  if (value < 0) throw value;  // BAD: throw in the per-record path
+  return value * 2;
+}
+
+}  // namespace fx::core

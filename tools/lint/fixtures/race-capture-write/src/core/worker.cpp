@@ -1,0 +1,19 @@
+#include <cstddef>
+#include <vector>
+
+namespace fx::core {
+
+class Pool {
+ public:
+  void parallel_for(std::size_t n, void (*body)(std::size_t));
+};
+
+long sum_all(Pool& pool, const std::vector<long>& values) {
+  long total = 0;
+  pool.parallel_for(values.size(), [&](std::size_t i) {
+    total += values[i];  // BAD: by-ref capture written without mutex/atomic
+  });
+  return total;
+}
+
+}  // namespace fx::core

@@ -1,0 +1,24 @@
+#include <cstddef>
+
+namespace fx::core {
+
+class Pool {
+ public:
+  void parallel_for(std::size_t n, void (*body)(std::size_t));
+};
+
+class Histogram {
+ public:
+  void record(std::size_t bucket) { counts_[bucket & 15] += 1; }
+
+ private:
+  std::size_t counts_[16] = {};
+};
+
+void tally(Pool& pool, Histogram& hist, std::size_t n) {
+  pool.parallel_for(n, [&](std::size_t i) {
+    hist.record(i);  // BAD: non-const call on a shared, unlocked object
+  });
+}
+
+}  // namespace fx::core

@@ -1,0 +1,19 @@
+#include <cstddef>
+
+namespace fx::core {
+
+class Pool {
+ public:
+  void parallel_for(std::size_t n, void (*body)(std::size_t));
+};
+
+std::size_t next_ticket() {
+  static std::size_t ticket = 0;  // BAD: mutable static shared across workers
+  return ++ticket;
+}
+
+void hand_out(Pool& pool, std::size_t n) {
+  pool.parallel_for(n, [](std::size_t) { next_ticket(); });
+}
+
+}  // namespace fx::core

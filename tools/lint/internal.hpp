@@ -32,6 +32,25 @@ struct DataMember {
   int line = 0;
 };
 
+/// A lambda expression with its capture table (DESIGN.md §13). Collected
+/// structurally; whether it is a *parallel root* (passed to a parallel API)
+/// is decided later against the config's parallel-api list.
+struct LambdaInfo {
+  int line = 0;
+  std::size_t intro_begin = 0, intro_end = 0;  ///< token indices of [ ]
+  std::size_t body_begin = 0, body_end = 0;    ///< token indices of { }
+  std::string bound_name;   ///< `auto name = [...]` binding, if any
+  std::string first_param;  ///< name of the first parameter, if any
+  bool ref_default = false;      ///< [&] capture default
+  bool value_default = false;    ///< [=] capture default
+  bool captures_this = false;    ///< [this] (not [*this], which copies)
+  bool has_lock = false;         ///< body constructs a lock_guard-style lock
+  std::set<std::string> by_ref;    ///< explicit &name captures
+  std::set<std::string> by_value;  ///< explicit name / name=expr captures
+  std::set<std::string> params;
+  std::set<std::string> locals;    ///< heuristic body-local declarations
+};
+
 struct ClassInfo {
   std::string name;
   int line = 0;
@@ -42,6 +61,9 @@ struct ClassInfo {
   std::vector<DataMember> members;
   /// Public non-const methods declared in the class body: name -> line.
   std::multimap<std::string, int> public_mutating_methods;
+  /// Class declares a mutex/shared_mutex member: treated as internally
+  /// synchronized by the race rules (documented soundness trade, §13).
+  bool has_mutex_member = false;
 
   bool has_save() const { return save_state_line != 0; }
   bool has_load() const { return load_state_line != 0; }
@@ -54,9 +76,54 @@ struct FileInfo {
   TokenizedSource src;
   std::vector<Suppression> suppressions;
   std::set<std::string> unordered_names;
+  /// Identifiers declared as std::atomic<...> in this file.
+  std::set<std::string> atomic_names;
   std::vector<FunctionDef> functions;
   std::vector<ClassInfo> classes;
+  std::vector<LambdaInfo> lambdas;  ///< sorted by intro_begin
 };
+
+// ---------------------------------------------------------------------------
+// Call graph (tools/lint/callgraph.cpp, DESIGN.md §13)
+
+/// One function definition as a call-graph node. Pointers reference the
+/// FileInfo vector the graph was built from; the graph must not outlive it.
+struct CallGraphNode {
+  std::string qualified;  ///< "Cls::name" for member definitions, else "name"
+  std::string bare;
+  const FileInfo* file = nullptr;
+  const FunctionDef* fn = nullptr;
+  std::set<std::string> callees;  ///< callee names found in the body; bound
+                                  ///< to "Cls::name" where the tokens allow
+};
+
+struct CallGraph {
+  std::vector<CallGraphNode> nodes;
+  /// bare / qualified name -> indices into `nodes` (overloads merge by name).
+  std::map<std::string, std::vector<std::size_t>> by_bare;
+  std::map<std::string, std::vector<std::size_t>> by_qualified;
+
+  /// Node indices reachable from `roots` without passing through `stops`.
+  /// A spec containing "::" matches qualified names exactly; a bare spec
+  /// matches every overload and every class's method of that name.
+  /// `provenance`, when non-null, maps each reached node to the root spec
+  /// that first reached it.
+  std::vector<std::size_t> reachable(
+      const std::vector<std::string>& roots,
+      const std::vector<std::string>& stops,
+      std::map<std::size_t, std::string>* provenance) const;
+};
+
+CallGraph build_call_graph(const std::vector<FileInfo>& files);
+
+/// Fills file.lambdas (capture table, params, locals, lock detection).
+void collect_lambdas(FileInfo& file);
+
+/// Bare names of call sites inside the token range [begin, end] — the same
+/// collection the call-graph builder uses for function bodies, exposed so
+/// the race rules can seed reachability from parallel lambda bodies.
+std::set<std::string> collect_callees(const TokenizedSource& src,
+                                      std::size_t begin, std::size_t end);
 
 /// True for every rule id the engine can emit (suppressions must name one).
 bool known_rule(const std::string& rule);

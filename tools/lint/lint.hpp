@@ -31,6 +31,23 @@
 //   suppression           malformed suppression (missing reason or unknown
 //                         rule) — never suppressible itself
 //
+// Interprocedural families (DESIGN.md §13; call graph + capture table):
+//   race-capture-write    write to a by-reference/pointer capture of shared
+//                         state inside a parallel region, with no adjacent
+//                         lock and no atomic type
+//   race-shared-static    mutable global / function-local static reachable
+//                         from a parallel region
+//   race-nonconst-call    non-const method call on an object shared across
+//                         a parallel region (class has no mutex member)
+//   hot-alloc             heap allocation (new/make_unique/malloc/container
+//                         construction) in the hot reachable set
+//   hot-string            std::string construction / to_string / stream
+//                         buffers in the hot reachable set
+//   hot-iostream          stdio / iostream traffic in the hot reachable set
+//   hot-throw             throw statement in the hot reachable set
+//   hot-mutex             lock acquisition in the hot reachable set
+//   hot-env-read          repeated config/env read in the hot reachable set
+//
 // Suppressions (inline comments, reason mandatory, each prefixed "lint:"):
 //   suppress(<rule>) <reason>       — covers its own line and the next
 //   suppress-file(<rule>) <reason>  — covers the whole file
@@ -98,6 +115,13 @@ struct FileSanction {
   std::string rule, path, reason;  ///< path is repo-relative, '/' separators
 };
 
+/// A function excluded (with everything only reachable through it) from the
+/// hot-path cost analysis, with a mandatory reason.
+struct HotStop {
+  std::string spec;    ///< "Cls::name" (exact) or bare name (all overloads)
+  std::string reason;
+};
+
 struct Config {
   /// layers[i] = set of sibling modules at layer i; a module may include any
   /// module in a strictly lower layer, never a sibling or a higher layer.
@@ -113,6 +137,14 @@ struct Config {
   /// Function names that mark a function as a serialization/accounting
   /// context for the unordered-iteration rule (defaults: save_state, finish).
   std::set<std::string> serialization_apis;
+  /// Hot-path roots for the hot-* cost rules: "Cls::name" or bare names.
+  /// Empty = the hot-path family is inert.
+  std::vector<std::string> hot_roots;
+  /// Reason-carrying exclusions from the hot reachable set.
+  std::vector<HotStop> hot_stops;
+  /// Function names whose lambda arguments become parallel regions for the
+  /// race-* rules (defaults: parallel_for, submit).
+  std::set<std::string> parallel_apis;
 
   int layer_of(const std::string& module) const;  ///< -1 if undeclared
   bool edge_allowed(const std::string& from, const std::string& to) const;
@@ -144,8 +176,9 @@ struct Report {
   bool clean() const { return findings.empty(); }
 };
 
-/// Renders the stable machine-readable report (schema_version 1). Keys and
-/// their order are part of the contract tests/test_lint.cpp pins down.
+/// Renders the stable machine-readable report (schema_version 2: adds
+/// per-family "race"/"hot" counts to "counts"). Keys and their order are
+/// part of the contract tests/test_lint.cpp pins down.
 std::string to_json(const Report& report, const std::string& root);
 
 // ---------------------------------------------------------------------------

@@ -420,6 +420,636 @@ void rule_hygiene(const FileInfo& f, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Interprocedural analyses (DESIGN.md §13): parallel regions + hot paths
+//
+// Shared machinery: the call graph from callgraph.cpp, the lambda capture
+// tables from analysis, and a handful of token-pattern helpers. Both
+// families restrict findings to files with a module (src/...) — tests and
+// tools exercise races and costs on purpose.
+
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          const char* opener, const char* closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], opener)) ++depth;
+    else if (is_punct(toks[i], closer) && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::size_t match_backward(const std::vector<Token>& toks, std::size_t close,
+                           const char* opener, const char* closer) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (is_punct(toks[i], closer)) ++depth;
+    else if (is_punct(toks[i], opener) && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+bool member_call_prefix(const std::vector<Token>& toks, std::size_t i) {
+  return i > 0 && (is_punct(toks[i - 1], ".") ||
+                   (is_punct(toks[i - 1], ">") && i > 1 &&
+                    is_punct(toks[i - 2], "-")));
+}
+
+/// Container member functions that mutate, regardless of which class they
+/// belong to (the heuristic has no type info for locals).
+const std::set<std::string>& container_mutators() {
+  static const std::set<std::string> m = {
+      "push_back", "emplace_back", "emplace_front", "push_front", "insert",
+      "emplace",   "erase",        "clear",         "resize",     "pop_back",
+      "pop_front", "push",         "pop",           "assign",     "append",
+      "reserve",
+  };
+  return m;
+}
+
+/// std::atomic's own member API — calls on an atomic are the fix, not the bug.
+const std::set<std::string>& atomic_safe_methods() {
+  static const std::set<std::string> m = {
+      "fetch_add", "fetch_sub", "fetch_or",  "fetch_and",
+      "fetch_xor", "store",     "load",      "exchange",
+      "compare_exchange_weak",  "compare_exchange_strong",
+      "notify_one", "notify_all", "wait",
+  };
+  return m;
+}
+
+/// Lambdas of `f` that are parallel roots under `config`: lambda literals in
+/// the argument list of a parallel-api call, plus lambdas whose bound name
+/// (`auto work = [...]...`) is referenced in such an argument list.
+std::vector<char> parallel_roots(const FileInfo& f, const Config& config) {
+  std::vector<char> root(f.lambdas.size(), 0);
+  const auto& toks = f.src.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (config.parallel_apis.count(toks[i].text) == 0) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close == std::string::npos) continue;
+    for (std::size_t li = 0; li < f.lambdas.size(); ++li) {
+      const LambdaInfo& lam = f.lambdas[li];
+      if (lam.intro_begin > i + 1 && lam.intro_begin < close) root[li] = 1;
+    }
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (toks[j].kind != TokenKind::kIdentifier) continue;
+      for (std::size_t li = 0; li < f.lambdas.size(); ++li) {
+        const LambdaInfo& lam = f.lambdas[li];
+        if (!lam.bound_name.empty() && lam.bound_name == toks[j].text &&
+            lam.intro_begin < i) {
+          root[li] = 1;
+        }
+      }
+    }
+  }
+  return root;
+}
+
+/// Per-run cross-file indexes for the race rules.
+struct RaceIndex {
+  std::map<std::string, std::vector<const ClassInfo*>> classes;
+  std::set<std::string> unsafe_methods;  ///< public mutating, class w/o mutex
+  std::set<std::string> safe_methods;    ///< public mutating, class w/ mutex
+};
+
+RaceIndex build_race_index(const std::vector<FileInfo>& files) {
+  RaceIndex idx;
+  for (const FileInfo& f : files) {
+    for (const ClassInfo& cls : f.classes) {
+      idx.classes[cls.name].push_back(&cls);
+      for (const auto& [method, line] : cls.public_mutating_methods) {
+        (void)line;
+        (cls.has_mutex_member ? idx.safe_methods : idx.unsafe_methods)
+            .insert(method);
+      }
+    }
+  }
+  return idx;
+}
+
+/// Analysis context for one parallel-root lambda.
+struct ParallelRegion {
+  const FileInfo* file = nullptr;
+  const LambdaInfo* lam = nullptr;
+  std::set<std::string> exempt;  ///< params/locals/value-captures, nested too
+  bool locked = false;           ///< lambda (or a nested one) takes a lock
+  const ClassInfo* enclosing_class = nullptr;  ///< of the enclosing method
+};
+
+ParallelRegion make_region(const FileInfo& f, std::size_t li,
+                           const RaceIndex& idx) {
+  ParallelRegion region;
+  region.file = &f;
+  const LambdaInfo& lam = f.lambdas[li];
+  region.lam = &lam;
+  const auto absorb = [&](const LambdaInfo& l) {
+    region.exempt.insert(l.params.begin(), l.params.end());
+    region.exempt.insert(l.locals.begin(), l.locals.end());
+    region.exempt.insert(l.by_value.begin(), l.by_value.end());
+    if (l.has_lock) region.locked = true;
+  };
+  absorb(lam);
+  for (const LambdaInfo& other : f.lambdas) {
+    if (&other != &lam && other.intro_begin > lam.body_begin &&
+        other.body_end < lam.body_end) {
+      absorb(other);  // nested lambda: its scope is inside the region
+    }
+  }
+  // Enclosing member function -> class, for unqualified this-calls.
+  const FunctionDef* enclosing = nullptr;
+  for (const FunctionDef& fn : f.functions) {
+    if (fn.body_begin < lam.intro_begin && lam.body_end < fn.body_end &&
+        (enclosing == nullptr ||
+         fn.body_end - fn.body_begin <
+             enclosing->body_end - enclosing->body_begin)) {
+      enclosing = &fn;
+    }
+  }
+  if (enclosing != nullptr && !enclosing->class_name.empty()) {
+    const auto it = idx.classes.find(enclosing->class_name);
+    if (it != idx.classes.end()) region.enclosing_class = it->second.front();
+  }
+  return region;
+}
+
+/// Why `name` is shared across the region, or empty if it is not (or is
+/// exempt: lambda-local, value-captured, or declared atomic in this file).
+std::string shared_reason(const ParallelRegion& r, const std::string& name) {
+  if (name.empty() || r.exempt.count(name) != 0) return {};
+  if (r.file->atomic_names.count(name) != 0) return {};
+  if (r.lam->by_ref.count(name) != 0) return "captured by reference";
+  if (name.back() == '_' && (r.lam->captures_this || r.lam->ref_default)) {
+    return "a data member shared via the captured object";
+  }
+  if (r.lam->ref_default) return "implicitly captured by reference ([&])";
+  return {};
+}
+
+/// Walks left from token `m` through a postfix chain (subscripts, `.`, `->`)
+/// to the base identifier. Sets `subscript_exempt` when any subscript on the
+/// chain names the lambda's first parameter — the per-index disjoint-slot
+/// idiom (`out[i] = ...` inside `parallel_for(n, [&](size_t i) ...)`).
+const Token* postfix_base(const std::vector<Token>& toks, std::size_t m,
+                          std::size_t lo, const LambdaInfo& lam,
+                          bool& subscript_exempt) {
+  for (;;) {
+    if (m <= lo) return nullptr;
+    if (is_punct(toks[m], "]")) {
+      const std::size_t open = match_backward(toks, m, "[", "]");
+      if (open == std::string::npos || open <= lo) return nullptr;
+      if (!lam.first_param.empty()) {
+        for (std::size_t j = open + 1; j < m; ++j) {
+          if (is_ident(toks[j], lam.first_param.c_str())) {
+            subscript_exempt = true;
+            break;
+          }
+        }
+      }
+      m = open - 1;
+      continue;
+    }
+    if (toks[m].kind == TokenKind::kIdentifier) {
+      if (m >= 2 && is_punct(toks[m - 1], ".") &&
+          toks[m - 2].kind != TokenKind::kNumber) {
+        m -= 2;
+        continue;
+      }
+      if (m >= 3 && is_punct(toks[m - 1], ">") && is_punct(toks[m - 2], "-")) {
+        m -= 3;
+        continue;
+      }
+      return &toks[m];
+    }
+    return nullptr;  // `(*p).x = ...` and friends: stay silent
+  }
+}
+
+void scan_region_writes(const ParallelRegion& r,
+                        const std::vector<char>& roots,
+                        std::vector<Finding>& out) {
+  const FileInfo& f = *r.file;
+  const LambdaInfo& lam = *r.lam;
+  const auto& toks = f.src.tokens;
+  if (r.locked) return;  // adjacent lock: the region synchronizes itself
+
+  const auto emit_write = [&](const Token& base, int line,
+                              const std::string& why) {
+    out.push_back(
+        {"race-capture-write", f.path, line,
+         "write to '" + base.text + "' (" + why +
+             ") inside a parallel region (lambda at line " +
+             std::to_string(lam.line) +
+             " runs on pool threads) with no adjacent lock or atomic — "
+             "unsynchronized cross-thread write",
+         ""});
+  };
+
+  for (std::size_t k = lam.body_begin + 1; k < lam.body_end; ++k) {
+    // Nested parallel roots get their own region scan; skip their bodies.
+    bool skipped = false;
+    for (std::size_t li = 0; li < f.lambdas.size(); ++li) {
+      if (roots[li] == 0) continue;
+      const LambdaInfo& n = f.lambdas[li];
+      if (&n != &lam && n.intro_begin == k && n.body_end < lam.body_end) {
+        k = n.body_end;
+        skipped = true;
+        break;
+      }
+    }
+    if (skipped) continue;
+
+    // Assignment (simple or compound; the tokenizer splits `+=` into + =).
+    if (is_punct(toks[k], "=")) {
+      if (k + 1 < lam.body_end && is_punct(toks[k + 1], "=")) {
+        ++k;  // == comparison
+        continue;
+      }
+      std::size_t opstart = k;
+      const Token& prev = toks[k - 1];
+      if (prev.kind == TokenKind::kPunct) {
+        const std::string& p = prev.text;
+        if (p == "=" || p == "!" || p == "<" || p == ">") continue;
+        if (p == "+" || p == "-" || p == "*" || p == "/" || p == "%" ||
+            p == "&" || p == "|" || p == "^") {
+          opstart = k - 1;
+        } else if (p != "]" && p != ")") {
+          continue;  // brace-init `{ .x = }`, default args, etc.
+        }
+      }
+      bool subscript_exempt = false;
+      const Token* base = postfix_base(toks, opstart - 1, lam.body_begin, lam,
+                                       subscript_exempt);
+      if (base == nullptr || subscript_exempt) continue;
+      const std::string why = shared_reason(r, base->text);
+      if (!why.empty()) emit_write(*base, toks[opstart].line, why);
+      continue;
+    }
+    // Increment/decrement.
+    const bool plus2 = is_punct(toks[k], "+") && k + 1 < lam.body_end &&
+                       is_punct(toks[k + 1], "+");
+    const bool minus2 = is_punct(toks[k], "-") && k + 1 < lam.body_end &&
+                        is_punct(toks[k + 1], "-");
+    if (plus2 || minus2) {
+      bool subscript_exempt = false;
+      const Token* base = nullptr;
+      if (toks[k - 1].kind == TokenKind::kIdentifier ||
+          is_punct(toks[k - 1], "]")) {
+        base = postfix_base(toks, k - 1, lam.body_begin, lam, subscript_exempt);
+      } else if (k + 2 < lam.body_end &&
+                 toks[k + 2].kind == TokenKind::kIdentifier) {
+        base = &toks[k + 2];
+      }
+      ++k;  // consume the operator pair
+      if (base == nullptr || subscript_exempt) continue;
+      const std::string why = shared_reason(r, base->text);
+      if (!why.empty()) emit_write(*base, toks[k].line, why);
+    }
+  }
+}
+
+void scan_region_calls(const ParallelRegion& r, const RaceIndex& idx,
+                       const std::vector<char>& roots,
+                       std::vector<Finding>& out) {
+  const FileInfo& f = *r.file;
+  const LambdaInfo& lam = *r.lam;
+  const auto& toks = f.src.tokens;
+  if (r.locked) return;
+
+  for (std::size_t k = lam.body_begin + 1; k < lam.body_end; ++k) {
+    bool skipped = false;
+    for (std::size_t li = 0; li < f.lambdas.size(); ++li) {
+      if (roots[li] == 0) continue;
+      const LambdaInfo& n = f.lambdas[li];
+      if (&n != &lam && n.intro_begin == k && n.body_end < lam.body_end) {
+        k = n.body_end;
+        skipped = true;
+        break;
+      }
+    }
+    if (skipped) continue;
+    if (!is_punct(toks[k], "(") || toks[k - 1].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    const Token& method = toks[k - 1];
+    if (!member_call_prefix(toks, k - 1)) {
+      // Unqualified call: a non-const method of the enclosing class invoked
+      // on the captured `this`. Classes with a mutex member are treated as
+      // internally synchronized (§13 soundness trade).
+      if (!(r.lam->captures_this || r.lam->ref_default)) continue;
+      if (k >= 2 && is_punct(toks[k - 2], ":")) continue;  // ns::f(...)
+      if (r.exempt.count(method.text) != 0) continue;  // callable param/local
+      if (r.enclosing_class == nullptr ||
+          r.enclosing_class->has_mutex_member) {
+        continue;
+      }
+      if (r.enclosing_class->public_mutating_methods.count(method.text) == 0) {
+        continue;
+      }
+      out.push_back(
+          {"race-nonconst-call", f.path, method.line,
+           "call to non-const method '" + r.enclosing_class->name +
+               "::" + method.text +
+               "' on the captured object inside a parallel region (lambda at "
+               "line " + std::to_string(lam.line) +
+               ") — the class has no internal lock planaria-lint can see",
+           ""});
+      continue;
+    }
+    if (atomic_safe_methods().count(method.text) != 0) continue;
+    // Universally-const container observers: even if some project class has
+    // a same-named non-const method, a `.size()` call is never the race.
+    static const std::set<std::string> known_const = {
+        "size", "empty", "capacity", "data", "begin",
+        "end",  "cbegin", "cend",    "count", "contains",
+    };
+    if (known_const.count(method.text) != 0) continue;
+    const bool builtin = container_mutators().count(method.text) != 0;
+    const bool known_unsafe = idx.unsafe_methods.count(method.text) != 0 &&
+                              idx.safe_methods.count(method.text) == 0;
+    if (!builtin && !known_unsafe) continue;
+    // Walk to the object the call is on: skip the `.` / `->`.
+    std::size_t m = k - 1;
+    if (is_punct(toks[m - 1], ".")) m -= 2;
+    else m -= 3;  // -> (member_call_prefix guaranteed the shape)
+    bool subscript_exempt = false;
+    const Token* base =
+        postfix_base(toks, m, lam.body_begin, lam, subscript_exempt);
+    if (base == nullptr || subscript_exempt) continue;
+    if (f.atomic_names.count(base->text) != 0) continue;
+    const std::string why = shared_reason(r, base->text);
+    if (why.empty()) continue;
+    out.push_back(
+        {"race-nonconst-call", f.path, method.line,
+         "non-const call '" + base->text + "." + method.text +
+             "(...)' on shared '" + base->text + "' (" + why +
+             ") inside a parallel region (lambda at line " +
+             std::to_string(lam.line) + ") — '" + method.text +
+             "' mutates and no adjacent lock or atomic guards it",
+         ""});
+  }
+}
+
+/// race-shared-static: mutable statics in parallel lambda bodies and in
+/// every function reachable from one.
+void scan_statics(const FileInfo& f, std::size_t begin, std::size_t end,
+                  const std::string& where, std::set<std::string>& seen,
+                  std::vector<Finding>& out) {
+  const auto& toks = f.src.tokens;
+  static const std::set<std::string> safe_markers = {
+      "const",        "constexpr", "atomic",     "atomic_flag",
+      "thread_local", "mutex",     "shared_mutex", "recursive_mutex",
+      "once_flag",
+  };
+  for (std::size_t k = begin; k <= end && k < toks.size(); ++k) {
+    if (!is_ident(toks[k], "static")) continue;
+    bool safe = false;
+    std::string declarator;
+    for (std::size_t j = k + 1; j <= end && j < toks.size(); ++j) {
+      if (is_punct(toks[j], ";") || is_punct(toks[j], "=") ||
+          is_punct(toks[j], "{") || is_punct(toks[j], "(")) {
+        break;
+      }
+      if (toks[j].kind == TokenKind::kIdentifier) {
+        if (safe_markers.count(toks[j].text) != 0) {
+          safe = true;
+          break;
+        }
+        declarator = toks[j].text;
+      }
+    }
+    if (safe) continue;
+    const std::string key = f.path + ":" + std::to_string(toks[k].line);
+    if (!seen.insert(key).second) continue;
+    out.push_back(
+        {"race-shared-static", f.path, toks[k].line,
+         "mutable static '" + (declarator.empty() ? "?" : declarator) +
+             "' is shared across worker threads (" + where +
+             ") — make it const, atomic, thread_local, or hoist it out of "
+             "the parallel region",
+         ""});
+  }
+}
+
+void rule_race(const std::vector<FileInfo>& files, const Config& config,
+               const CallGraph& graph, std::vector<Finding>& out) {
+  const RaceIndex idx = build_race_index(files);
+  std::set<std::string> static_seen;
+  std::set<std::string> seed_callees;
+
+  for (const FileInfo& f : files) {
+    if (f.lambdas.empty()) continue;
+    const std::vector<char> roots = parallel_roots(f, config);
+    for (std::size_t li = 0; li < f.lambdas.size(); ++li) {
+      if (roots[li] == 0) continue;
+      const LambdaInfo& lam = f.lambdas[li];
+      const std::set<std::string> callees =
+          collect_callees(f.src, lam.body_begin, lam.body_end);
+      seed_callees.insert(callees.begin(), callees.end());
+      if (f.module.empty()) continue;  // tests/tools race on purpose
+      const ParallelRegion region = make_region(f, li, idx);
+      scan_region_writes(region, roots, out);
+      scan_region_calls(region, idx, roots, out);
+      scan_statics(f, lam.body_begin + 1, lam.body_end - 1,
+                   "declared directly inside the parallel lambda at line " +
+                       std::to_string(lam.line),
+                   static_seen, out);
+    }
+  }
+
+  // Statics in the transitive closure of everything the regions call.
+  std::map<std::size_t, std::string> prov;
+  const std::vector<std::string> seeds(seed_callees.begin(),
+                                       seed_callees.end());
+  for (const std::size_t id : graph.reachable(seeds, {}, &prov)) {
+    const CallGraphNode& node = graph.nodes[id];
+    if (node.file->module.empty()) continue;
+    scan_statics(*node.file, node.fn->body_begin + 1, node.fn->body_end - 1,
+                 "in '" + node.qualified +
+                     "', reachable from a parallel region via '" + prov[id] +
+                     "'",
+                 static_seen, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path cost rules
+
+const std::set<std::string>& container_types() {
+  static const std::set<std::string> t = {
+      "vector", "deque", "list",          "map",           "set",
+      "multimap", "multiset", "unordered_map", "unordered_set",
+      "queue",  "priority_queue", "stack",
+  };
+  return t;
+}
+
+/// True when the declaration the token at `k` belongs to is static or
+/// thread_local — one-time initialization, not a per-visit cost (and the
+/// race-shared-static rule owns the mutable case).
+bool static_decl_before(const std::vector<Token>& toks, std::size_t k,
+                        std::size_t lo) {
+  for (std::size_t b = k; b-- > lo && k - b < 8;) {
+    if (is_ident(toks[b], "static") || is_ident(toks[b], "thread_local")) {
+      return true;
+    }
+    if (toks[b].kind == TokenKind::kPunct &&
+        (toks[b].text == ";" || toks[b].text == "{" || toks[b].text == "}" ||
+         toks[b].text == "(")) {
+      return false;
+    }
+  }
+  return false;
+}
+
+void rule_hot(const std::vector<FileInfo>& files, const Config& config,
+              const CallGraph& graph, std::vector<Finding>& out) {
+  (void)files;
+  if (config.hot_roots.empty()) return;
+  std::vector<std::string> stops;
+  for (const HotStop& s : config.hot_stops) stops.push_back(s.spec);
+  std::map<std::size_t, std::string> prov;
+
+  for (const std::size_t id : graph.reachable(config.hot_roots, stops, &prov)) {
+    const CallGraphNode& node = graph.nodes[id];
+    const FileInfo& f = *node.file;
+    if (f.module.empty()) continue;  // hot mocks in tests are fair game
+    const auto& toks = f.src.tokens;
+    const std::size_t lo = node.fn->body_begin;
+    const std::size_t hi = node.fn->body_end;
+    const std::string where = "in hot function '" + node.qualified +
+                              "' (reachable from hot-root '" + prov[id] + "')";
+    const auto emit = [&](const char* rule, int line, const std::string& what,
+                          const char* fix) {
+      out.push_back({rule, f.path, line,
+                     what + " " + where + " — " + fix, ""});
+    };
+
+    for (std::size_t k = lo + 1; k < hi; ++k) {
+      const Token& t = toks[k];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      const bool member = member_call_prefix(toks, k);
+      const bool call_next = k + 1 < hi && is_punct(toks[k + 1], "(");
+      const bool tmpl_next = k + 1 < hi && is_punct(toks[k + 1], "<");
+
+      // hot-alloc -----------------------------------------------------------
+      if (t.text == "new" && !(k > 0 && is_ident(toks[k - 1], "operator"))) {
+        emit("hot-alloc", t.line, "operator new",
+             "allocate once outside the per-record path or pool the storage");
+        continue;
+      }
+      if ((t.text == "make_unique" || t.text == "make_shared") && !member &&
+          (call_next || tmpl_next)) {
+        emit("hot-alloc", t.line, "'" + t.text + "' allocation",
+             "allocate once outside the per-record path or pool the storage");
+        continue;
+      }
+      if ((t.text == "malloc" || t.text == "calloc" || t.text == "realloc" ||
+           t.text == "strdup") &&
+          !member && call_next) {
+        emit("hot-alloc", t.line, "'" + t.text + "' allocation",
+             "allocate once outside the per-record path or pool the storage");
+        continue;
+      }
+      if (container_types().count(t.text) != 0 && tmpl_next && !member &&
+          !static_decl_before(toks, k, lo)) {
+        // Local container construction: `<...>` then a declarator identifier
+        // (not a reference/pointer binding, not a nested-name qualifier).
+        const std::size_t close = match_forward(toks, k + 1, "<", ">");
+        if (close != std::string::npos && close < hi) {
+          std::size_t j = close + 1;
+          while (j < hi && is_ident(toks[j], "const")) ++j;
+          if (j < hi && toks[j].kind == TokenKind::kIdentifier &&
+              !(j + 1 < hi && is_punct(toks[j + 1], ":"))) {
+            emit("hot-alloc", t.line,
+                 "local '" + t.text + "' constructed per call",
+                 "hoist the container out of the hot loop and reuse its "
+                 "capacity (clear() keeps the allocation)");
+            continue;
+          }
+        }
+      }
+
+      // hot-string ----------------------------------------------------------
+      if (t.text == "string" && !member && !static_decl_before(toks, k, lo)) {
+        const bool decl_like =
+            k + 1 < hi && (toks[k + 1].kind == TokenKind::kIdentifier ||
+                           is_punct(toks[k + 1], "("));
+        if (decl_like) {
+          emit("hot-string", t.line, "std::string construction",
+               "operate on string_view/char buffers or hoist the string");
+          continue;
+        }
+      }
+      if (t.text == "to_string" && !member && call_next) {
+        emit("hot-string", t.line, "'std::to_string' call",
+             "format outside the per-record path");
+        continue;
+      }
+      if (t.text == "ostringstream" || t.text == "stringstream" ||
+          t.text == "stringbuf") {
+        emit("hot-string", t.line, "'" + t.text + "' construction",
+             "stream formatting allocates; move it off the hot path");
+        continue;
+      }
+
+      // hot-iostream --------------------------------------------------------
+      {
+        static const std::set<std::string> stream_objects = {
+            "cout", "cerr", "clog", "endl", "ofstream", "ifstream", "fstream",
+        };
+        static const std::set<std::string> io_calls = {
+            "printf", "fprintf", "sprintf", "snprintf", "puts",
+            "putchar", "fputs",  "fwrite",  "fread",    "fopen",
+            "getline",
+        };
+        if (!member && (stream_objects.count(t.text) != 0 ||
+                        (io_calls.count(t.text) != 0 && call_next))) {
+          emit("hot-iostream", t.line, "I/O ('" + t.text + "')",
+               "buffer diagnostics outside the per-record path");
+          continue;
+        }
+      }
+
+      // hot-throw -----------------------------------------------------------
+      if (t.text == "throw") {
+        emit("hot-throw", t.line, "throw statement",
+             "hot paths report failure by contract macro or return value; "
+             "unwinding machinery does not belong per record");
+        continue;
+      }
+
+      // hot-mutex -----------------------------------------------------------
+      if (t.text == "lock_guard" || t.text == "unique_lock" ||
+          t.text == "scoped_lock" || t.text == "shared_lock") {
+        emit("hot-mutex", t.line, "lock acquisition ('" + t.text + "')",
+             "per-record locking serializes the pipeline; shard the state "
+             "instead");
+        continue;
+      }
+      if ((t.text == "lock" || t.text == "try_lock") && member && call_next) {
+        emit("hot-mutex", t.line, "lock acquisition ('." + t.text + "()')",
+             "per-record locking serializes the pipeline; shard the state "
+             "instead");
+        continue;
+      }
+
+      // hot-env-read --------------------------------------------------------
+      const bool env_suffix =
+          t.text.size() >= 8 &&
+          t.text.compare(t.text.size() - 8, 8, "from_env") == 0;
+      if (((t.text == "getenv" || t.text == "secure_getenv") || env_suffix) &&
+          !member && call_next) {
+        emit("hot-env-read", t.line, "config/env read ('" + t.text + "')",
+             "resolve configuration once at construction time, not per "
+             "record");
+        continue;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 bool known_rule(const std::string& rule) {
@@ -429,6 +1059,9 @@ bool known_rule(const std::string& rule) {
       "snapshot-roundtrip", "snapshot-missing",   "contract-coverage",
       "pragma-once",       "using-namespace",     "raw-assert",
       "suppression",
+      "race-capture-write", "race-shared-static", "race-nonconst-call",
+      "hot-alloc",         "hot-string",          "hot-iostream",
+      "hot-throw",         "hot-mutex",           "hot-env-read",
   };
   return rules.count(rule) != 0;
 }
@@ -447,6 +1080,9 @@ std::vector<Finding> run_rules(const std::vector<FileInfo>& files,
     rule_unordered_iteration(f, by_path, config, out);
     rule_hygiene(f, out);
   }
+  const CallGraph graph = build_call_graph(files);
+  rule_race(files, config, graph, out);
+  rule_hot(files, config, graph, out);
   return out;
 }
 
