@@ -7,13 +7,26 @@
 // sweep must return bit-identical SimResults to the serial sweep for every
 // registered prefetcher kind (a throughput number from a wrong simulation is
 // worthless). Each run APPENDS one JSON-lines entry (git rev, per-thread-count
-// records/sec, hardware concurrency) to the repo-root BENCH_throughput.json,
-// so the file accumulates a machine-trackable perf trajectory across PRs
-// instead of remembering only the latest run.
+// records/sec, per-phase seconds, peak RSS, hardware concurrency) to the
+// repo-root BENCH_throughput.json, so the file accumulates a machine-trackable
+// perf trajectory across PRs instead of remembering only the latest run.
+//
+// Phase attribution (serial run): `trace_gen` is synthetic trace
+// materialization, `simulate` is the sweep proper (cell simulation plus the
+// grid assembly inside sweep()), `merge_verify` is the bench-side
+// cross-thread-count bit-identity comparison. Only `simulate` scales with
+// thread count; the split shows how much of wall time the timed loop below
+// actually governs.
 //
 // Record count defaults to a quick-run length; scale with PLANARIA_RECORDS.
 // PLANARIA_THREADS does not apply here — this bench sweeps thread counts
-// itself. PLANARIA_BENCH_TRAJECTORY overrides the trajectory file path.
+// itself; override the swept counts with PLANARIA_BENCH_THREADS (comma
+// separated, e.g. "1" for a serial-only profiling run — the determinism gate
+// needs a pooled run and is skipped, with a note, when no count exceeds 1).
+// PLANARIA_BENCH_TRAJECTORY overrides the trajectory file path.
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -29,24 +42,73 @@ namespace {
 using namespace planaria;
 using SweepGrid = std::map<std::string, std::map<std::string, sim::SimResult>>;
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Runs one full-grid sweep at `threads`; trace materialization is timed
+/// separately (and charged to *trace_gen_s when non-null) so the returned
+/// duration isolates simulation throughput.
 double run_sweep_seconds(std::uint64_t records, std::size_t threads,
                          const std::vector<sim::PrefetcherKind>& kinds,
-                         SweepGrid* out) {
+                         SweepGrid* out, double* trace_gen_s = nullptr) {
   sim::ExperimentRunner runner(sim::SimConfig{}, records, threads);
-  // Pre-generate all traces so the timing isolates simulation throughput and
-  // every thread count pays the identical generation cost of zero.
+  const auto gen_start = std::chrono::steady_clock::now();
   for (const auto& app : trace::app_names()) runner.trace_for(app);
+  if (trace_gen_s != nullptr) *trace_gen_s = seconds_since(gen_start);
   const auto start = std::chrono::steady_clock::now();
   SweepGrid grid = runner.sweep(kinds);
-  const auto stop = std::chrono::steady_clock::now();
+  const double elapsed = seconds_since(start);
   if (out != nullptr) *out = std::move(grid);
-  return std::chrono::duration<double>(stop - start).count();
+  return elapsed;
 }
 
 /// SimResult::operator== is defaulted memberwise equality, doubles compared
 /// with == on purpose: the contract is bit-identity, not numeric tolerance.
 bool bit_identical(const sim::SimResult& a, const sim::SimResult& b) {
   return a == b;
+}
+
+/// Thread counts to sweep: PLANARIA_BENCH_THREADS (comma separated) if set,
+/// else {1, 2, 4, hardware_concurrency when > 4}. A serial run is always
+/// included — every other row is reported relative to it.
+std::vector<std::size_t> thread_counts_from_env() {
+  std::vector<std::size_t> counts;
+  if (const char* env = std::getenv("PLANARIA_BENCH_THREADS");
+      env != nullptr && *env != '\0') {
+    std::string spec(env);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      const std::string tok =
+          spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      const long v = std::strtol(tok.c_str(), nullptr, 10);
+      if (v > 0) counts.push_back(static_cast<std::size_t>(v));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (counts.empty()) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    counts = {1, 2, 4};
+    if (hw > 4) counts.push_back(hw);
+  }
+  if (std::find(counts.begin(), counts.end(), std::size_t{1}) ==
+      counts.end()) {
+    counts.insert(counts.begin(), 1);
+  }
+  return counts;
+}
+
+/// Peak resident set size of this process in bytes (ru_maxrss is KiB on
+/// Linux). Captures the high-water mark across every sweep run — traces,
+/// per-cell simulator state, and the result grids together.
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
 }
 
 }  // namespace
@@ -62,15 +124,23 @@ int main() {
   const std::uint64_t grid_records =
       records * trace::app_names().size() * kinds.size();
 
+  const std::vector<std::size_t> thread_counts = thread_counts_from_env();
+  const std::size_t max_threads =
+      *std::max_element(thread_counts.begin(), thread_counts.end());
+
   // Determinism gate first: pooled results must equal serial results bit for
   // bit on every kind, or the speedup below is measuring a different
-  // simulation.
+  // simulation. The pooled reference uses the widest swept count so the gate
+  // covers the same pool configuration the timing rows do.
   SweepGrid serial_grid;
+  double trace_gen_s = 0.0;
   const double serial_s =
-      run_sweep_seconds(records, 1, kinds, &serial_grid);
-  {
+      run_sweep_seconds(records, 1, kinds, &serial_grid, &trace_gen_s);
+  double merge_verify_s = 0.0;
+  if (max_threads > 1) {
     SweepGrid pooled_grid;
-    run_sweep_seconds(records, 4, kinds, &pooled_grid);
+    run_sweep_seconds(records, max_threads, kinds, &pooled_grid);
+    const auto verify_start = std::chrono::steady_clock::now();
     for (const auto& [app, per_kind] : serial_grid) {
       for (const auto& [kind_name, result] : per_kind) {
         if (!bit_identical(result, pooled_grid.at(app).at(kind_name))) {
@@ -81,15 +151,19 @@ int main() {
         }
       }
     }
-    std::printf("determinism: 4-thread sweep bit-identical to serial on all "
+    merge_verify_s = seconds_since(verify_start);
+    std::printf("determinism: %zu-thread sweep bit-identical to serial on all "
                 "%zu kinds x %zu apps\n\n",
-                kinds.size(), trace::app_names().size());
+                max_threads, kinds.size(), trace::app_names().size());
+  } else {
+    std::printf("determinism gate skipped: PLANARIA_BENCH_THREADS sweeps no "
+                "pooled run\n\n");
   }
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<std::size_t> thread_counts = {1, 2, 4};
-  if (hw > 4) thread_counts.push_back(hw);
-
+  std::printf("phases (serial): trace_gen %.3fs, simulate %.3fs, "
+              "merge_verify %.3fs\n\n",
+              trace_gen_s, serial_s, merge_verify_s);
   std::printf("%8s %12s %14s %10s\n", "threads", "seconds", "records/sec",
               "speedup");
 
@@ -122,7 +196,14 @@ int main() {
                   i == 0 ? "" : ", ", threads, seconds, rps, speedup);
     entry += buf;
   }
-  entry += "]}\n";
+  char tail[224];
+  std::snprintf(tail, sizeof tail,
+                "], \"phases\": {\"trace_gen_seconds\": %.6f, "
+                "\"simulate_seconds\": %.6f, \"merge_verify_seconds\": %.6f}, "
+                "\"peak_rss_bytes\": %llu}\n",
+                trace_gen_s, serial_s, merge_verify_s,
+                static_cast<unsigned long long>(peak_rss_bytes()));
+  entry += tail;
 
   const char* traj_env = std::getenv("PLANARIA_BENCH_TRAJECTORY");
   const std::string trajectory = traj_env != nullptr && *traj_env != '\0'

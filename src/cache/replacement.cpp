@@ -7,50 +7,19 @@
 
 namespace planaria::cache {
 
+void LruPolicy::save_state(snapshot::Writer& w) const {
+  w.tag(snapshot::tag4("RLRU"));
+  w.u64(tick_);
+  for (std::uint64_t s : stamps_) w.u64(s);
+}
+
+void LruPolicy::load_state(snapshot::Reader& r) {
+  r.expect_tag(snapshot::tag4("RLRU"));
+  tick_ = r.u64();
+  for (std::uint64_t& s : stamps_) s = r.u64();
+}
+
 namespace {
-
-class LruPolicy final : public ReplacementPolicy {
- public:
-  LruPolicy(std::uint32_t sets, int ways)
-      : ways_(ways), stamps_(static_cast<std::size_t>(sets) * ways, 0) {}
-
-  void on_hit(std::uint32_t set, int way) override { touch(set, way); }
-  void on_fill(std::uint32_t set, int way, bool) override { touch(set, way); }
-
-  int victim(std::uint32_t set) override {
-    int v = 0;
-    std::uint64_t oldest = stamps_[index(set, 0)];
-    for (int w = 1; w < ways_; ++w) {
-      if (stamps_[index(set, w)] < oldest) {
-        oldest = stamps_[index(set, w)];
-        v = w;
-      }
-    }
-    return v;
-  }
-
-  void save_state(snapshot::Writer& w) const override {
-    w.tag(snapshot::tag4("RLRU"));
-    w.u64(tick_);
-    for (std::uint64_t s : stamps_) w.u64(s);
-  }
-  void load_state(snapshot::Reader& r) override {
-    r.expect_tag(snapshot::tag4("RLRU"));
-    tick_ = r.u64();
-    for (std::uint64_t& s : stamps_) s = r.u64();
-  }
-
- private:
-  std::size_t index(std::uint32_t set, int way) const {
-    return static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_) +
-           static_cast<std::size_t>(way);
-  }
-  void touch(std::uint32_t set, int way) { stamps_[index(set, way)] = ++tick_; }
-
-  int ways_;
-  std::vector<std::uint64_t> stamps_;
-  std::uint64_t tick_ = 0;
-};
 
 class RandomPolicy final : public ReplacementPolicy {
  public:

@@ -46,4 +46,47 @@ std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind,
                                                     std::uint32_t sets, int ways,
                                                     std::uint64_t seed = 1);
 
+/// LRU — the policy every headline experiment runs. Defined in the header
+/// (unlike the ablation-only policies, which stay private to the .cpp) so the
+/// cache's hot path can call `on_hit`/`on_fill`/`victim` through a concrete
+/// pointer when this policy is selected: the calls inline to a stamp store /
+/// stamp scan instead of a virtual dispatch per access. Behaviour is
+/// identical either way — only the dispatch is static.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(std::uint32_t sets, int ways)
+      : ways_(ways),
+        stamps_(static_cast<std::size_t>(sets) * static_cast<std::size_t>(ways),
+                0) {}
+
+  void on_hit(std::uint32_t set, int way) override { touch(set, way); }
+  void on_fill(std::uint32_t set, int way, bool) override { touch(set, way); }
+
+  int victim(std::uint32_t set) override {
+    int v = 0;
+    std::uint64_t oldest = stamps_[index(set, 0)];
+    for (int w = 1; w < ways_; ++w) {
+      if (stamps_[index(set, w)] < oldest) {
+        oldest = stamps_[index(set, w)];
+        v = w;
+      }
+    }
+    return v;
+  }
+
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
+ private:
+  std::size_t index(std::uint32_t set, int way) const {
+    return static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_) +
+           static_cast<std::size_t>(way);
+  }
+  void touch(std::uint32_t set, int way) { stamps_[index(set, way)] = ++tick_; }
+
+  int ways_;
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t tick_ = 0;
+};
+
 }  // namespace planaria::cache

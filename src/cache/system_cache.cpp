@@ -30,19 +30,29 @@ SystemCache::SystemCache(const CacheConfig& config)
     : config_(config), sets_(0) {
   config_.validate();
   sets_ = config_.sets();
+  set_mask_ = sets_ - 1;
   lines_.resize(static_cast<std::size_t>(sets_) *
                 static_cast<std::size_t>(config_.ways));
+  tags_.assign(lines_.size(), 0);
+  set_valid_.assign(sets_, 0);
   policy_ = make_replacement(config_.replacement, sets_, config_.ways,
                              config_.seed);
+  if (config_.replacement == ReplacementKind::kLru) {
+    lru_ = static_cast<LruPolicy*>(policy_.get());
+  }
   pollution_fifo_.reserve(kPollutionFilterCap);
 }
 
 SystemCache::Line* SystemCache::find(std::uint64_t block) {
-  const std::uint32_t set = set_of(block);
-  Line* base = &lines_[static_cast<std::size_t>(set) *
-                       static_cast<std::size_t>(config_.ways)];
+  // One set's worth of the SoA tag column; a stale tag on an invalid slot is
+  // rejected by the line's valid bit (see tags_ in the header).
+  const std::size_t base = static_cast<std::size_t>(set_of(block)) *
+                           static_cast<std::size_t>(config_.ways);
+  const std::uint64_t* tags = tags_.data() + base;
   for (int w = 0; w < config_.ways; ++w) {
-    if (base[w].valid && base[w].block == block) return &base[w];
+    if (tags[w] == block && lines_[base + static_cast<std::size_t>(w)].valid) {
+      return &lines_[base + static_cast<std::size_t>(w)];
+    }
   }
   return nullptr;
 }
@@ -59,8 +69,10 @@ AccessResult SystemCache::access(std::uint64_t block, AccessType type) {
     if (line != nullptr) {
       ++stats_.demand_hits;
       result.hit = true;
-      const int way = static_cast<int>(line - lines_.data()) % config_.ways;
-      policy_->on_hit(set_of(block), way);
+      const std::uint32_t set = set_of(block);
+      const int way = static_cast<int>(line - lines_.data()) -
+                      static_cast<int>(set) * config_.ways;
+      policy_on_hit(set, way);
       if (line->prefetched) {
         result.first_use_of_prefetch = true;
         result.fill_source = line->source;
@@ -75,7 +87,7 @@ AccessResult SystemCache::access(std::uint64_t block, AccessType type) {
       }
     } else {
       ++stats_.demand_misses;
-      if (pollution_set_.count(block) != 0) ++stats_.pollution_misses;
+      if (pollution_set_.contains(block)) ++stats_.pollution_misses;
     }
     PLANARIA_ENSURE_MSG(kStorageBudget,
                         stats_.demand_hits + stats_.demand_misses ==
@@ -89,8 +101,10 @@ AccessResult SystemCache::access(std::uint64_t block, AccessType type) {
     ++stats_.write_hits;
     line->dirty = true;
     if (line->prefetched) line->prefetched = false;
-    const int way = static_cast<int>(line - lines_.data()) % config_.ways;
-    policy_->on_hit(set_of(block), way);
+    const std::uint32_t set = set_of(block);
+    const int way = static_cast<int>(line - lines_.data()) -
+                    static_cast<int>(set) * config_.ways;
+    policy_on_hit(set, way);
     result.hit = true;
   } else {
     ++stats_.write_misses;
@@ -112,14 +126,17 @@ AccessResult SystemCache::fill(std::uint64_t block, FillSource source) {
   Line* base = &lines_[static_cast<std::size_t>(set) *
                        static_cast<std::size_t>(config_.ways)];
   int way = -1;
-  for (int w = 0; w < config_.ways; ++w) {
-    if (!base[w].valid) {
-      way = w;
-      break;
+  if (set_valid_[set] < static_cast<std::uint16_t>(config_.ways)) {
+    for (int w = 0; w < config_.ways; ++w) {
+      if (!base[w].valid) {
+        way = w;
+        break;
+      }
     }
+    ++set_valid_[set];
   }
   if (way < 0) {
-    way = policy_->victim(set);
+    way = policy_victim(set);
     // The policy owns recency state only; the way index it hands back must
     // stay inside the set it was asked about.
     PLANARIA_ENSURE_MSG(kTableOccupancy, way >= 0 && way < config_.ways,
@@ -143,8 +160,12 @@ AccessResult SystemCache::fill(std::uint64_t block, FillSource source) {
   line.dirty = false;
   line.prefetched = is_prefetch;
   line.source = source;
-  policy_->on_fill(set, way, is_prefetch);
-  PLANARIA_ENSURE_MSG(kTableOccupancy, contains(block),
+  tags_[static_cast<std::size_t>(&line - lines_.data())] = block;
+  policy_on_fill(set, way, is_prefetch);
+  // O(1) form of the residency postcondition: `line` is the slot whose tag
+  // was just rewritten, so checking it directly proves contains(block)
+  // without re-running the set scan.
+  PLANARIA_ENSURE_MSG(kTableOccupancy, line.valid && line.block == block,
                       "filled block must be resident on return");
   return result;
 }
@@ -169,6 +190,9 @@ void SystemCache::track_pollution_eviction(std::uint64_t block) {
   pollution_fifo_[pollution_head_] = block;
   pollution_set_.insert(block);
   pollution_head_ = (pollution_head_ + 1) % kPollutionFilterCap;
+  // Erase-before-insert matters when old == block (set semantics, not
+  // multiset): the ordering above leaves the block a member, matching the
+  // std::unordered_set implementation this structure replaced.
   // The FIFO and the membership set shadow each other; duplicates in the
   // FIFO would let the set shrink below it and break O(1) membership.
   PLANARIA_INVARIANT_MSG(kTableOccupancy,
@@ -213,10 +237,8 @@ void SystemCache::save_state(snapshot::Writer& w) const {
   w.u64(static_cast<std::uint64_t>(pollution_fifo_.size()));
   for (std::uint64_t v : pollution_fifo_) w.u64(v);
   w.u64(static_cast<std::uint64_t>(pollution_head_));
-  // lint: suppress(unordered-iteration) members are collected then sorted; the encoding is canonical
-  std::vector<std::uint64_t> members(pollution_set_.begin(),
-                                     pollution_set_.end());
-  std::sort(members.begin(), members.end());
+  std::vector<std::uint64_t> members;
+  pollution_set_.sorted_members(members);
   w.u64(static_cast<std::uint64_t>(members.size()));
   for (std::uint64_t v : members) w.u64(v);
 }
@@ -245,6 +267,14 @@ void SystemCache::load_state(snapshot::Reader& r) {
     }
     line.source = static_cast<FillSource>(src);
     line.valid = true;
+  }
+  tags_.assign(lines_.size(), 0);
+  set_valid_.assign(sets_, 0);
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    if (lines_[i].valid) {
+      tags_[i] = lines_[i].block;
+      ++set_valid_[i / static_cast<std::size_t>(config_.ways)];
+    }
   }
   policy_->load_state(r);
   stats_.demand_accesses = r.u64();
@@ -275,8 +305,9 @@ void SystemCache::load_state(snapshot::Reader& r) {
   if (set_size > fifo_size) {
     throw snapshot::SnapshotError("pollution set larger than its FIFO");
   }
-  pollution_set_.clear();
-  for (std::uint64_t n = 0; n < set_size; ++n) pollution_set_.insert(r.u64());
+  std::vector<std::uint64_t> members(set_size);
+  for (std::uint64_t& v : members) v = r.u64();
+  pollution_set_.assign(std::move(members));
 }
 
 }  // namespace planaria::cache

@@ -15,11 +15,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/replacement.hpp"
+#include "common/deferred_set.hpp"
 #include "common/types.hpp"
 
 namespace planaria::cache {
@@ -118,8 +117,8 @@ class SystemCache {
 
   /// Checkpoint/restore (DESIGN.md §11): tags/flags of every valid line, the
   /// replacement policy's recency state, all stats, and the pollution filter.
-  /// The unordered membership set is emitted in sorted order so the encoding
-  /// is canonical (serialize -> deserialize -> serialize is byte-identical).
+  /// The membership set is emitted in sorted order so the encoding is
+  /// canonical (serialize -> deserialize -> serialize is byte-identical).
   void save_state(snapshot::Writer& w) const;
   void load_state(snapshot::Reader& r);
 
@@ -133,23 +132,64 @@ class SystemCache {
   };
 
   std::uint32_t set_of(std::uint64_t block) const {
-    return static_cast<std::uint32_t>(block % sets_);
+    // sets_ is validated to be a power of two; the mask replaces a 64-bit
+    // division on the per-access path.
+    return static_cast<std::uint32_t>(block & set_mask_);
   }
   Line* find(std::uint64_t block);
   const Line* find(std::uint64_t block) const;
   void track_pollution_eviction(std::uint64_t block);
 
+  // Static dispatch for the default policy (same trick as the simulator's
+  // channel kernels): when the configured policy is LRU, lru_ aliases
+  // policy_ and the per-access recency update inlines to a stamp store.
+  void policy_on_hit(std::uint32_t set, int way) {
+    if (lru_ != nullptr) {
+      lru_->LruPolicy::on_hit(set, way);
+    } else {
+      policy_->on_hit(set, way);
+    }
+  }
+  void policy_on_fill(std::uint32_t set, int way, bool prefetch) {
+    if (lru_ != nullptr) {
+      lru_->LruPolicy::on_fill(set, way, prefetch);
+    } else {
+      policy_->on_fill(set, way, prefetch);
+    }
+  }
+  int policy_victim(std::uint32_t set) {
+    return lru_ != nullptr ? lru_->LruPolicy::victim(set)
+                           : policy_->victim(set);
+  }
+
   CacheConfig config_;
   std::uint32_t sets_;
+  std::uint64_t set_mask_ = 0;  ///< sets_ - 1 (power-of-two geometry)
   std::vector<Line> lines_;  ///< sets_ * ways, row-major by set
+  // Tag column (SoA): tags_[slot] mirrors lines_[slot].block for valid
+  // slots. A lookup scans the ways of one set — 16 consecutive u64s, two
+  // cache lines — instead of hashing into an index sized 2x the line count;
+  // the tag column for a 1MB slice is L2-resident, the hash cells were not.
+  // Invalid slots keep a stale tag, so a tag match is confirmed against the
+  // line's valid bit (false positives are possible, false negatives are not:
+  // every valid line's tag is rewritten on fill).
+  std::vector<std::uint64_t> tags_;
+  // Valid lines per set: once a set is full (the steady state after warmup,
+  // since lines are only invalidated wholesale by load_state) fill() goes
+  // straight to the replacement victim instead of scanning the ways for a
+  // free slot.
+  std::vector<std::uint16_t> set_valid_;
   std::unique_ptr<ReplacementPolicy> policy_;
+  LruPolicy* lru_ = nullptr;  ///< == policy_.get() iff the policy is LRU
   CacheStats stats_;
   std::uint64_t redundant_fills_ = 0;
 
   // Pollution filter: blocks recently evicted to make room for a prefetch
-  // that was never used. Bounded FIFO + set for O(1) membership.
+  // that was never used. Bounded FIFO + sorted-vector membership set whose
+  // inserts/erases land in small deferred buffers instead of allocating
+  // hash nodes on the access path.
   static constexpr std::size_t kPollutionFilterCap = 1 << 14;
-  std::unordered_set<std::uint64_t> pollution_set_;
+  DeferredSortedSet pollution_set_;
   std::vector<std::uint64_t> pollution_fifo_;
   std::size_t pollution_head_ = 0;
 };

@@ -1,0 +1,122 @@
+// Sorted-vector membership set with deferred merges.
+//
+// Replaces std::unordered_set on hot membership paths (the SC pollution
+// filter probes on every demand miss and inserts on every
+// prefetch-displaces-demand eviction): a node-based hash set pays an
+// allocation per insert and two dependent cache misses per probe. Here the
+// bulk of the membership lives in one sorted vector (binary-searchable,
+// allocation-free at steady state) and mutations land in two small pending
+// buffers — `pending_` (recent inserts) and `dead_` (recent erases) — that
+// fold into the sorted spine only when they fill up, amortizing the merge.
+//
+// Semantics match std::unordered_set<uint64_t>: inserting a present value
+// and erasing an absent one are no-ops. Invariants: pending_ is disjoint
+// from sorted_, dead_ is a subset of sorted_, pending_ and dead_ are
+// disjoint.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace planaria {
+
+class DeferredSortedSet {
+ public:
+  bool contains(std::uint64_t v) const {
+    if (in_small(pending_, v)) return true;
+    return std::binary_search(sorted_.begin(), sorted_.end(), v) &&
+           !in_small(dead_, v);
+  }
+
+  void insert(std::uint64_t v) {
+    if (in_small(pending_, v)) return;
+    if (std::binary_search(sorted_.begin(), sorted_.end(), v)) {
+      // Present in the spine: live unless pending-dead, in which case the
+      // insert resurrects it.
+      auto it = std::find(dead_.begin(), dead_.end(), v);
+      if (it != dead_.end()) dead_.erase(it);
+      return;
+    }
+    pending_.push_back(v);
+    maybe_flush();
+  }
+
+  void erase(std::uint64_t v) {
+    auto it = std::find(pending_.begin(), pending_.end(), v);
+    if (it != pending_.end()) {
+      pending_.erase(it);
+      return;
+    }
+    if (std::binary_search(sorted_.begin(), sorted_.end(), v) &&
+        !in_small(dead_, v)) {
+      dead_.push_back(v);
+      maybe_flush();
+    }
+  }
+
+  std::size_t size() const {
+    return sorted_.size() + pending_.size() - dead_.size();
+  }
+
+  void clear() {
+    sorted_.clear();
+    pending_.clear();
+    dead_.clear();
+  }
+
+  /// Members in ascending order (canonical, for serialization). Const — the
+  /// merge happens into `out`, not into the spine.
+  void sorted_members(std::vector<std::uint64_t>& out) const {
+    out.clear();
+    out.reserve(size());
+    std::vector<std::uint64_t> dead = dead_;
+    std::sort(dead.begin(), dead.end());
+    std::set_difference(sorted_.begin(), sorted_.end(), dead.begin(),
+                        dead.end(), std::back_inserter(out));
+    out.insert(out.end(), pending_.begin(), pending_.end());
+    std::sort(out.begin(), out.end());
+  }
+
+  /// Bulk restore from a member list (deserialization). Input need not be
+  /// sorted or unique; the set normalizes it.
+  void assign(std::vector<std::uint64_t> members) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    sorted_ = std::move(members);
+    pending_.clear();
+    dead_.clear();
+  }
+
+ private:
+  static constexpr std::size_t kFlushThreshold = 64;
+
+  static bool in_small(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  }
+
+  void maybe_flush() {
+    if (pending_.size() + dead_.size() < kFlushThreshold) return;
+    std::sort(pending_.begin(), pending_.end());
+    std::sort(dead_.begin(), dead_.end());
+    scratch_.clear();
+    scratch_.reserve(sorted_.size() + pending_.size());
+    std::set_difference(sorted_.begin(), sorted_.end(), dead_.begin(),
+                        dead_.end(), std::back_inserter(scratch_));
+    const std::size_t mid = scratch_.size();
+    scratch_.insert(scratch_.end(), pending_.begin(), pending_.end());
+    std::inplace_merge(scratch_.begin(),
+                       scratch_.begin() + static_cast<std::ptrdiff_t>(mid),
+                       scratch_.end());
+    sorted_.swap(scratch_);
+    pending_.clear();
+    dead_.clear();
+  }
+
+  std::vector<std::uint64_t> sorted_;
+  std::vector<std::uint64_t> pending_;
+  std::vector<std::uint64_t> dead_;
+  std::vector<std::uint64_t> scratch_;  ///< flush merge buffer, capacity reused
+};
+
+}  // namespace planaria

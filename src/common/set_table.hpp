@@ -5,6 +5,13 @@
 // full CAM scan of that many entries would also be a simulation bottleneck.
 // Keys are hashed to a set with a strong 64-bit mixer; each set holds `ways`
 // entries replaced LRU. Same payload-centric interface as LruTable.
+//
+// Like LruTable, lookups go through an open-addressing TagIndex (key ->
+// global slot) instead of scanning the ways, and recency is a generation
+// stamp written on touch. Victim selection on a miss still walks the set's
+// ways — that scan is bounded by associativity, and keeping it verbatim
+// preserves the exact eviction order (first invalid way, else minimum
+// last_use) and the canonical save_state layout.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/tag_index.hpp"
 
 namespace planaria {
 
@@ -21,7 +29,8 @@ class SetAssocTable {
  public:
   SetAssocTable(std::size_t sets, int ways)
       : sets_(sets), ways_(ways),
-        entries_(sets * static_cast<std::size_t>(ways)) {
+        entries_(sets * static_cast<std::size_t>(ways)),
+        index_(entries_.size()) {
     PLANARIA_ASSERT(sets > 0 && (sets & (sets - 1)) == 0);
     PLANARIA_ASSERT(ways > 0);
   }
@@ -38,36 +47,32 @@ class SetAssocTable {
   }
 
   Payload* find(const Key& key) {
-    Entry* base = set_base(key);
-    for (int w = 0; w < ways_; ++w) {
-      if (base[w].valid && base[w].key == key) {
-        base[w].last_use = ++tick_;
-        return &base[w].payload;
-      }
-    }
-    return nullptr;
+    const std::uint32_t s = index_.find(static_cast<std::uint64_t>(key));
+    if (s == TagIndex::npos) return nullptr;
+    Entry& e = entries_[s];
+    e.last_use = ++tick_;
+    return &e.payload;
   }
 
   const Payload* peek(const Key& key) const {
-    const Entry* base = set_base(key);
-    for (int w = 0; w < ways_; ++w) {
-      if (base[w].valid && base[w].key == key) return &base[w].payload;
-    }
-    return nullptr;
+    const std::uint32_t s = index_.find(static_cast<std::uint64_t>(key));
+    return s == TagIndex::npos ? nullptr : &entries_[s].payload;
   }
 
   /// Inserts key -> payload; returns the evicted (key, payload) if a valid
   /// LRU victim had to make room.
   std::optional<std::pair<Key, Payload>> insert(const Key& key, Payload payload) {
+    const std::uint32_t hit = index_.find(static_cast<std::uint64_t>(key));
+    if (hit != TagIndex::npos) {
+      Entry& e = entries_[hit];
+      e.payload = std::move(payload);
+      e.last_use = ++tick_;
+      return std::nullopt;
+    }
     Entry* base = set_base(key);
     Entry* victim = nullptr;
     for (int w = 0; w < ways_; ++w) {
       Entry& e = base[w];
-      if (e.valid && e.key == key) {
-        e.payload = std::move(payload);
-        e.last_use = ++tick_;
-        return std::nullopt;
-      }
       if (!e.valid) {
         if (victim == nullptr || victim->valid) victim = &e;
       } else if (victim == nullptr ||
@@ -78,6 +83,7 @@ class SetAssocTable {
     PLANARIA_ASSERT(victim != nullptr);
     std::optional<std::pair<Key, Payload>> evicted;
     if (victim->valid) {
+      index_.erase(static_cast<std::uint64_t>(victim->key));
       evicted.emplace(victim->key, std::move(victim->payload));
     } else {
       ++live_;
@@ -86,24 +92,25 @@ class SetAssocTable {
     victim->payload = std::move(payload);
     victim->last_use = ++tick_;
     victim->valid = true;
+    index_.insert(static_cast<std::uint64_t>(key),
+                  static_cast<std::uint32_t>(victim - entries_.data()));
     return evicted;
   }
 
   std::optional<Payload> erase(const Key& key) {
-    Entry* base = set_base(key);
-    for (int w = 0; w < ways_; ++w) {
-      if (base[w].valid && base[w].key == key) {
-        base[w].valid = false;
-        --live_;
-        return std::move(base[w].payload);
-      }
-    }
-    return std::nullopt;
+    const std::uint32_t s = index_.find(static_cast<std::uint64_t>(key));
+    if (s == TagIndex::npos) return std::nullopt;
+    Entry& e = entries_[s];
+    e.valid = false;
+    --live_;
+    index_.erase(static_cast<std::uint64_t>(key));
+    return std::move(e.payload);
   }
 
   void clear() {
     for (auto& e : entries_) e.valid = false;
     live_ = 0;
+    index_.clear();
   }
 
   template <typename Fn>
@@ -129,6 +136,7 @@ class SetAssocTable {
       if (e.valid && pred(e.key, e.payload)) {
         e.valid = false;
         --live_;
+        index_.erase(static_cast<std::uint64_t>(e.key));
         on_evict(e.key, std::move(e.payload));
       }
     }
@@ -177,6 +185,8 @@ class SetAssocTable {
       e.last_use = r.u64();
       e.payload = lp(r);
       e.valid = true;
+      index_.insert(static_cast<std::uint64_t>(e.key),
+                    static_cast<std::uint32_t>(i));
     }
     live_ = static_cast<std::size_t>(count);
   }
@@ -214,6 +224,7 @@ class SetAssocTable {
   std::size_t sets_;
   int ways_;
   std::vector<Entry> entries_;
+  TagIndex index_;
   std::uint64_t tick_ = 0;
   std::size_t live_ = 0;
 };

@@ -1,0 +1,77 @@
+// Small-inline vector for trivially-copyable elements.
+//
+// The simulator's MSHR entries carry the arrival times of demands merged onto
+// an in-flight fill. Almost every entry holds zero or one waiter (a second
+// demand to the same airborne block within its DRAM service window is rare),
+// yet std::vector pays a heap allocation for the first push and a pointer
+// chase on every read. SmallVector keeps up to N elements in the object
+// itself and spills to a heap vector only past that, so the common case is
+// allocation-free and reads stay on the already-resident cache line.
+//
+// Deliberately minimal: append, iterate, clear — the full std::vector surface
+// (insert/erase/resize) is not needed on this path and not provided.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace planaria::common {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "the spill copy assumes trivially copyable elements");
+
+ public:
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  void push_back(const T& v) {
+    if (size_ < N) {
+      inline_[size_] = v;
+    } else {
+      if (size_ == N) heap_.assign(inline_, inline_ + N);  // spill once
+      heap_.push_back(v);
+    }
+    ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* begin() const { return size_ <= N ? inline_ : heap_.data(); }
+  const T* end() const { return begin() + size_; }
+  const T& operator[](std::size_t i) const { return begin()[i]; }
+
+  void clear() {
+    size_ = 0;
+    heap_.clear();
+  }
+
+  /// Pre-sizes only the spilled storage; inline capacity needs no warning.
+  void reserve(std::size_t n) {
+    if (n > N) heap_.reserve(n);
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    if (a.size_ != b.size_) return false;
+    const T* pa = a.begin();
+    const T* pb = b.begin();
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(pa[i] == pb[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T inline_[N] = {};
+  std::size_t size_ = 0;
+  std::vector<T> heap_;  ///< holds ALL elements once size_ exceeds N
+};
+
+}  // namespace planaria::common

@@ -7,15 +7,24 @@
 // template centralizes the bookkeeping so each prefetcher only describes its
 // payload, and gives tests one well-covered implementation to rely on.
 //
-// Complexity is O(capacity) per op, which is exact hardware behaviour (a CAM
-// probes every entry) and irrelevant at the 64-512 entry sizes used here.
+// Hardware probes every entry (a CAM), but the simulation does not have to:
+// an open-addressing TagIndex shadows the valid entries, making find / peek /
+// erase / hit-insert O(1). Recency is generation-stamped (a monotonic tick
+// per touch, no list reordering), so a hit writes one word. The slot array,
+// the eviction rule (first invalid slot in slot order, else minimum
+// last_use), and the save_state byte layout are unchanged from the linear
+// implementation — tests/test_perf_structures.cpp pins the two against each
+// other over randomized op sequences.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/tag_index.hpp"
 
 namespace planaria {
 
@@ -29,8 +38,10 @@ class LruTable {
     bool valid = false;
   };
 
-  explicit LruTable(std::size_t capacity) : entries_(capacity) {
+  explicit LruTable(std::size_t capacity)
+      : entries_(capacity), index_(capacity) {
     PLANARIA_ASSERT(capacity > 0);
+    reset_free();
   }
 
   std::size_t capacity() const { return entries_.size(); }
@@ -45,21 +56,17 @@ class LruTable {
 
   /// Looks up `key`; refreshes LRU on hit. Returns nullptr on miss.
   Payload* find(const Key& key) {
-    for (auto& e : entries_) {
-      if (e.valid && e.key == key) {
-        e.last_use = ++tick_;
-        return &e.payload;
-      }
-    }
-    return nullptr;
+    const std::uint32_t s = index_.find(static_cast<std::uint64_t>(key));
+    if (s == TagIndex::npos) return nullptr;
+    Entry& e = entries_[s];
+    e.last_use = ++tick_;
+    return &e.payload;
   }
 
   /// Lookup without touching LRU state (for inspection in tests/analysis).
   const Payload* peek(const Key& key) const {
-    for (const auto& e : entries_) {
-      if (e.valid && e.key == key) return &e.payload;
-    }
-    return nullptr;
+    const std::uint32_t s = index_.find(static_cast<std::uint64_t>(key));
+    return s == TagIndex::npos ? nullptr : &entries_[s].payload;
   }
 
   /// Inserts (or overwrites) key -> payload. If the table is full, evicts the
@@ -67,50 +74,60 @@ class LruTable {
   /// promotes evicted Accumulation Table bitmaps into the Pattern History
   /// Table this way).
   std::optional<Entry> insert(const Key& key, Payload payload) {
-    Entry* victim = nullptr;
-    for (auto& e : entries_) {
-      if (e.valid && e.key == key) {
-        e.payload = std::move(payload);
-        e.last_use = ++tick_;
-        return std::nullopt;
-      }
-      if (!e.valid) {
-        if (victim == nullptr || victim->valid) victim = &e;
-      } else if (victim == nullptr ||
-                 (victim->valid && e.last_use < victim->last_use)) {
-        victim = &e;
-      }
+    const std::uint32_t hit = index_.find(static_cast<std::uint64_t>(key));
+    if (hit != TagIndex::npos) {
+      Entry& e = entries_[hit];
+      e.payload = std::move(payload);
+      e.last_use = ++tick_;
+      return std::nullopt;
     }
-    PLANARIA_ASSERT(victim != nullptr);
     std::optional<Entry> evicted;
-    if (victim->valid) {
-      evicted = std::move(*victim);
-    } else {
+    std::size_t slot;
+    if (live_ < entries_.size()) {
+      // Lowest-indexed free slot: identical victim to the linear scan's
+      // "first invalid entry in slot order".
+      std::pop_heap(free_.begin(), free_.end(), std::greater<>{});
+      slot = free_.back();
+      free_.pop_back();
       ++live_;
+    } else {
+      slot = 0;
+      for (std::size_t i = 1; i < entries_.size(); ++i) {
+        if (entries_[i].last_use < entries_[slot].last_use) slot = i;
+      }
+      Entry& v = entries_[slot];
+      index_.erase(static_cast<std::uint64_t>(v.key));
+      evicted = std::move(v);
     }
-    victim->key = key;
-    victim->payload = std::move(payload);
-    victim->last_use = ++tick_;
-    victim->valid = true;
+    Entry& e = entries_[slot];
+    e.key = key;
+    e.payload = std::move(payload);
+    e.last_use = ++tick_;
+    e.valid = true;
+    index_.insert(static_cast<std::uint64_t>(key),
+                  static_cast<std::uint32_t>(slot));
     return evicted;
   }
 
   /// Removes `key`; returns its payload if present.
   std::optional<Payload> erase(const Key& key) {
-    for (auto& e : entries_) {
-      if (e.valid && e.key == key) {
-        e.valid = false;
-        --live_;
-        return std::move(e.payload);
-      }
-    }
-    return std::nullopt;
+    const std::uint32_t s = index_.find(static_cast<std::uint64_t>(key));
+    if (s == TagIndex::npos) return std::nullopt;
+    Entry& e = entries_[s];
+    e.valid = false;
+    --live_;
+    index_.erase(static_cast<std::uint64_t>(key));
+    free_.push_back(s);
+    std::push_heap(free_.begin(), free_.end(), std::greater<>{});
+    return std::move(e.payload);
   }
 
   void clear() {
     for (auto& e : entries_) e.valid = false;
     tick_ = 0;
     live_ = 0;
+    index_.clear();
+    reset_free();
   }
 
   /// Calls fn(key, payload&) for every valid entry. Iteration order is slot
@@ -133,10 +150,14 @@ class LruTable {
   /// on_evict(key, payload&&) for each. Used for timeout-based eviction.
   template <typename Pred, typename OnEvict>
   void evict_if(Pred&& pred, OnEvict&& on_evict) {
-    for (auto& e : entries_) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      Entry& e = entries_[i];
       if (e.valid && pred(e.key, e.payload)) {
         e.valid = false;
         --live_;
+        index_.erase(static_cast<std::uint64_t>(e.key));
+        free_.push_back(static_cast<std::uint32_t>(i));
+        std::push_heap(free_.begin(), free_.end(), std::greater<>{});
         on_evict(e.key, std::move(e.payload));
       }
     }
@@ -187,6 +208,7 @@ class LruTable {
       e.valid = true;
     }
     live_ = static_cast<std::size_t>(count);
+    rebuild_index();
   }
 
  private:
@@ -196,7 +218,30 @@ class LruTable {
     return n;
   }
 
+  void reset_free() {
+    free_.resize(entries_.size());
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      free_[i] = static_cast<std::uint32_t>(i);
+    }
+    // Ascending order is already a valid min-heap.
+  }
+
+  void rebuild_index() {
+    index_.clear();
+    free_.clear();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].valid) {
+        index_.insert(static_cast<std::uint64_t>(entries_[i].key),
+                      static_cast<std::uint32_t>(i));
+      } else {
+        free_.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
   std::vector<Entry> entries_;
+  TagIndex index_;
+  std::vector<std::uint32_t> free_;  ///< min-heap of invalid slot indices
   std::uint64_t tick_ = 0;
   std::size_t live_ = 0;
 };

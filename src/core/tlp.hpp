@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bitmap.hpp"
+#include "common/tag_index.hpp"
 #include "prefetch/prefetcher.hpp"
 
 namespace planaria::core {
@@ -77,13 +78,35 @@ class Tlp {
   void load_state(snapshot::Reader& r);
 
  private:
-  struct RptEntry {
-    PageNumber page = 0;
-    SegmentBitmap bitmap;
-    std::vector<bool> ref;   ///< ref[j]: entry j is an address-space neighbor
-    std::uint64_t last_use = 0;
-    bool valid = false;
-  };
+  // The RPT is stored as parallel columns rather than an array of structs:
+  // allocate() scans every slot's valid flag / LRU stamp (victim selection)
+  // and page number (Ref wiring) on each allocation, and issue() walks valid
+  // flags and bitmaps. Splitting the fields keeps each of those scans inside
+  // a handful of contiguous cache lines and lets the compiler vectorize the
+  // min/compare loops; the snapshot encoding is per-slot logical fields, so
+  // the layout change is invisible to PLNSNAP1 streams.
+  std::size_t slot_count() const { return pages_.size(); }
+
+  // The Ref matrix lives outside the entries in one flat bit matrix: row i
+  // occupies ref_[i*ref_words_ .. (i+1)*ref_words_), one bit per slot packed
+  // 64 slots per word (slot j -> word j/64 bit j%64). Allocation rewires a
+  // whole column, which on a contiguous matrix is a strided walk through a
+  // couple of KB instead of a pointer chase into N separate heap rows. Bits
+  // >= rpt_entries stay zero. The snapshot encoding (8 slots per byte) is
+  // exactly these words' little-endian bytes, so the packed representation
+  // serializes byte-identically to the old per-entry vector<bool>.
+  bool ref_get(std::size_t i, std::size_t j) const {
+    return ((ref_[i * ref_words_ + j / 64] >> (j % 64)) & 1u) != 0;
+  }
+  void ref_put(std::size_t i, std::size_t j, bool v) {
+    const std::uint64_t bit = 1ull << (j % 64);
+    std::uint64_t& word = ref_[i * ref_words_ + j / 64];
+    if (v) {
+      word |= bit;
+    } else {
+      word &= ~bit;
+    }
+  }
 
   int find_slot(PageNumber page) const;
   int allocate(PageNumber page);
@@ -94,7 +117,13 @@ class Tlp {
   bool ref_matrix_consistent() const;
 
   TlpConfig config_;
-  std::vector<RptEntry> entries_;
+  std::vector<PageNumber> pages_;        ///< per-slot page tag
+  std::vector<SegmentBitmap> bitmaps_;   ///< per-slot recent-access bitmap
+  std::vector<std::uint64_t> last_use_;  ///< per-slot LRU stamp
+  std::vector<std::uint8_t> valid_;      ///< per-slot occupancy flag
+  std::size_t ref_words_ = 1;        ///< 64-bit words per Ref row
+  std::vector<std::uint64_t> ref_;   ///< flat N x ref_words_ bit matrix
+  TagIndex page_index_;  ///< page -> RPT slot, shadowing the valid entries
   std::uint64_t tick_ = 0;
   TlpStats stats_;
   fault::FaultInjector* fault_ = nullptr;

@@ -19,9 +19,13 @@ DramChannel::DramChannel(const DramConfig& config)
               ? config.timing.tREFI / config.geometry.banks
               : config.timing.tREFI)) {
   config_.validate();
+  refresh_interval_ = refresh_due_;  // first deadline == deadline spacing
 }
 
 bool DramChannel::submit(const DramRequest& request) {
+  // Any accepted (or coalesced) request can change what the scheduler would
+  // issue next; drop the cached next-event bound.
+  next_event_valid_ = false;
   // `arrival` may be earlier than now_: the controller can have fast-forwarded
   // through refresh while the request was in flight toward it. earliest
   // command scheduling clamps to max(now_, arrival).
@@ -32,11 +36,15 @@ bool DramChannel::submit(const DramRequest& request) {
 
   if (request.is_write) {
     // Coalesce a write to a block already waiting in the write queue: the
-    // later data simply replaces the earlier burst.
-    for (auto& w : write_q_) {
-      if (w.req.local_block == request.local_block) {
-        w.req.tag = request.tag;
-        return true;
+    // later data simply replaces the earlier burst. The membership shadow
+    // answers the (overwhelmingly common) miss case without a scan; on a hit
+    // the scan finds the unique matching entry to retag.
+    if (write_blocks_.contains(request.local_block)) {
+      for (auto& w : write_q_) {
+        if (w.req.local_block == request.local_block) {
+          w.req.tag = request.tag;
+          return true;
+        }
       }
     }
     if (write_q_.size() >=
@@ -44,29 +52,29 @@ bool DramChannel::submit(const DramRequest& request) {
       ++counters_.read_queue_overflows;  // bus would have stalled here
     }
     write_q_.push_back(q);
+    write_blocks_.insert(request.local_block, 1);
     return true;
   }
 
-  // Read hitting the write queue is forwarded from the buffered data.
-  for (const auto& w : write_q_) {
-    if (w.req.local_block == request.local_block) {
-      DramCompletion c;
-      c.tag = request.tag;
-      c.arrival = request.arrival;
-      c.finish = request.arrival + static_cast<Cycle>(config_.timing.tCL);
-      c.is_prefetch = request.is_prefetch;
-      c.forwarded = true;
-      PLANARIA_ENSURE_MSG(kTimingMonotonicity, c.finish >= c.arrival,
-                          "forwarded read completed before it arrived");
-      completions_.push_back(c);
-      ++counters_.forwarded_reads;
-      if (request.is_prefetch) {
-        ++counters_.prefetch_reads;
-      } else {
-        ++counters_.demand_reads;
-      }
-      return true;
+  // Read hitting the write queue is forwarded from the buffered data. Only
+  // membership matters here — the completion is built from the read request.
+  if (write_blocks_.contains(request.local_block)) {
+    DramCompletion c;
+    c.tag = request.tag;
+    c.arrival = request.arrival;
+    c.finish = request.arrival + static_cast<Cycle>(config_.timing.tCL);
+    c.is_prefetch = request.is_prefetch;
+    c.forwarded = true;
+    PLANARIA_ENSURE_MSG(kTimingMonotonicity, c.finish >= c.arrival,
+                        "forwarded read completed before it arrived");
+    completions_.push_back(c);
+    ++counters_.forwarded_reads;
+    if (request.is_prefetch) {
+      ++counters_.prefetch_reads;
+    } else {
+      ++counters_.demand_reads;
     }
+    return true;
   }
 
   if (read_q_.size() >=
@@ -87,9 +95,9 @@ Cycle DramChannel::rank_act_ready(Cycle t, int rank) const {
   if (rs.have_last_act) {
     ready = std::max(ready, rs.last_act + static_cast<Cycle>(config_.timing.tRRD));
   }
-  if (rs.recent_acts.size() >= 4) {
+  if (rs.act_count >= RankState::kFawWindow) {
     ready = std::max(ready,
-                     rs.recent_acts.front() + static_cast<Cycle>(config_.timing.tFAW));
+                     rs.oldest_act() + static_cast<Cycle>(config_.timing.tFAW));
   }
   return ready;
 }
@@ -123,14 +131,34 @@ DramChannel::Candidate DramChannel::earliest_command(const Queued& q) const {
   return c;
 }
 
-bool DramChannel::pick(const std::deque<Queued>& queue, Candidate& out) const {
+bool DramChannel::pick(const std::vector<Queued>& queue, Candidate& out,
+                       Cycle& min_when) const {
   if (queue.empty()) return false;
 
   // Anti-starvation: a request past the age cap preempts FR-FCFS ordering.
+  // The winner's own time is the channel's next-event bound here: while the
+  // starved request stays at the front (and it does — only its own issue
+  // removes it), every later pick considers it alone, so no earlier command
+  // can materialize without new state.
   const Queued& oldest = queue.front();
   if (now_ > oldest.req.arrival + kStarvationAge) {
     out = earliest_command(oldest);
     out.index = 0;
+    min_when = out.when;
+    PLANARIA_DASSERT_MSG(pick_matches_reference(queue, true, out),
+                         "FR-FCFS picker diverged from the reference scan");
+    return true;
+  }
+
+  // Singleton queue (the common steady state): the lone request wins both
+  // priority classes, so the class bookkeeping below collapses to one
+  // earliest_command evaluation.
+  if (queue.size() == 1) {
+    out = earliest_command(oldest);
+    out.index = 0;
+    min_when = out.when;
+    PLANARIA_DASSERT_MSG(pick_matches_reference(queue, true, out),
+                         "FR-FCFS picker diverged from the reference scan");
     return true;
   }
 
@@ -164,10 +192,63 @@ bool DramChannel::pick(const std::deque<Queued>& queue, Candidate& out) const {
   out = (have_demand && best_demand.when <= best_any.when + kPrefetchSlack)
             ? best_demand
             : best_any;
+  min_when = best_any.when;
+  PLANARIA_DASSERT_MSG(pick_matches_reference(queue, true, out),
+                       "FR-FCFS picker diverged from the reference scan");
   return true;
 }
 
-void DramChannel::issue(std::deque<Queued>& queue, const Candidate& cand) {
+// Verbatim re-implementation of the pre-overhaul picker (deque-era FR-FCFS
+// scan), used only as a PLANARIA_DASSERT oracle. Any change to pick() must
+// keep this oracle in agreement or the divergence aborts in debug/sanitizer
+// builds before it can corrupt a result.
+bool DramChannel::pick_matches_reference(const std::vector<Queued>& queue,
+                                         bool found,
+                                         const Candidate& out) const {
+  Candidate ref;
+  bool ref_found = false;
+  if (!queue.empty()) {
+    const Queued& oldest = queue.front();
+    if (now_ > oldest.req.arrival + kStarvationAge) {
+      ref = earliest_command(oldest);
+      ref.index = 0;
+      ref_found = true;
+    } else {
+      bool have_demand = false, have_any = false;
+      Candidate best_demand, best_any;
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        Candidate c = earliest_command(queue[i]);
+        c.index = i;
+        const bool is_prefetch = queue[i].req.is_prefetch;
+        const auto better = [](const Candidate& c1, const Candidate& c2) {
+          if (c1.when != c2.when) return c1.when < c2.when;
+          if (c1.row_hit != c2.row_hit) return c1.row_hit;
+          return false;
+        };
+        if (!have_any || better(c, best_any)) {
+          best_any = c;
+          have_any = true;
+        }
+        if (!is_prefetch && (!have_demand || better(c, best_demand))) {
+          best_demand = c;
+          have_demand = true;
+        }
+      }
+      if (have_any) {
+        ref = (have_demand && best_demand.when <= best_any.when + kPrefetchSlack)
+                  ? best_demand
+                  : best_any;
+        ref_found = true;
+      }
+    }
+  }
+  if (ref_found != found) return false;
+  if (!found) return true;
+  return ref.when == out.when && ref.kind == out.kind &&
+         ref.index == out.index && ref.row_hit == out.row_hit;
+}
+
+void DramChannel::issue(std::vector<Queued>& queue, const Candidate& cand) {
   Queued& q = queue[cand.index];
   Bank& b = bank_of(q.loc);
   const auto& t = config_.timing;
@@ -185,8 +266,7 @@ void DramChannel::issue(std::deque<Queued>& queue, const Candidate& cand) {
       RankState& rs = ranks_[static_cast<std::size_t>(q.loc.rank)];
       rs.last_act = when;
       rs.have_last_act = true;
-      rs.recent_acts.push_back(when);
-      if (rs.recent_acts.size() > 4) rs.recent_acts.pop_front();
+      rs.push_act(when);
       ++counters_.activates;
       break;
     }
@@ -241,7 +321,20 @@ void DramChannel::issue(std::deque<Queued>& queue, const Candidate& cand) {
       }
       counters_.busy_data_cycles += burst;
       completions_.push_back(c);
+      const std::uint64_t done_block = q.req.local_block;
+      const bool from_write_q = &queue == &write_q_;
       queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(cand.index));
+      if (from_write_q) {
+        // Keep the shadow exact even if a restored queue held duplicate
+        // blocks: membership stays while any twin remains queued.
+        write_blocks_.erase(done_block);
+        for (const Queued& e : write_q_) {
+          if (e.req.local_block == done_block) {
+            write_blocks_.insert(done_block, 1);
+            break;
+          }
+        }
+      }
       break;
     }
   }
@@ -329,15 +422,33 @@ void DramChannel::advance(Cycle until) {
   if (until < now_) until = now_;
   const auto& ctrl = config_.controller;
 
+  // Event jump: when the cached bound says nothing can issue by `until` and
+  // no refresh deadline falls due either, the whole preamble below is a
+  // no-op (the hysteresis already reached its fixed point when the bound was
+  // cached, and candidate issue times are independent of now_ below the
+  // bound), so the clock moves in O(1). The oracle assertion re-runs the
+  // full picker to prove the skip changed nothing.
+  if (next_event_valid_ && refresh_due_ > until && next_event_when_ > until) {
+    PLANARIA_DASSERT_MSG(
+        [&] {
+          Candidate c;
+          Cycle mw = 0;
+          const std::vector<Queued>& active =
+              draining_writes_ ? write_q_ : read_q_;
+          return !pick(active, c, mw) || mw > until;
+        }(),
+        "next-event cache skipped an issuable command");
+    now_ = until;
+    counters_.elapsed = now_;
+    return;
+  }
+  next_event_valid_ = false;
+
   while (true) {
     // Refresh debt: every deadline that has passed becomes one owed refresh.
-    const auto refresh_interval = static_cast<Cycle>(
-        config_.controller.per_bank_refresh
-            ? config_.timing.tREFI / config_.geometry.banks
-            : config_.timing.tREFI);
     while (refresh_due_ <= now_) {
       ++postponed_refreshes_;
-      refresh_due_ += refresh_interval;
+      refresh_due_ += refresh_interval_;
     }
     if (postponed_refreshes_ > 0 &&
         (postponed_refreshes_ >= ctrl.max_postponed_refreshes ||
@@ -361,17 +472,31 @@ void DramChannel::advance(Cycle until) {
       }
     }
 
-    std::deque<Queued>& active = draining_writes_ ? write_q_ : read_q_;
+    std::vector<Queued>& active = draining_writes_ ? write_q_ : read_q_;
     Candidate cand;
-    if (!pick(active, cand)) {
-      // Idle: fast-forward refresh deadlines up to `until`, then stop.
+    Cycle min_when = 0;
+    if (!pick(active, cand, min_when)) {
+      // Idle: fast-forward refresh deadlines up to `until`, then stop. With
+      // both queues empty every owed refresh was already performed above, so
+      // the next event is the next deadline — cacheable as "infinitely far"
+      // on the command side.
       while (read_q_.empty() && write_q_.empty() && refresh_due_ <= until) {
         perform_refresh(refresh_due_);
-        refresh_due_ += refresh_interval;
+        refresh_due_ += refresh_interval_;
+      }
+      if (read_q_.empty() && write_q_.empty()) {
+        next_event_valid_ = true;
+        next_event_when_ = ~Cycle{0};
       }
       break;
     }
-    if (cand.when > until) break;
+    if (cand.when > until) {
+      // Nothing issuable by the horizon: min_when lower-bounds the next
+      // command for every later advance() until new state arrives.
+      next_event_valid_ = true;
+      next_event_when_ = min_when;
+      break;
+    }
     cand.when = exit_powerdown(cand.when);
     issue(active, cand);
   }
@@ -398,10 +523,14 @@ void DramChannel::drain() {
 }
 
 void DramChannel::take_completions(std::vector<DramCompletion>& out) {
-  std::sort(completions_.begin(), completions_.end(),
-            [](const DramCompletion& a, const DramCompletion& b) {
-              return a.finish < b.finish;
-            });
+  // Most steps drain zero or one completion; a singleton is trivially sorted
+  // and skipping the std::sort call entirely keeps that common case flat.
+  if (completions_.size() > 1) {
+    std::sort(completions_.begin(), completions_.end(),
+              [](const DramCompletion& a, const DramCompletion& b) {
+                return a.finish < b.finish;
+              });
+  }
   // Command scheduling clamps issue to max(now, arrival), so no burst can
   // complete before its request reached the controller. Each completion is
   // checked exactly once across the channel's lifetime.
@@ -433,7 +562,7 @@ void DramChannel::save_state(snapshot::Writer& w) const {
     w.u64(b.rdwr_allowed);
     w.u64(b.pre_allowed);
   }
-  const auto save_queue = [&w](const std::deque<Queued>& q) {
+  const auto save_queue = [&w](const std::vector<Queued>& q) {
     w.u64(static_cast<std::uint64_t>(q.size()));
     for (const Queued& e : q) {
       w.u64(e.req.local_block);
@@ -463,8 +592,8 @@ void DramChannel::save_state(snapshot::Writer& w) const {
   w.u64(next_write_ok_);
   w.u64(static_cast<std::uint64_t>(ranks_.size()));
   for (const RankState& rs : ranks_) {
-    w.u64(static_cast<std::uint64_t>(rs.recent_acts.size()));
-    for (Cycle c : rs.recent_acts) w.u64(c);
+    w.u64(static_cast<std::uint64_t>(rs.act_count));
+    for (std::size_t i = 0; i < rs.act_count; ++i) w.u64(rs.act_at(i));
     w.u64(rs.last_act);
     w.b(rs.have_last_act);
   }
@@ -497,6 +626,7 @@ void DramChannel::save_state(snapshot::Writer& w) const {
 }
 
 void DramChannel::load_state(snapshot::Reader& r) {
+  next_event_valid_ = false;  // derived state; never trust it across a restore
   r.expect_tag(snapshot::tag4("DRM0"));
   if (r.u64() != banks_.size()) {
     throw snapshot::SnapshotError("DRAM bank count mismatch");
@@ -508,7 +638,7 @@ void DramChannel::load_state(snapshot::Reader& r) {
     b.rdwr_allowed = r.u64();
     b.pre_allowed = r.u64();
   }
-  const auto load_queue = [this, &r](std::deque<Queued>& q) {
+  const auto load_queue = [this, &r](std::vector<Queued>& q) {
     const std::uint64_t n = r.u64();
     q.clear();
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -526,6 +656,14 @@ void DramChannel::load_state(snapshot::Reader& r) {
   };
   load_queue(read_q_);
   load_queue(write_q_);
+  // Rebuild the derived write-queue membership shadow (first occurrence wins,
+  // mirroring the pre-index forwarding scan on a crafted duplicate).
+  write_blocks_.clear();
+  for (const Queued& e : write_q_) {
+    if (!write_blocks_.contains(e.req.local_block)) {
+      write_blocks_.insert(e.req.local_block, 1);
+    }
+  }
   const std::uint64_t completion_count = r.u64();
   completions_.clear();
   for (std::uint64_t i = 0; i < completion_count; ++i) {
@@ -548,8 +686,11 @@ void DramChannel::load_state(snapshot::Reader& r) {
   }
   for (RankState& rs : ranks_) {
     const std::uint64_t acts = r.u64();
-    rs.recent_acts.clear();
-    for (std::uint64_t i = 0; i < acts; ++i) rs.recent_acts.push_back(r.u64());
+    if (acts > RankState::kFawWindow) {
+      throw snapshot::SnapshotError("rank ACT window larger than tFAW depth");
+    }
+    rs.clear_acts();
+    for (std::uint64_t i = 0; i < acts; ++i) rs.push_act(r.u64());
     rs.last_act = r.u64();
     rs.have_last_act = r.b();
   }

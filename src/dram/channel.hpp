@@ -17,9 +17,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/block_map.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "dram/config.hpp"
@@ -86,6 +86,7 @@ class DramChannel {
   /// lifts; only timing shifts, so no contract can fire from this class.
   void inject_stall(Cycle cycles) {
     next_cmd_ok_ = std::max(next_cmd_ok_, now_ + cycles);
+    next_event_valid_ = false;
   }
 
   /// Completions accumulated since the last call (sorted by finish cycle).
@@ -94,6 +95,11 @@ class DramChannel {
   /// for the channel's whole lifetime instead of reallocating every step.
   void take_completions(std::vector<DramCompletion>& out);
   std::vector<DramCompletion> take_completions();
+
+  /// True iff a data burst (or forwarded read) landed since the last
+  /// take_completions(). Lets the per-record step skip the drain call on the
+  /// many steps where nothing finished.
+  bool has_completions() const { return !completions_.empty(); }
 
   Cycle now() const { return now_; }
   const ChannelCounters& counters() const { return counters_; }
@@ -146,9 +152,20 @@ class DramChannel {
   }
 
   /// Picks the FR-FCFS winner from `queue`; returns false if empty.
-  bool pick(const std::deque<Queued>& queue, Candidate& out) const;
+  /// `min_when` receives the earliest issue time over ALL candidates (the
+  /// winner's own time under anti-starvation) — the lower bound advance()
+  /// caches as the channel's next event.
+  bool pick(const std::vector<Queued>& queue, Candidate& out,
+            Cycle& min_when) const;
 
-  void issue(std::deque<Queued>& queue, const Candidate& cand);
+  /// The original O(queue) FR-FCFS scan, kept verbatim as the oracle the
+  /// production picker is cross-checked against under PLANARIA_DASSERT
+  /// (debug / sanitizer builds): any divergence in (when, kind, index,
+  /// row_hit) aborts.
+  bool pick_matches_reference(const std::vector<Queued>& queue, bool found,
+                              const Candidate& out) const;
+
+  void issue(std::vector<Queued>& queue, const Candidate& cand);
   void perform_refresh(Cycle at);
   void perform_bank_refresh(Cycle at);
   Cycle rank_turnaround(Cycle t, int rank) const;
@@ -163,25 +180,64 @@ class DramChannel {
   DramConfig config_;
   AddressMapper mapper_;
   std::vector<Bank> banks_;
-  std::deque<Queued> read_q_;
-  std::deque<Queued> write_q_;
+  // Request queues are vectors, not deques: FR-FCFS scans every entry per
+  // pick and a contiguous scan is several times cheaper than chasing deque
+  // map nodes. Entries leave from arbitrary positions (erase preserves FCFS
+  // order); queue depth is capped by the controller config so the shift is
+  // a few cache lines at worst.
+  std::vector<Queued> read_q_;
+  std::vector<Queued> write_q_;
+  // Membership shadow of write_q_ by block: every read submitted probes the
+  // write queue for store-to-load forwarding and every write probes it for
+  // coalescing, so the common miss case must not pay a linear scan. Blocks
+  // in write_q_ are unique (coalescing guarantees it), so presence is enough;
+  // the rare coalesce hit still scans to find the entry to update. Derived
+  // state: rebuilt from write_q_ on restore, never serialized.
+  common::BlockMap<std::uint8_t> write_blocks_;
   std::vector<DramCompletion> completions_;
 
   Cycle now_ = 0;
   Cycle next_cmd_ok_ = 0;    ///< command-bus serialization (tCMD)
   Cycle next_read_ok_ = 0;   ///< data-bus + turnaround constraint for reads
   Cycle next_write_ok_ = 0;  ///< data-bus + turnaround constraint for writes
-  /// Per-rank ACT tracking (tFAW window, tRRD).
+  /// Per-rank ACT tracking (tFAW window, tRRD). The tFAW window only ever
+  /// needs the last four ACT times, so they live in a fixed ring (a deque
+  /// here put a pointer chase on every ACT candidate evaluation). Snapshot
+  /// encoding iterates oldest to newest — byte-identical to the deque it
+  /// replaced.
   struct RankState {
-    std::deque<Cycle> recent_acts;
+    static constexpr std::size_t kFawWindow = 4;
+    Cycle acts[kFawWindow] = {0, 0, 0, 0};
+    std::size_t act_head = 0;   ///< slot of the oldest entry when full
+    std::size_t act_count = 0;  ///< 0..kFawWindow
     Cycle last_act = 0;
     bool have_last_act = false;
+
+    void push_act(Cycle when) {
+      if (act_count < kFawWindow) {
+        acts[(act_head + act_count) % kFawWindow] = when;
+        ++act_count;
+      } else {
+        acts[act_head] = when;  // overwrite oldest == push_back + pop_front
+        act_head = (act_head + 1) % kFawWindow;
+      }
+    }
+    Cycle oldest_act() const { return acts[act_head]; }
+    /// i-th entry, oldest first (for the canonical snapshot order).
+    Cycle act_at(std::size_t i) const {
+      return acts[(act_head + i) % kFawWindow];
+    }
+    void clear_acts() {
+      act_head = 0;
+      act_count = 0;
+    }
   };
   std::vector<RankState> ranks_;
   int last_burst_rank_ = -1;  ///< for inter-rank tRTRS bus turnaround
   Cycle last_burst_end_ = 0;
 
   Cycle refresh_due_;
+  Cycle refresh_interval_ = 0;  ///< deadline spacing, fixed by the config
   int refresh_bank_rr_ = 0;  ///< REFpb round-robin cursor
   Cycle last_cmd_time_ = 0;  ///< for power-down entry detection (tXP exits)
   bool ever_issued_ = false; ///< pre-init state is not billed as power-down
@@ -189,6 +245,18 @@ class DramChannel {
   bool draining_writes_ = false;
   std::uint64_t order_counter_ = 0;
   ChannelCounters counters_;
+
+  // Next-event cache (NOT serialized — pure derived state). When valid, no
+  // command can issue strictly before next_event_when_ as long as the
+  // queues, bank and bus state are untouched; candidate issue times do not
+  // depend on now_ below that bound, so jumping the clock is exact. Set
+  // when advance() stops with nothing issuable by its horizon; invalidated
+  // by submit(), inject_stall() and load_state(). Refresh deadlines are
+  // checked separately against refresh_due_. Lets advance() jump to `until`
+  // in O(1) instead of re-running the refresh/hysteresis/pick preamble only
+  // to conclude "nothing yet".
+  bool next_event_valid_ = false;
+  Cycle next_event_when_ = 0;
 
   /// Requests older than this many cycles win over row hits (anti-starvation).
   static constexpr Cycle kStarvationAge = 2000;

@@ -68,6 +68,11 @@ const char* recovery_outcome_name(RecoveryReport::Outcome outcome);
 /// check at load time instead of producing subtly wrong results.
 std::uint64_t trace_fingerprint(const std::vector<trace::TraceRecord>& records);
 
+/// Columnar form. Produces the *identical* value to the vector overload on
+/// the same logical trace — resume validation must not care which container
+/// the caller happened to hold.
+std::uint64_t trace_fingerprint(const trace::TraceBatch& batch);
+
 /// Serializes `sim` plus the resume envelope (cursor, trace fingerprint) and
 /// installs it as the current snapshot: the previous current is rotated to
 /// .prev first, then the new bytes land via write-temp-and-rename. A crash
@@ -91,6 +96,17 @@ std::uint64_t load_checkpoint(Simulator& sim, const std::string& path,
 SimResult run_checkpointed(const SimConfig& config, PrefetcherFactory factory,
                            std::string prefetcher_name,
                            const std::vector<trace::TraceRecord>& records,
+                           const CheckpointConfig& ckpt,
+                           common::ThreadPool* pool = nullptr,
+                           RecoveryReport* report = nullptr);
+
+/// Columnar form: feeds chunks through the TraceBatch span overload of
+/// Simulator::run_sharded. Bit-identical to the vector form on the same
+/// logical trace (same fingerprint, same chunking, same admission order), so
+/// a snapshot written by one is resumable by the other.
+SimResult run_checkpointed(const SimConfig& config, PrefetcherFactory factory,
+                           std::string prefetcher_name,
+                           const trace::TraceBatch& batch,
                            const CheckpointConfig& ckpt,
                            common::ThreadPool* pool = nullptr,
                            RecoveryReport* report = nullptr);

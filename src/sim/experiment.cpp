@@ -34,7 +34,7 @@ ExperimentRunner::ExperimentRunner(SimConfig config, std::uint64_t records,
   checkpoint_every_ = env.every;
 }
 
-const std::vector<trace::TraceRecord>& ExperimentRunner::trace_for(
+ExperimentRunner::TraceEntry& ExperimentRunner::entry_for(
     const std::string& app) {
   TraceEntry* entry = nullptr;
   {
@@ -43,8 +43,20 @@ const std::vector<trace::TraceRecord>& ExperimentRunner::trace_for(
   }
   std::call_once(entry->once, [&] {
     entry->records = trace::generate_app_trace(trace::app_by_name(app), records_);
+    // Build the columnar mirror inside the same once: every later reader
+    // (vector or batch) sees both forms complete.
+    entry->batch = trace::TraceBatch(entry->records);
   });
-  return entry->records;
+  return *entry;
+}
+
+const std::vector<trace::TraceRecord>& ExperimentRunner::trace_for(
+    const std::string& app) {
+  return entry_for(app).records;
+}
+
+const trace::TraceBatch& ExperimentRunner::batch_for(const std::string& app) {
+  return entry_for(app).batch;
 }
 
 void ExperimentRunner::clear_trace_cache() {
@@ -98,7 +110,7 @@ void ExperimentRunner::store_cell(const std::string& app, const char* kind,
 SimResult ExperimentRunner::run_cell(const std::string& app,
                                      PrefetcherKind kind,
                                      const PrefetcherFactory& factory) {
-  const auto& records = trace_for(app);
+  const auto& batch = batch_for(app);
   // Each cell checkpoints under its own label so concurrent cells on the
   // pool never rotate each other's snapshots. Disabled when the runner has
   // no checkpoint dir or no interval.
@@ -109,7 +121,7 @@ SimResult ExperimentRunner::run_cell(const std::string& app,
     ckpt.label = std::string("cell_") + app + "_" + prefetcher_kind_name(kind);
   }
   return run_checkpointed(config_, factory, prefetcher_kind_name(kind),
-                          records, ckpt, pool_.get(), nullptr);
+                          batch, ckpt, pool_.get(), nullptr);
 }
 
 SimResult ExperimentRunner::run(const std::string& app, PrefetcherKind kind) {

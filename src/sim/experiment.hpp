@@ -55,6 +55,12 @@ class ExperimentRunner {
   /// racing to generate their own copies.
   const std::vector<trace::TraceRecord>& trace_for(const std::string& app);
 
+  /// Columnar (SoA) view of the same cached trace, built once per app
+  /// alongside the record vector. Cells consume this form: the simulator's
+  /// admission loop then streams three flat columns instead of striding
+  /// through 24-byte structs.
+  const trace::TraceBatch& batch_for(const std::string& app);
+
   /// One cell of the grid (channel-sharded across the pool when one exists).
   SimResult run(const std::string& app, PrefetcherKind kind);
 
@@ -102,7 +108,10 @@ class ExperimentRunner {
   struct TraceEntry {
     std::once_flag once;
     std::vector<trace::TraceRecord> records;
+    trace::TraceBatch batch;  ///< SoA mirror of `records`, built in the once
   };
+
+  TraceEntry& entry_for(const std::string& app);
 
   SimResult run_cell(const std::string& app, PrefetcherKind kind,
                      const PrefetcherFactory& factory);

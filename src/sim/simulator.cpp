@@ -6,8 +6,10 @@
 #include "check/contract.hpp"
 #include "common/assert.hpp"
 #include "core/coordinators.hpp"
+#include "prefetch/bop.hpp"
 #include "prefetch/simple.hpp"
 #include "prefetch/sms.hpp"
+#include "prefetch/spp.hpp"
 #include "sim/checkpoint.hpp"
 
 namespace planaria::sim {
@@ -131,24 +133,63 @@ Simulator::Simulator(const SimConfig& config, PrefetcherFactory factory,
           config_.fault, static_cast<std::uint64_t>(c));
       ch.pf->set_fault_injector(ch.fault.get());
     }
+    ch.kernel = select_kernel(ch.pf.get());
     channels_.push_back(std::move(ch));
   }
 }
 
-void Simulator::process_completions(Channel& ch) {
+Simulator::ChannelKernel Simulator::select_kernel(
+    const prefetch::Prefetcher* pf) {
+  // One dynamic_cast chain per channel per run — never per record. Each
+  // matched type is final, so the kernel instantiated for it binds
+  // on_demand/on_fill statically. Composites (Serial/ParallelComposite) and
+  // any type registered by tests fall through to the generic virtual loop.
+  if (dynamic_cast<const core::PlanariaPrefetcher*>(pf) != nullptr) {
+    return ChannelKernel::kPlanaria;
+  }
+  if (dynamic_cast<const prefetch::NullPrefetcher*>(pf) != nullptr) {
+    return ChannelKernel::kNull;
+  }
+  if (dynamic_cast<const prefetch::BestOffsetPrefetcher*>(pf) != nullptr) {
+    return ChannelKernel::kBop;
+  }
+  if (dynamic_cast<const prefetch::SignaturePathPrefetcher*>(pf) != nullptr) {
+    return ChannelKernel::kSpp;
+  }
+  if (dynamic_cast<const prefetch::SmsPrefetcher*>(pf) != nullptr) {
+    return ChannelKernel::kSms;
+  }
+  if (dynamic_cast<const prefetch::NextLinePrefetcher*>(pf) != nullptr) {
+    return ChannelKernel::kNextLine;
+  }
+  if (dynamic_cast<const prefetch::StridePrefetcher*>(pf) != nullptr) {
+    return ChannelKernel::kStride;
+  }
+  return ChannelKernel::kGeneric;
+}
+
+Simulator::HotParams Simulator::hot_params() const {
+  return HotParams{config_.sc_hit_latency, config_.max_prefetches_per_trigger,
+                   config_.fault.prefetch_delay_cycles,
+                   config_.fault.dram_stall_cycles};
+}
+
+template <typename PF>
+void Simulator::process_completions_k(Channel& ch, const HotParams& hp) {
+  if (!ch.dram->has_completions()) return;  // common case: nothing landed
   ch.dram->take_completions(ch.done_scratch);
   for (const auto& done : ch.done_scratch) {
     if (done.is_write) continue;  // posted; nothing waits on write data
     const std::uint64_t block = done.tag;
-    auto it = ch.in_flight.find(block);
-    if (it == ch.in_flight.end()) continue;  // e.g. forwarded writeback race
-    InFlight& fly = it->second;
+    InFlight* hit = ch.in_flight.find(block);
+    if (hit == nullptr) continue;  // e.g. forwarded writeback race
+    InFlight& fly = *hit;
 
     // Resolve every demand that merged onto this fill.
     for (const Cycle waiter_arrival : fly.demand_waiters) {
       const Cycle dram_part =
           done.finish > waiter_arrival ? done.finish - waiter_arrival : 0;
-      ch.acct.demand_read_latency_sum += config_.sc_hit_latency + dram_part;
+      ch.acct.demand_read_latency_sum += hp.sc_hit_latency + dram_part;
       ++ch.acct.resolved_demand_reads;
     }
 
@@ -166,31 +207,34 @@ void Simulator::process_completions(Channel& ch) {
       wb.tag = fill.writeback_block;
       ch.dram->submit(wb);
     }
-    ch.pf->on_fill(block, fly.source != cache::FillSource::kDemand, done.finish);
-    ch.in_flight.erase(it);
+    static_cast<PF&>(*ch.pf).on_fill(
+        block, fly.source != cache::FillSource::kDemand, done.finish);
+    ch.in_flight.erase(block);
   }
 }
 
-void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
+template <typename PF>
+void Simulator::handle_demand_k(Channel& ch, const trace::TraceRecord& record,
+                                const HotParams& hp) {
   const std::uint64_t block = dram::AddressMapper::local_block(record.address);
   const auto result = ch.sc->access(block, record.type);
 
   if (record.type == AccessType::kRead) {
     ++ch.acct.demand_reads;
     if (result.hit) {
-      ch.acct.demand_read_latency_sum += config_.sc_hit_latency;
+      ch.acct.demand_read_latency_sum += hp.sc_hit_latency;
       ++ch.acct.resolved_demand_reads;
-    } else if (auto it = ch.in_flight.find(block); it != ch.in_flight.end()) {
+    } else if (InFlight* fly = ch.in_flight.find(block); fly != nullptr) {
       // Merge with the airborne fill (hit under miss / late prefetch).
-      if (it->second.was_prefetch) ++ch.acct.late_prefetch_merges;
-      it->second.demand_waiters.push_back(record.arrival);
+      if (fly->was_prefetch) ++ch.acct.late_prefetch_merges;
+      fly->demand_waiters.push_back(record.arrival);
     } else {
       dram::DramRequest req;
       req.local_block = block;
       req.arrival = record.arrival;
       req.tag = block;
       ch.dram->submit(req);
-      ch.in_flight.emplace(
+      ch.in_flight.insert(
           block,
           InFlight{cache::FillSource::kDemand, false, {record.arrival}});
     }
@@ -219,15 +263,15 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
   event.hit_was_prefetch = result.first_use_of_prefetch;
 
   ch.scratch.clear();
-  ch.pf->on_demand(event, ch.scratch);
+  static_cast<PF&>(*ch.pf).on_demand(event, ch.scratch);
 
   int issued_this_trigger = 0;
   for (const auto& pf : ch.scratch) {
-    if (issued_this_trigger >= config_.max_prefetches_per_trigger) break;
+    if (issued_this_trigger >= hp.max_prefetches_per_trigger) break;
     const std::uint64_t target = pf.local_block;
     if (target == block) continue;
     if (ch.sc->contains(target)) continue;
-    if (ch.in_flight.count(target) != 0) continue;
+    if (ch.in_flight.contains(target)) continue;
     // Fault hooks fire only for prefetches that survived deduplication — the
     // ones that would actually reach the channel. A dropped prefetch takes
     // the same exit as a saturated-queue drop (no issue accounting, no
@@ -240,7 +284,7 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
       }
       if (ch.fault->roll(fault::FaultClass::kPrefetchDelay)) {
         ch.fault->record(fault::FaultClass::kPrefetchDelay);
-        issue_at += config_.fault.prefetch_delay_cycles;
+        issue_at += hp.prefetch_delay_cycles;
       }
     }
     dram::DramRequest req;
@@ -249,7 +293,7 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
     req.is_prefetch = true;
     req.tag = target;
     if (!ch.dram->submit(req)) continue;  // dropped: channel saturated
-    ch.in_flight.emplace(target, InFlight{pf.source, true, {}});
+    ch.in_flight.insert(target, InFlight{pf.source, true, {}});
     ++ch.acct.prefetch_issued;
     ++issued_this_trigger;
   }
@@ -257,18 +301,73 @@ void Simulator::handle_demand(Channel& ch, const trace::TraceRecord& record) {
   // assume; overshooting it would silently inflate every prefetcher's issue
   // rate.
   PLANARIA_ENSURE_MSG(kCoordinatorExclusivity,
-                      issued_this_trigger <= config_.max_prefetches_per_trigger,
+                      issued_this_trigger <= hp.max_prefetches_per_trigger,
                       "prefetch degree cap exceeded on one trigger");
 }
 
-void Simulator::step_channel(Channel& ch, const trace::TraceRecord& record) {
+template <typename PF>
+void Simulator::step_channel_k(Channel& ch, const trace::TraceRecord& record,
+                               const HotParams& hp) {
   if (ch.fault != nullptr && ch.fault->roll(fault::FaultClass::kDramStall)) {
-    ch.dram->inject_stall(config_.fault.dram_stall_cycles);
+    ch.dram->inject_stall(hp.dram_stall_cycles);
     ch.fault->record(fault::FaultClass::kDramStall);
   }
   ch.dram->advance(record.arrival);
-  process_completions(ch);
-  handle_demand(ch, record);
+  process_completions_k<PF>(ch, hp);
+  handle_demand_k<PF>(ch, record, hp);
+}
+
+void Simulator::process_completions(Channel& ch) {
+  process_completions_k<prefetch::Prefetcher>(ch, hot_params());
+}
+
+void Simulator::step_channel(Channel& ch, const trace::TraceRecord& record) {
+  step_channel_k<prefetch::Prefetcher>(ch, record, hot_params());
+}
+
+template <typename PF>
+void Simulator::run_channel_shard_k(Channel& ch) {
+  const HotParams hp = hot_params();
+  const std::size_t n = ch.shard.size();
+  const Address* addresses = ch.shard.addresses();
+  const Cycle* arrivals = ch.shard.arrivals();
+  const std::uint8_t* meta = ch.shard.meta();
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::TraceRecord rec{addresses[i], arrivals[i],
+                                 trace::TraceBatch::meta_type(meta[i]),
+                                 trace::TraceBatch::meta_device(meta[i])};
+    step_channel_k<PF>(ch, rec, hp);
+  }
+}
+
+void Simulator::run_channel_shard(Channel& ch) {
+  switch (ch.kernel) {
+    case ChannelKernel::kNull:
+      run_channel_shard_k<prefetch::NullPrefetcher>(ch);
+      return;
+    case ChannelKernel::kBop:
+      run_channel_shard_k<prefetch::BestOffsetPrefetcher>(ch);
+      return;
+    case ChannelKernel::kSpp:
+      run_channel_shard_k<prefetch::SignaturePathPrefetcher>(ch);
+      return;
+    case ChannelKernel::kSms:
+      run_channel_shard_k<prefetch::SmsPrefetcher>(ch);
+      return;
+    case ChannelKernel::kPlanaria:
+      run_channel_shard_k<core::PlanariaPrefetcher>(ch);
+      return;
+    case ChannelKernel::kNextLine:
+      run_channel_shard_k<prefetch::NextLinePrefetcher>(ch);
+      return;
+    case ChannelKernel::kStride:
+      run_channel_shard_k<prefetch::StridePrefetcher>(ch);
+      return;
+    case ChannelKernel::kGeneric:
+      run_channel_shard_k<prefetch::Prefetcher>(ch);
+      return;
+  }
+  PLANARIA_UNREACHABLE();
 }
 
 void Simulator::corrupt_and_admit(trace::TraceRecord& rec) {
@@ -319,30 +418,67 @@ void Simulator::run_sharded(const trace::TraceRecord* begin,
 
   // One pass replaces the per-record addr::channel_of dispatch: apply ingest
   // faults and validate the global time order once (corrupt_and_admit, the
-  // same serial admission step() uses), then split into per-channel streams.
-  // Each stream is a subsequence of a non-decreasing (post-clamp) sequence,
-  // so per-channel monotonicity is inherited.
-  // lint: suppress(hot-alloc) one allocation per run_sharded batch, not per record; thousands of records amortize it and the shards alias a corrupted copy of caller storage that must not outlive the call
-  std::vector<std::vector<trace::TraceRecord>> shards(
-      static_cast<std::size_t>(kChannels));
-  for (auto& shard : shards) shard.reserve(count / kChannels + 1);
+  // same serial admission step() uses), then split into per-channel SoA
+  // shards. Each shard is a subsequence of a non-decreasing (post-clamp)
+  // sequence, so per-channel monotonicity is inherited. The shard columns
+  // live in the Channel so their capacity persists across batches — after
+  // the first chunk the admission loop allocates nothing.
+  for (auto& ch : channels_) {
+    ch.shard.clear();
+    ch.shard.reserve(count / static_cast<std::size_t>(kChannels) + 1);
+  }
   for (const trace::TraceRecord* p = begin; p != end; ++p) {
     trace::TraceRecord rec = *p;
     corrupt_and_admit(rec);
-    shards[static_cast<std::size_t>(addr::channel_of(rec.address))]
-        .push_back(rec);
+    channels_[static_cast<std::size_t>(addr::channel_of(rec.address))]
+        .shard.push_back(rec);
   }
+  run_shards(pool);
+}
 
-  const auto run_channel = [&](std::size_t c) {
-    Channel& ch = channels_[c];
-    for (const auto& rec : shards[c]) step_channel(ch, rec);
-  };
+void Simulator::run_sharded(const trace::TraceBatch& batch, std::size_t begin,
+                            std::size_t end, common::ThreadPool* pool) {
+  PLANARIA_REQUIRE_MSG(kTimingMonotonicity, !finished_,
+                       "run_sharded() after finish()");
+  PLANARIA_REQUIRE_MSG(kTimingMonotonicity,
+                       begin <= end && end <= batch.size(),
+                       "run_sharded() batch span out of range");
+  if (begin == end) return;
+  const std::size_t count = end - begin;
+
+  for (auto& ch : channels_) {
+    ch.shard.clear();
+    ch.shard.reserve(count / static_cast<std::size_t>(kChannels) + 1);
+  }
+  // Columnar admission: the batch's columns stream sequentially; each record
+  // is materialized once for corruption/admission and lands directly in its
+  // channel's SoA shard.
+  const Address* addresses = batch.addresses();
+  const Cycle* arrivals = batch.arrivals();
+  const std::uint8_t* meta = batch.meta();
+  for (std::size_t i = begin; i < end; ++i) {
+    trace::TraceRecord rec{addresses[i], arrivals[i],
+                           trace::TraceBatch::meta_type(meta[i]),
+                           trace::TraceBatch::meta_device(meta[i])};
+    corrupt_and_admit(rec);
+    channels_[static_cast<std::size_t>(addr::channel_of(rec.address))]
+        .shard.push_back(rec);
+  }
+  run_shards(pool);
+}
+
+void Simulator::run_sharded(const trace::TraceBatch& batch,
+                            common::ThreadPool* pool) {
+  run_sharded(batch, 0, batch.size(), pool);
+}
+
+void Simulator::run_shards(common::ThreadPool* pool) {
   if (pool != nullptr && pool->size() > 1) {
-    pool->parallel_for(static_cast<std::size_t>(kChannels), run_channel);
+    pool->parallel_for(static_cast<std::size_t>(kChannels), [&](std::size_t c) {
+      run_channel_shard(channels_[c]);
+    });
   } else {
-    for (std::size_t c = 0; c < static_cast<std::size_t>(kChannels); ++c) {
-      run_channel(c);
-    }
+    for (auto& ch : channels_) run_channel_shard(ch);
   }
 }
 
@@ -368,11 +504,12 @@ SimResult Simulator::finish() {
     ch.dram->drain();
     process_completions(ch);
     // Any still-unresolved in-flight entries would indicate lost completions.
-    // lint: suppress(unordered-iteration) order-independent emptiness check; no value leaves this loop
-    for (const auto& [block, fly] : ch.in_flight) {
+    // Unordered visitation is safe: this is an order-independent check and
+    // no value leaves the callback.
+    ch.in_flight.for_each([](std::uint64_t, const InFlight& fly) {
       PLANARIA_ENSURE_MSG(kTimingMonotonicity, fly.demand_waiters.empty(),
                           "demand read never completed");
-    }
+    });
     ch.in_flight.clear();
 
     const auto& cs = ch.sc->stats();
@@ -522,15 +659,16 @@ void Simulator::save_state(snapshot::Writer& w) const {
     ch.dram->save_state(w);
     w.b(ch.fault != nullptr);
     if (ch.fault != nullptr) ch.fault->save_state(w);
-    // MSHR map, sorted by block so the encoding is canonical.
+    // MSHR map, sorted by block so the encoding is canonical (keys are
+    // collected from the unordered table, then sorted).
     std::vector<std::uint64_t> blocks;
     blocks.reserve(ch.in_flight.size());
-    // lint: suppress(unordered-iteration) keys are collected then sorted; the encoding below is canonical
-    for (const auto& [block, fly] : ch.in_flight) blocks.push_back(block);
+    ch.in_flight.for_each(
+        [&](std::uint64_t block, const InFlight&) { blocks.push_back(block); });
     std::sort(blocks.begin(), blocks.end());
     w.u64(static_cast<std::uint64_t>(blocks.size()));
     for (std::uint64_t block : blocks) {
-      const InFlight& fly = ch.in_flight.at(block);
+      const InFlight& fly = *ch.in_flight.find(block);
       w.u64(block);
       w.u8(static_cast<std::uint8_t>(fly.source));
       w.b(fly.was_prefetch);
@@ -597,7 +735,7 @@ void Simulator::load_state(snapshot::Reader& r) {
       for (std::uint64_t i = 0; i < waiters; ++i) {
         fly.demand_waiters.push_back(r.u64());
       }
-      ch.in_flight.emplace(block, std::move(fly));
+      ch.in_flight.insert(block, std::move(fly));
     }
     ch.acct.demand_reads = r.u64();
     ch.acct.demand_writes = r.u64();

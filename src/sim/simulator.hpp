@@ -23,16 +23,18 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/system_cache.hpp"
+#include "common/block_map.hpp"
+#include "common/small_vector.hpp"
 #include "common/thread_pool.hpp"
 #include "core/planaria.hpp"
 #include "dram/channel.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "sim/config.hpp"
 #include "snapshot/snapshot.hpp"
+#include "trace/batch.hpp"
 #include "trace/record.hpp"
 
 namespace planaria::sim {
@@ -134,6 +136,15 @@ class Simulator {
                    const trace::TraceRecord* end,
                    common::ThreadPool* pool = nullptr);
 
+  /// SoA form: consumes records [begin, end) of a columnar TraceBatch
+  /// directly, without materializing AoS records in between. Admission,
+  /// sharding and per-channel execution are the same code as the record
+  /// overloads, so all forms are bit-identical and freely mixable.
+  void run_sharded(const trace::TraceBatch& batch, std::size_t begin,
+                   std::size_t end, common::ThreadPool* pool = nullptr);
+  void run_sharded(const trace::TraceBatch& batch,
+                   common::ThreadPool* pool = nullptr);
+
   /// Drains all in-flight traffic and produces the aggregate result.
   /// Per-channel partials are merged in channel order, so the reduction is
   /// deterministic regardless of how the channels were executed.
@@ -164,8 +175,36 @@ class Simulator {
  private:
   struct InFlight {
     cache::FillSource source = cache::FillSource::kDemand;
-    bool was_prefetch = false;          ///< issued speculatively
-    std::vector<Cycle> demand_waiters;  ///< arrival times of merged demands
+    bool was_prefetch = false;  ///< issued speculatively
+    /// Arrival times of merged demands. Nearly always 0 or 1 entries (a
+    /// second demand to the same airborne block inside its service window is
+    /// rare), so the storage is inline — no allocation on the merge path.
+    common::SmallVector<Cycle, 2> demand_waiters;
+  };
+
+  /// Which monomorphized inner loop drives a channel. Selected once at
+  /// construction from the concrete prefetcher type; kGeneric (virtual
+  /// dispatch per record) remains for composites and test doubles, and is
+  /// always behaviorally identical to the specialized kernels — they differ
+  /// only in how on_demand/on_fill are bound.
+  enum class ChannelKernel : std::uint8_t {
+    kGeneric = 0,
+    kNull,
+    kBop,
+    kSpp,
+    kSms,
+    kPlanaria,
+    kNextLine,
+    kStride,
+  };
+
+  /// Per-record config values hoisted out of the inner loop: one struct read
+  /// per channel run instead of a config_ member load per access.
+  struct HotParams {
+    Cycle sc_hit_latency = 0;
+    int max_prefetches_per_trigger = 0;
+    Cycle prefetch_delay_cycles = 0;
+    Cycle dram_stall_cycles = 0;
   };
 
   /// Per-channel accounting partials. Everything is an integer so the
@@ -185,13 +224,17 @@ class Simulator {
     std::unique_ptr<cache::SystemCache> sc;
     std::unique_ptr<prefetch::Prefetcher> pf;
     std::unique_ptr<dram::DramChannel> dram;
-    std::unordered_map<std::uint64_t, InFlight> in_flight;  ///< by local block
+    common::BlockMap<InFlight> in_flight;  ///< MSHR table, by local block
     Accounting acct;
     std::vector<prefetch::PrefetchRequest> scratch;  ///< per-channel: shards
                                                      ///< run concurrently
     /// Reused completion buffer for take_completions (hot-alloc: the sink
     /// overload ping-pongs this capacity with the channel's pending buffer).
     std::vector<dram::DramCompletion> done_scratch;
+    /// This channel's slice of the current run_sharded call, SoA. A member
+    /// (not a per-call local) so its column capacity is reused across chunks.
+    trace::TraceBatch shard;
+    ChannelKernel kernel = ChannelKernel::kGeneric;
     /// Per-channel fault injector (null when no class is armed). Channel
     /// faults draw from a channel-indexed stream, so injection stays
     /// deterministic however the channels are scheduled.
@@ -204,9 +247,30 @@ class Simulator {
   /// ingest decision stream is consumed identically in both paths.
   void corrupt_and_admit(trace::TraceRecord& rec);
 
+  HotParams hot_params() const;
+  static ChannelKernel select_kernel(const prefetch::Prefetcher* pf);
+
+  /// Monomorphized per-record pipeline: PF is the channel's concrete
+  /// prefetcher type (or prefetch::Prefetcher for the generic kernel), so
+  /// on_demand/on_fill bind statically — the leaf classes are final — and
+  /// the per-record virtual dispatch disappears from the specialized loops.
+  template <typename PF>
+  void process_completions_k(Channel& ch, const HotParams& hp);
+  template <typename PF>
+  void handle_demand_k(Channel& ch, const trace::TraceRecord& record,
+                       const HotParams& hp);
+  template <typename PF>
+  void step_channel_k(Channel& ch, const trace::TraceRecord& record,
+                      const HotParams& hp);
+  template <typename PF>
+  void run_channel_shard_k(Channel& ch);
+
   void process_completions(Channel& ch);
-  void handle_demand(Channel& ch, const trace::TraceRecord& record);
   void step_channel(Channel& ch, const trace::TraceRecord& record);
+  /// Drains ch.shard through the kernel selected at construction.
+  void run_channel_shard(Channel& ch);
+  /// Runs every channel's shard (on `pool` when supplied) and clears them.
+  void run_shards(common::ThreadPool* pool);
 
   SimConfig config_;
   std::string name_;

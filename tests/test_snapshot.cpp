@@ -315,6 +315,39 @@ TEST(SnapshotRoundTrip, EveryReplacementPolicyIsByteStable) {
   }
 }
 
+// LruPolicy is the one policy class visible in the header (the cache calls
+// it through a concrete pointer on the hot path), so it gets a standalone
+// round-trip in addition to the through-the-cache sweep above.
+TEST(SnapshotRoundTrip, LruPolicyIsByteStableStandalone) {
+  cache::LruPolicy original(64, 16);
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const auto set = static_cast<std::uint32_t>(rng.next_below(64));
+    const int way = static_cast<int>(rng.next_below(16));
+    if (rng.chance(0.5)) {
+      original.on_hit(set, way);
+    } else {
+      original.on_fill(set, way, rng.chance(0.3));
+    }
+  }
+  snapshot::Writer first;
+  original.save_state(first);
+
+  cache::LruPolicy restored(64, 16);
+  snapshot::Reader r(first.buffer());
+  restored.load_state(r);
+  r.require_end();
+  // Victim choice is the policy's entire observable behaviour; the restored
+  // instance must agree with the original on every set.
+  for (std::uint32_t set = 0; set < 64; ++set) {
+    EXPECT_EQ(original.victim(set), restored.victim(set));
+  }
+
+  snapshot::Writer second;
+  restored.save_state(second);
+  EXPECT_EQ(first.buffer(), second.buffer());
+}
+
 TEST(SnapshotRoundTrip, FaultInjectorResumesItsStreamsExactly) {
   const auto plan = fault::FaultPlan::single(fault::FaultClass::kPrefetchDrop,
                                             0.5, 99);
