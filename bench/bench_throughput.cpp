@@ -111,6 +111,25 @@ std::uint64_t peak_rss_bytes() {
   return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
 }
 
+/// FNV-1a over the workload-defining knobs. Throughput entries are only
+/// comparable when they measured the same grid: records/sec at 2k records
+/// per cell and at 100k are different quantities (fixed per-cell setup
+/// amortizes differently), so the CI perf gate keys its baseline lookup on
+/// this hash and compares like with like. The Python side of the gate
+/// (.github/workflows/ci.yml perf-smoke) reimplements this byte for byte —
+/// keep the two in sync.
+std::uint64_t bench_config_hash(std::uint64_t records, std::size_t apps,
+                                std::size_t kinds) {
+  const std::string key = std::to_string(records) + "|" +
+                          std::to_string(apps) + "|" + std::to_string(kinds);
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
 int main() {
@@ -170,13 +189,18 @@ int main() {
   // One self-contained JSON object per bench invocation, accumulated as a
   // JSON-lines trajectory (append, never overwrite): each line records the
   // revision the numbers were measured at.
+  char hash_hex[24];
+  std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                static_cast<unsigned long long>(bench_config_hash(
+                    records, trace::app_names().size(), kinds.size())));
   std::string entry =
       "{\"git_rev\": \"" PLANARIA_GIT_REV "\", \"records_per_cell\": " +
       std::to_string(records) +
       ", \"apps\": " + std::to_string(trace::app_names().size()) +
       ", \"kinds\": " + std::to_string(kinds.size()) +
       ", \"grid_records\": " + std::to_string(grid_records) +
-      ", \"hardware_concurrency\": " + std::to_string(hw) + ", \"runs\": [";
+      ", \"bench_config_hash\": \"" + hash_hex +
+      "\", \"hardware_concurrency\": " + std::to_string(hw) + ", \"runs\": [";
 
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     const std::size_t threads = thread_counts[i];

@@ -24,9 +24,14 @@
 #                 faults x threads) matrix, asserting the resumed run is
 #                 bit-identical to an uninterrupted one, plus truncated /
 #                 CRC-corrupt snapshot recovery
-#   7. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
+#   7. serve    — planaria-audit --stage serve: the multi-tenant serving loop
+#                 under backpressure, drills and faults — graceful-drain
+#                 accounting, kill/resume drills at seeded ticks x {1,4}
+#                 threads with a byte-identity gate, and a chaos soak with
+#                 all six fault classes armed per tenant
+#   8. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
 #                 PLANARIA_THREADS pool
-#   8. tidy     — clang-tidy over src/ against the compilation database
+#   9. tidy     — clang-tidy over src/ against the compilation database
 #                 (skipped with a notice if clang-tidy is not installed)
 #
 # Every stage runs even if an earlier one fails; each stage runs under a
@@ -111,6 +116,10 @@ stage_crash() {
   "$AUDIT" --stage crash
 }
 
+stage_serve() {
+  "$AUDIT" --stage serve
+}
+
 stage_tsan() {
   cmake -B build-tsan -S . -DPLANARIA_WERROR=ON \
     -DPLANARIA_SANITIZE=thread >/dev/null
@@ -140,6 +149,7 @@ export AUDIT
 run_stage audit 900 stage_audit
 run_stage chaos 900 stage_chaos
 run_stage crash 1200 stage_crash
+run_stage serve 900 stage_serve
 
 if [[ "$SKIP_TSAN" -eq 0 ]]; then
   run_stage tsan 1800 stage_tsan

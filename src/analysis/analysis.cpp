@@ -6,6 +6,35 @@
 
 namespace planaria::analysis {
 
+void StreamSummary::add(double value) {
+  sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), value),
+                 value);
+}
+
+double StreamSummary::quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  // Nearest rank: ceil(q * n) as a 1-based rank.
+  const double scaled = q * static_cast<double>(sorted_.size());
+  std::size_t rank = static_cast<std::size_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;
+  if (rank == 0) rank = 1;
+  return sorted_[rank - 1];
+}
+
+double StreamSummary::mean() const {
+  if (sorted_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : sorted_) sum += v;
+  return sum / static_cast<double>(sorted_.size());
+}
+
+const StreamSummary* GroupedSummary::find(const std::string& key) const {
+  const auto it = groups.find(key);
+  return it == groups.end() ? nullptr : &it->second;
+}
+
 std::vector<FootprintSample> footprint_snapshot(
     const std::vector<trace::TraceRecord>& records, PageNumber page) {
   std::vector<FootprintSample> out;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/bitmap.hpp"
@@ -22,6 +23,42 @@
 #include "trace/record.hpp"
 
 namespace planaria::analysis {
+
+/// Exact online summary of one metric stream (AMAT, IPC, hit rate ... one
+/// value per finished serving session). Values are kept sorted, so every
+/// observable — quantiles by nearest rank, the mean summed in ascending
+/// order, min/max — is a pure function of the value *set*, independent of
+/// insertion order. That insertion-order independence is load-bearing: the
+/// serving loop folds sessions in as they finish, while a resumed server
+/// rebuilds the same summary from checkpointed results in session-id order,
+/// and the two must compare equal bit for bit (operator== included).
+/// Insertion is O(n); fleets are thousands of sessions, not millions.
+class StreamSummary {
+ public:
+  void add(double value);
+  std::uint64_t count() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+  /// Nearest-rank quantile (q in [0, 1]); 0.0 on an empty summary.
+  double quantile(double q) const;
+  /// Mean accumulated in ascending value order (deterministic bytes).
+  double mean() const;
+  double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+  double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+  friend bool operator==(const StreamSummary&, const StreamSummary&) = default;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// StreamSummary keyed by a grouping label (app name, device class). The
+/// serve layer maintains one per reported metric and surfaces rolling
+/// per-app / per-device percentiles from live fleets.
+struct GroupedSummary {
+  std::map<std::string, StreamSummary> groups;
+  void add(const std::string& key, double value) { groups[key].add(value); }
+  const StreamSummary* find(const std::string& key) const;
+  friend bool operator==(const GroupedSummary&, const GroupedSummary&) = default;
+};
 
 struct FootprintSample {
   Cycle arrival;

@@ -74,6 +74,14 @@ struct FaultPlan {
   /// Plan with exactly one class armed — the chaos audit's unit of isolation.
   static FaultPlan single(FaultClass fault_class, double rate,
                           std::uint64_t seed);
+
+  /// Session-scoped derivative: identical classes, rates and intervals, seed
+  /// re-mixed with the session id through a splitmix64 finalizer. A serving
+  /// fleet arms one plan and gives every tenant its own fault universe —
+  /// adjacent ids draw fully decorrelated sequences, and the derivation is
+  /// stable across runs, thread counts and resume points (the serve audit's
+  /// kill/resume drills depend on exactly this).
+  FaultPlan for_session(std::uint64_t session_id) const;
 };
 
 /// Turns a FaultPlan into a deterministic decision sequence for one execution

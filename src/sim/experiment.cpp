@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -157,7 +158,7 @@ std::map<std::string, std::map<std::string, SimResult>> ExperimentRunner::sweep(
   // in cell order after the join, so the report is deterministic too.
   std::vector<SimResult> results(apps.size() * kinds.size());
   std::vector<std::unique_ptr<FailureReport>> failed(results.size());
-  const auto run_one = [&](std::size_t i) {
+  const auto attempt_one = [&](std::size_t i) {
     const std::string& app = apps[i / kinds.size()];
     const std::size_t k = i % kinds.size();
     const char* kind_name = prefetcher_kind_name(kinds[k]);
@@ -175,38 +176,107 @@ std::map<std::string, std::map<std::string, SimResult>> ExperimentRunner::sweep(
     if (verbose) {
       std::fprintf(stderr, "  running %s / %s...\n", app.c_str(), kind_name);
     }
-    const auto persist = [&] {
-      if (!checkpoint_dir_.empty()) store_cell(app, kind_name, results[i]);
-    };
-    if (failures == nullptr) {
-      results[i] = run_cell(app, kinds[k], factories[k]);
-      persist();
-      return;
-    }
-    // Isolated mode: one retry covers transient causes (OOM pressure,
-    // filesystem hiccups behind the trace cache); a deterministic failure
-    // fails both attempts and is reported once, with the cell's slot left
-    // default-constructed so the rest of the grid still lands.
-    constexpr int kMaxAttempts = 2;
-    for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
-      try {
-        results[i] = run_cell(app, kinds[k], factories[k]);
-        persist();
-        return;
-      } catch (const std::exception& e) {
-        if (attempt == kMaxAttempts) {
-          failed[i] = std::make_unique<FailureReport>(FailureReport{
-              app, kind_name, attempt, e.what()});
-        }
-      }
-    }
+    results[i] = run_cell(app, kinds[k], factories[k]);
+    if (!checkpoint_dir_.empty()) store_cell(app, kind_name, results[i]);
   };
-  if (pool_) {
-    pool_->parallel_for(results.size(), run_one);
+  if (failures == nullptr) {
+    // Fast path: the first cell exception propagates exactly as before.
+    if (pool_) {
+      pool_->parallel_for(results.size(), attempt_one);
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i) attempt_one(i);
+    }
   } else {
-    for (std::size_t i = 0; i < results.size(); ++i) run_one(i);
-  }
-  if (failures != nullptr) {
+    // Isolated mode: each failing cell is retried under deterministic seeded
+    // exponential backoff. "Time" here is a scheduler round counter — the
+    // batch sweep's sim-tick analog (the determinism lint bans wall clocks) —
+    // and a cell that fails on attempt a is parked for
+    // min(kBase << (a-1), kCap) rounds plus a seeded jitter draw, so
+    // correlated transients (e.g. memory pressure across pooled cells) are
+    // not retried in lockstep. The schedule is a pure function of
+    // (cell index, attempt): identical at every thread count and on every
+    // rerun. A cell that exhausts kMaxAttempts keeps its slot
+    // default-constructed and files one FailureReport (cell order), with its
+    // backoff history recorded; every other cell still lands.
+    constexpr int kMaxAttempts = 3;
+    constexpr std::uint64_t kBackoffBaseRounds = 2;
+    constexpr std::uint64_t kBackoffCapRounds = 16;
+    constexpr std::uint64_t kBackoffJitterSeed = 0xB0FF'5EEDull;
+    std::vector<std::uint8_t> failed_now(results.size(), 0);
+    std::vector<std::string> errors(results.size());
+    const auto run_isolated = [&](std::size_t i) {
+      try {
+        attempt_one(i);
+        failed_now[i] = 0;
+      } catch (const std::exception& e) {
+        failed_now[i] = 1;
+        errors[i] = e.what();
+      }
+    };
+    const auto backoff_delay = [&](std::size_t i, int attempt) {
+      std::uint64_t shift = static_cast<std::uint64_t>(attempt) - 1;
+      if (shift > 62) shift = 62;
+      std::uint64_t delay = kBackoffBaseRounds << shift;
+      if (delay > kBackoffCapRounds) delay = kBackoffCapRounds;
+      Rng jitter(kBackoffJitterSeed ^ (i * 0x9E3779B97F4A7C15ull) ^
+                 static_cast<std::uint64_t>(attempt));
+      return delay + jitter.next_below(kBackoffBaseRounds + 1);
+    };
+    if (pool_) {
+      pool_->parallel_for(results.size(), run_isolated);
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i) run_isolated(i);
+    }
+    std::vector<int> attempts(results.size(), 1);
+    std::vector<std::uint64_t> eligible(results.size(), 0);
+    std::vector<std::uint64_t> waited(results.size(), 0);
+    std::vector<std::size_t> pending;
+    std::uint64_t round = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (failed_now[i] == 0) continue;
+      const std::uint64_t delay = backoff_delay(i, attempts[i]);
+      eligible[i] = round + delay;
+      waited[i] += delay;
+      pending.push_back(i);
+    }
+    std::vector<std::size_t> runnable;
+    while (!pending.empty()) {
+      // Advance straight to the earliest eligible round: idle rounds carry
+      // no work, but the skipped wait stays charged to each cell.
+      round = eligible[pending.front()];
+      for (const std::size_t i : pending) round = std::min(round, eligible[i]);
+      runnable.clear();
+      for (const std::size_t i : pending) {
+        if (eligible[i] <= round) runnable.push_back(i);
+      }
+      if (pool_) {
+        pool_->parallel_for(runnable.size(),
+                            [&](std::size_t j) { run_isolated(runnable[j]); });
+      } else {
+        for (const std::size_t i : runnable) run_isolated(i);
+      }
+      std::vector<std::size_t> still_pending;
+      for (const std::size_t i : pending) {
+        if (eligible[i] > round) {
+          still_pending.push_back(i);
+          continue;
+        }
+        if (failed_now[i] == 0) continue;
+        ++attempts[i];
+        if (attempts[i] >= kMaxAttempts) {
+          failed[i] = std::make_unique<FailureReport>(FailureReport{
+              apps[i / kinds.size()],
+              prefetcher_kind_name(kinds[i % kinds.size()]), attempts[i],
+              attempts[i] - 1, waited[i], errors[i]});
+          continue;
+        }
+        const std::uint64_t delay = backoff_delay(i, attempts[i]);
+        eligible[i] = round + delay;
+        waited[i] += delay;
+        still_pending.push_back(i);
+      }
+      pending = std::move(still_pending);
+    }
     for (auto& f : failed) {
       if (f != nullptr) failures->push_back(std::move(*f));
     }

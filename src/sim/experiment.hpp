@@ -39,6 +39,11 @@ struct FailureReport {
   std::string app;
   std::string kind;
   int attempts = 0;   ///< how many times the cell was tried (1 + retries)
+  int backoffs = 0;   ///< retries that were scheduled (attempts - 1)
+  /// Total scheduler rounds the cell spent parked between attempts —
+  /// deterministic sim-tick delays (seeded exponential backoff with jitter),
+  /// never wall clock.
+  std::uint64_t backoff_rounds = 0;
   std::string what;   ///< message of the last attempt's exception
 };
 

@@ -93,6 +93,35 @@ void Reader::require_end() const {
   }
 }
 
+void Writer::end_section(std::size_t token) {
+  if (token < 8 || token > buf_.size()) {
+    throw SnapshotError("end_section token does not match a begin_section");
+  }
+  const std::uint64_t len = buf_.size() - token;
+  for (int i = 0; i < 8; ++i) {
+    buf_[token - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(len >> (8 * i));
+  }
+}
+
+std::uint64_t Reader::enter_section(std::uint32_t expected) {
+  expect_tag(expected);
+  const std::uint64_t len = u64();
+  if (len > remaining()) {
+    throw SnapshotError("section length " + std::to_string(len) +
+                        " exceeds the " + std::to_string(remaining()) +
+                        " bytes remaining");
+  }
+  return len;
+}
+
+void Reader::skip(std::uint64_t bytes) {
+  if (bytes > remaining()) {
+    throw SnapshotError("skip past end of payload");
+  }
+  pos_ += static_cast<std::size_t>(bytes);
+}
+
 void write_file(const std::string& path,
                 const std::vector<std::uint8_t>& payload) {
   Writer header;

@@ -79,6 +79,23 @@ class Writer {
   }
   void tag(std::uint32_t t) { u32(t); }
 
+  /// Opens a length-prefixed section: writes `t` plus a u64 placeholder that
+  /// the matching end_section() backpatches with the enclosed byte count.
+  /// Length framing lets a reader bound one component's bytes — skip a
+  /// section it cannot decode, or verify a decode consumed exactly its
+  /// section — which is what keeps one damaged session record in the serve
+  /// envelope from desynchronizing every record after it. Sections nest;
+  /// close them in LIFO order.
+  std::size_t begin_section(std::uint32_t t) {
+    tag(t);
+    u64(0);
+    return buf_.size();
+  }
+
+  /// Closes the section opened by the begin_section() that returned `token`,
+  /// patching its length prefix in place.
+  void end_section(std::size_t token);
+
   const std::vector<std::uint8_t>& buffer() const { return buf_; }
 
  private:
@@ -111,6 +128,21 @@ class Reader {
   /// Consumes a tag and requires it to equal `expected` — the payload-level
   /// framing check that catches desynchronized or reordered sections.
   void expect_tag(std::uint32_t expected);
+
+  /// Consumes the tag + length prefix written by Writer::begin_section and
+  /// returns the section's byte length, after checking the length fits in
+  /// the remaining buffer (an over-long prefix is corruption, not a request
+  /// to read past the end). Pair with position() to verify the decode
+  /// consumed exactly the section, or with skip() to step over it.
+  std::uint64_t enter_section(std::uint32_t expected);
+
+  /// Skips `bytes` without decoding them (e.g. a section whose tag version
+  /// this reader does not understand).
+  void skip(std::uint64_t bytes);
+
+  /// Current decode offset into the payload; section consumers compare
+  /// before/after against an enter_section() length.
+  std::size_t position() const { return pos_; }
 
   std::size_t remaining() const { return size_ - pos_; }
   bool at_end() const { return pos_ == size_; }

@@ -167,5 +167,74 @@ TEST(Neighbors, EmptyTraceGivesZeros) {
   EXPECT_EQ(fractions[0], 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Rolling summaries (the serve layer's fleet aggregation)
+// ---------------------------------------------------------------------------
+
+TEST(StreamSummary, NearestRankQuantilesAndExtremes) {
+  StreamSummary s;
+  for (double v : {5.0, 1.0, 4.0, 2.0, 3.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  // Nearest-rank: rank = ceil(q * n), 1-based.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.9), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  // q = 0.2 -> rank 1, q = 0.21 -> rank 2: the estimator is a step function.
+  EXPECT_DOUBLE_EQ(s.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.21), 2.0);
+}
+
+TEST(StreamSummary, InsertionOrderIsInvisible) {
+  // The serve loop folds results in completion order live, but in id order
+  // after a resume; the two summaries must compare equal bit-for-bit. The
+  // summary therefore sorts its values and sums the mean ascending — any
+  // order-dependent accumulation would break this with FP non-associativity.
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(1.0 / 3.0 + i * 0.1 + (i % 7) * 1e-13);
+  }
+  StreamSummary forward;
+  for (double v : values) forward.add(v);
+  StreamSummary backward;
+  for (auto it = values.rbegin(); it != values.rend(); ++it) backward.add(*it);
+  StreamSummary shuffled;  // deterministic interleave, no RNG needed
+  for (std::size_t i = 0; i < values.size(); i += 2) shuffled.add(values[i]);
+  for (std::size_t i = 1; i < values.size(); i += 2) shuffled.add(values[i]);
+  EXPECT_TRUE(forward == backward);
+  EXPECT_TRUE(forward == shuffled);
+  EXPECT_EQ(forward.mean(), backward.mean());  // exact, not approximate
+}
+
+TEST(StreamSummary, EmptySummaryIsInert) {
+  const StreamSummary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(s == StreamSummary{});
+}
+
+TEST(GroupedSummary, GroupsByKeyAndFindsThem) {
+  GroupedSummary g;
+  g.add("phone", 10.0);
+  g.add("phone", 20.0);
+  g.add("tablet", 5.0);
+  ASSERT_NE(g.find("phone"), nullptr);
+  EXPECT_EQ(g.find("phone")->count(), 2u);
+  EXPECT_DOUBLE_EQ(g.find("phone")->mean(), 15.0);
+  EXPECT_EQ(g.find("tablet")->count(), 1u);
+  EXPECT_EQ(g.find("missing"), nullptr);
+
+  GroupedSummary same;
+  same.add("tablet", 5.0);  // different arrival order, same content
+  same.add("phone", 20.0);
+  same.add("phone", 10.0);
+  EXPECT_TRUE(g == same);
+}
+
 }  // namespace
 }  // namespace planaria::analysis

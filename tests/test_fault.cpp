@@ -263,4 +263,54 @@ TEST(FaultSimulation, ConfigValidateRejectsBadFaultPlan) {
   EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
+TEST(FaultPlanPerSession, DerivedPlansKeepRatesButDecorrelateSeeds) {
+  FaultPlan base = FaultPlan::single(FaultClass::kPrefetchDrop, 0.25, 0xABCD);
+  base.dram_stall_cycles = 777;
+
+  const FaultPlan a = base.for_session(0);
+  const FaultPlan b = base.for_session(1);
+  // Same policy: rates and intervals are untouched, validity is preserved.
+  for (int c = 0; c < fault::kFaultClassCount; ++c) {
+    EXPECT_EQ(a.rate[c], base.rate[c]);
+    EXPECT_EQ(b.rate[c], base.rate[c]);
+  }
+  EXPECT_EQ(a.dram_stall_cycles, base.dram_stall_cycles);
+  EXPECT_NO_THROW(a.validate());
+  // Different universe: adjacent ids (and the base itself) get distinct
+  // seeds, so their injectors' decision sequences diverge immediately.
+  EXPECT_NE(a.seed, base.seed);
+  EXPECT_NE(a.seed, b.seed);
+
+  // Stability: the derivation is a pure function of (plan, id) — the serve
+  // layer rebuilds injectors from for_session at resume time and needs the
+  // same sequence back.
+  EXPECT_EQ(base.for_session(7).seed, base.for_session(7).seed);
+  fault::FaultInjector first(base.for_session(7), 0);
+  fault::FaultInjector again(base.for_session(7), 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(first.roll(FaultClass::kPrefetchDrop),
+              again.roll(FaultClass::kPrefetchDrop));
+  }
+}
+
+TEST(FaultPlanPerSession, SessionsDrawDisjointDecisionSequences) {
+  const FaultPlan base =
+      FaultPlan::single(FaultClass::kTraceCorruption, 0.5, 0x5E55);
+  fault::FaultInjector a(base.for_session(3), 0);
+  fault::FaultInjector b(base.for_session(4), 0);
+  int agree = 0;
+  const int kRolls = 2000;
+  for (int i = 0; i < kRolls; ++i) {
+    agree += a.roll(FaultClass::kTraceCorruption) ==
+                     b.roll(FaultClass::kTraceCorruption)
+                 ? 1
+                 : 0;
+  }
+  // Independent fair-ish coins agree about half the time; identical streams
+  // would agree always. Allow a wide band — this is a decorrelation check,
+  // not a statistics test.
+  EXPECT_GT(agree, kRolls / 4);
+  EXPECT_LT(agree, 3 * kRolls / 4);
+}
+
 }  // namespace

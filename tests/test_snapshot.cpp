@@ -136,6 +136,73 @@ TEST(SnapshotCodec, ReaderRejectsMalformedInput) {
   }
 }
 
+// Length-framed sections (serve's server envelope uses these to skip or
+// validate per-session payloads without decoding them).
+
+TEST(SnapshotCodec, SectionsRoundTripSkipAndNest) {
+  snapshot::Writer w;
+  const std::size_t outer = w.begin_section(snapshot::tag4("OUTR"));
+  w.u64(7);
+  const std::size_t inner = w.begin_section(snapshot::tag4("INNR"));
+  w.str("nested");
+  w.end_section(inner);
+  w.u32(0xC0FFEE);
+  w.end_section(outer);
+  w.u8(0x42);  // data after the section must still line up
+
+  // Full decode: lengths are exact.
+  {
+    snapshot::Reader r(w.buffer());
+    const std::uint64_t outer_len = r.enter_section(snapshot::tag4("OUTR"));
+    const std::size_t outer_start = r.position();
+    EXPECT_EQ(r.u64(), 7u);
+    const std::uint64_t inner_len = r.enter_section(snapshot::tag4("INNR"));
+    const std::size_t inner_start = r.position();
+    EXPECT_EQ(r.str(), "nested");
+    EXPECT_EQ(r.position() - inner_start, inner_len);
+    EXPECT_EQ(r.u32(), 0xC0FFEEu);
+    EXPECT_EQ(r.position() - outer_start, outer_len);
+    EXPECT_EQ(r.u8(), 0x42);
+    r.require_end();
+  }
+  // Skip decode: a reader that does not understand OUTR can hop over it.
+  {
+    snapshot::Reader r(w.buffer());
+    r.skip(r.enter_section(snapshot::tag4("OUTR")));
+    EXPECT_EQ(r.u8(), 0x42);
+    r.require_end();
+  }
+}
+
+TEST(SnapshotCodec, SectionsRejectLiesAboutLength) {
+  snapshot::Writer w;
+  const std::size_t token = w.begin_section(snapshot::tag4("SECT"));
+  w.u64(123);
+  w.end_section(token);
+
+  // Declared length larger than the remaining buffer: rejected at entry.
+  {
+    auto bytes = w.buffer();
+    bytes[4] = 0xFF;  // low byte of the u64 length, little-endian
+    snapshot::Reader r(bytes.data(), bytes.size());
+    EXPECT_THROW(r.enter_section(snapshot::tag4("SECT")),
+                 snapshot::SnapshotError);
+  }
+  // skip() past the end of the buffer throws instead of overrunning.
+  {
+    snapshot::Reader r(w.buffer());
+    r.expect_tag(snapshot::tag4("SECT"));
+    const std::uint64_t len = r.u64();
+    EXPECT_THROW(r.skip(len + 1), snapshot::SnapshotError);
+  }
+  // Wrong tag at a section boundary desyncs loudly.
+  {
+    snapshot::Reader r(w.buffer());
+    EXPECT_THROW(r.enter_section(snapshot::tag4("OTHR")),
+                 snapshot::SnapshotError);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // File envelope
 // ---------------------------------------------------------------------------
@@ -493,6 +560,83 @@ TEST_F(SnapshotFileTest, FingerprintMismatchForcesColdStart) {
   EXPECT_TRUE(result == base);
 }
 
+// Rotation boundary: write_checkpoint promotes current -> .prev *before*
+// writing the new current, so a kill can land between those two steps. The
+// recovery chain must then restore from .prev — one checkpoint older, but
+// complete — and still finish bit-identical.
+
+TEST_F(SnapshotFileTest, KillDuringRotationPromotionFallsBackToPrev) {
+  const auto t = test_trace(10000);
+  const auto base = sim::Simulator::run(
+      sim::SimConfig{},
+      sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria), "planaria",
+      t);
+
+  sim::CheckpointConfig ckpt;
+  ckpt.dir = dir_.string();
+  ckpt.every = 4000;
+  const auto part = warmed(sim::PrefetcherKind::kPlanaria, t, 4000);
+  sim::write_checkpoint(*part, ckpt, 4000, sim::trace_fingerprint(t));
+
+  // Reproduce the exact mid-rotation state of the *next* checkpoint: the
+  // rename has promoted current to .prev and the process died before the
+  // fresh current landed. No current file exists at restart.
+  fs::rename(ckpt.current_path(), ckpt.prev_path());
+  ASSERT_FALSE(fs::exists(ckpt.current_path()));
+
+  sim::RecoveryReport rep;
+  const auto result = sim::run_checkpointed(
+      sim::SimConfig{},
+      sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria), "planaria",
+      t, ckpt, nullptr, &rep);
+  EXPECT_EQ(rep.outcome, sim::RecoveryReport::Outcome::kFellBack);
+  EXPECT_EQ(rep.resumed_cursor, 4000u);
+  EXPECT_EQ(rep.snapshot_path, ckpt.prev_path());
+  EXPECT_TRUE(result == base);
+}
+
+TEST_F(SnapshotFileTest, DoubleKillAcrossRotationsColdStartsCleanly) {
+  const auto t = test_trace(10000);
+  const auto base = sim::Simulator::run(
+      sim::SimConfig{},
+      sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria), "planaria",
+      t);
+
+  sim::CheckpointConfig ckpt;
+  ckpt.dir = dir_.string();
+  ckpt.every = 4000;
+  const auto part = warmed(sim::PrefetcherKind::kPlanaria, t, 4000);
+  sim::write_checkpoint(*part, ckpt, 4000, sim::trace_fingerprint(t));
+  const auto later = warmed(sim::PrefetcherKind::kPlanaria, t, 8000);
+  sim::write_checkpoint(*later, ckpt, 8000, sim::trace_fingerprint(t));
+
+  // First kill: torn write of the current snapshot. Second kill: the retry
+  // died mid-rotation too, tearing what .prev held. Both candidates are now
+  // damaged — recovery must degrade to a cold start with one note per
+  // rejected candidate, and the result must still match.
+  fs::resize_file(ckpt.current_path(), fs::file_size(ckpt.current_path()) / 3);
+  fs::resize_file(ckpt.prev_path(), 16);  // dies inside the file header
+
+  sim::RecoveryReport rep;
+  const auto result = sim::run_checkpointed(
+      sim::SimConfig{},
+      sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria), "planaria",
+      t, ckpt, nullptr, &rep);
+  EXPECT_EQ(rep.outcome, sim::RecoveryReport::Outcome::kColdStart);
+  EXPECT_EQ(rep.notes.size(), 2u);
+  EXPECT_TRUE(result == base);
+
+  // The recovered run re-checkpointed as it went; a third run resumes from
+  // its freshly written current snapshot without drama.
+  sim::RecoveryReport rep2;
+  const auto again = sim::run_checkpointed(
+      sim::SimConfig{},
+      sim::make_prefetcher_factory(sim::PrefetcherKind::kPlanaria), "planaria",
+      t, ckpt, nullptr, &rep2);
+  EXPECT_EQ(rep2.outcome, sim::RecoveryReport::Outcome::kResumed);
+  EXPECT_TRUE(again == base);
+}
+
 TEST_F(SnapshotFileTest, SweepCellsResumeFromPersistedResults) {
   sim::ExperimentRunner first(sim::SimConfig{}, 4000, 1);
   first.set_checkpoint_dir(dir_.string());
@@ -525,6 +669,50 @@ TEST_F(SnapshotFileTest, SweepCellsResumeFromPersistedResults) {
   third.set_checkpoint_dir(dir_.string());
   const auto c = third.sweep(kinds);
   EXPECT_TRUE(a.begin()->second.at("none") == c.at(a.begin()->first).at("none"));
+}
+
+TEST_F(SnapshotFileTest, PoisonedSweepCellBacksOffThenReportsOthersLand) {
+  // Poison exactly one cell's persistence: a directory squatting on the
+  // store path's .tmp name makes every store_cell attempt for that cell
+  // throw, while all other cells run and persist normally.
+  const std::string app = trace::app_names().front();
+  fs::create_directories(dir_ / ("cell_" + app + "_none.result.tmp"));
+
+  sim::ExperimentRunner runner(sim::SimConfig{}, 4000, 1);
+  runner.set_checkpoint_dir(dir_.string());
+  const std::vector<sim::PrefetcherKind> kinds = {sim::PrefetcherKind::kNone,
+                                                  sim::PrefetcherKind::kBop};
+  std::vector<sim::FailureReport> failures;
+  const auto grid = runner.sweep(kinds, false, &failures);
+
+  // The grid keeps its full shape and every healthy cell has a real result.
+  EXPECT_EQ(grid.size(), trace::app_names().size());
+  for (const auto& [grid_app, per_kind] : grid) {
+    EXPECT_EQ(per_kind.size(), kinds.size()) << grid_app;
+    EXPECT_GT(per_kind.at("bop").demand_reads, 0u) << grid_app;
+  }
+
+  // Exactly one report, carrying the bounded-retry and backoff history:
+  // 3 attempts = 2 scheduled backoffs, each of at least the base delay.
+  ASSERT_EQ(failures.size(), 1u);
+  const sim::FailureReport& report = failures.front();
+  EXPECT_EQ(report.app, app);
+  EXPECT_EQ(report.kind, "none");
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(report.backoffs, 2);
+  EXPECT_GE(report.backoff_rounds, 2u * 2u);  // two waits of >= base rounds
+  EXPECT_NE(report.what.find("cannot create"), std::string::npos);
+
+  // The backoff schedule is a pure function of (cell, attempt): a rerun of
+  // the same poisoned sweep files a byte-identical report.
+  sim::ExperimentRunner again(sim::SimConfig{}, 4000, 1);
+  again.set_checkpoint_dir(dir_.string());
+  std::vector<sim::FailureReport> failures2;
+  again.sweep(kinds, false, &failures2);
+  ASSERT_EQ(failures2.size(), 1u);
+  EXPECT_EQ(failures2.front().attempts, report.attempts);
+  EXPECT_EQ(failures2.front().backoffs, report.backoffs);
+  EXPECT_EQ(failures2.front().backoff_rounds, report.backoff_rounds);
 }
 
 // ---------------------------------------------------------------------------

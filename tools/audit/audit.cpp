@@ -1,6 +1,6 @@
 // planaria-audit — the invariant audit gate CI runs on every change.
 //
-// Six stages (select with --stage, default all):
+// Seven stages (select with --stage, default all):
 //   1. Self-test: deliberately injects a storage-budget violation and checks
 //      the contract layer flags it. A gate that cannot see a planted bug is
 //      blind; this stage failing exits 2 and nothing else is trusted.
@@ -29,7 +29,17 @@
 //      serial and 4-thread, with and without an armed FaultPlan; damaged
 //      snapshots (truncation, CRC corruption) must degrade gracefully to
 //      .prev and then to a cold start, with a populated RecoveryReport.
-//   6. Lint audit: runs planaria-lint (tools/lint) over the source tree this
+//   6. Serve audit: drives the multi-tenant serving loop (src/serve) through
+//      three legs — (a) graceful drain under backpressure with full record
+//      and session accounting (zero queued records, reconciled counters);
+//      (b) kill/resume drills at three seeded ticks with session drills and
+//      in-simulator faults armed, requiring byte-identical per-session
+//      outcomes, fleet summaries and counters versus the uninterrupted
+//      serve, at 1 and 4 threads; (c) a chaos soak with all six fault
+//      classes armed per tenant (FaultPlan::for_session) in recover mode,
+//      requiring every violation recovered and a bounded peak-RSS delta
+//      (the RSS gate is skipped under ASan, whose shadow memory dwarfs it).
+//   7. Lint audit: runs planaria-lint (tools/lint) over the source tree this
 //      binary was built from — layering DAG, determinism bans, snapshot
 //      pairing/round-trip coverage, contract coverage, hygiene, and the
 //      interprocedural race-* / hot-* families (DESIGN.md §13). Any
@@ -44,6 +54,10 @@
 #include <fstream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "check/contract.hpp"
 #include "common/rng.hpp"
 #include "lint/lint.hpp"
@@ -52,6 +66,7 @@
 #include "core/storage.hpp"
 #include "core/storage_layout.hpp"
 #include "fault/fault.hpp"
+#include "serve/serve.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/simulator.hpp"
 #include "trace/apps.hpp"
@@ -66,6 +81,7 @@ using planaria::StatSet;
 namespace check = planaria::check;
 namespace core = planaria::core;
 namespace fault = planaria::fault;
+namespace serve = planaria::serve;
 namespace layout = planaria::core::layout;
 namespace sim = planaria::sim;
 namespace trace = planaria::trace;
@@ -600,7 +616,236 @@ void crash_audit(std::uint64_t records, std::uint64_t seed) {
 }
 
 // ---------------------------------------------------------------------------
-// Stage 6: lint audit
+// Stage 6: serve audit (multi-tenant serving loop, src/serve)
+// ---------------------------------------------------------------------------
+
+/// Peak RSS high-water mark in bytes, 0 where unavailable.
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+constexpr bool asan_enabled() {
+#if defined(__SANITIZE_ADDRESS__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+/// A mixed fleet: three apps, two prefetcher kinds, two device labels, so
+/// every GroupedSummary key path is exercised.
+std::vector<serve::SessionSpec> audit_fleet(std::size_t n,
+                                            std::uint64_t seed) {
+  const char* apps[] = {"HoK", "Fort", "TikT"};
+  const char* devices[] = {"phone", "tablet"};
+  std::vector<serve::SessionSpec> fleet;
+  for (std::size_t i = 0; i < n; ++i) {
+    serve::SessionSpec spec;
+    spec.app = apps[i % 3];
+    spec.kind = i % 2 == 0 ? sim::PrefetcherKind::kPlanaria
+                           : sim::PrefetcherKind::kStride;
+    spec.user_seed = seed + i;
+    spec.device = devices[i % 2];
+    fleet.push_back(spec);
+  }
+  return fleet;
+}
+
+/// Terminal-state partition and record conservation for a finished server.
+bool serve_counters_reconcile(const serve::SessionServer& server) {
+  const serve::ServeCounters& c = server.counters();
+  return c.submitted == c.admitted + c.sessions_rejected &&
+         c.admitted == c.sessions_completed + c.sessions_drained +
+                           c.sessions_shed_retry + c.sessions_shed_deadline &&
+         c.ingested_records == c.fed_records + c.shed_queued_records &&
+         server.queued_records() == 0;
+}
+
+void serve_audit(std::uint64_t records, std::uint64_t seed) {
+  std::printf(
+      "serve audit: serving loop — drain, kill/resume x threads, chaos "
+      "soak\n");
+  // Session drills deliberately interrupt quanta; armed in-simulator fault
+  // classes fire contract violations that must recover, not abort.
+  check::RecoveryScope scope;
+  check::reset_violations();
+  check::reset_recoveries();
+
+  const std::uint64_t per_session = std::max<std::uint64_t>(records / 4, 2000);
+  serve::ServeConfig base;
+  base.records_per_session = per_session;
+  base.max_live_sessions = 4;
+  base.queue_capacity = 1024;
+  base.ingest_per_tick = 512;
+  base.quantum_records = 256;
+  base.drill_seed = seed;
+
+  // Leg (a): graceful drain under backpressure. A drain requested mid-serve
+  // must reject every pending session, flush every queued record, finalize
+  // partial results, and leave the accounting identities intact.
+  {
+    serve::ServeConfig config = base;
+    config.max_live_sessions = 2;    // force admission defers + rejections
+    config.queue_capacity = 256;     // force ingest defers
+    config.quantum_records = 64;     // queue drains slower than it fills
+    serve::SessionServer server(config, 1);
+    server.add_fleet(audit_fleet(6, seed));
+    for (int i = 0; i < 4; ++i) server.tick();
+    server.request_drain();
+    server.serve();
+    const serve::ServeCounters& c = server.counters();
+    expect(server.finished() && server.queued_records() == 0,
+           "drain: queues flushed to zero");
+    expect(c.sessions_rejected == 4 && c.sessions_drained == 2,
+           "drain: pending sessions rejected, live sessions drained (" +
+               std::to_string(c.sessions_rejected) + " rejected, " +
+               std::to_string(c.sessions_drained) + " drained)");
+    expect(c.admission_defers > 0 && c.ingest_defers > 0,
+           "drain: backpressure was exercised and counted (" +
+               std::to_string(c.admission_defers) + " admission, " +
+               std::to_string(c.ingest_defers) + " ingest defers)");
+    expect(serve_counters_reconcile(server),
+           "drain: record and session accounting reconciles");
+  }
+
+  // Leg (b): kill/resume drills. One uninterrupted reference serve, then
+  // three seeded kill ticks x {1, 4} threads, each killed server abandoned
+  // mid-tick-loop and a fresh server resumed from its checkpoints. Every
+  // resumed serve must finish byte-identical — per-session outcomes (their
+  // SimResults compared with defaulted operator==, doubles included), the
+  // fleet summaries, and the full counter block.
+  {
+    std::error_code ec;
+    const auto root =
+        std::filesystem::temp_directory_path() / "planaria-serve-audit";
+    std::filesystem::remove_all(root, ec);
+
+    serve::ServeConfig config = base;
+    config.session_fault_rate = 0.05;  // drills armed during the kill matrix
+    config.max_attempts = 64;          // drills delay, never shed
+    config.sim.fault.rate[static_cast<int>(
+        fault::FaultClass::kTraceCorruption)] = 0.001;
+    config.sim.fault.rate[static_cast<int>(fault::FaultClass::kDramStall)] =
+        0.001;
+    config.sim.fault.seed = seed;
+    config.checkpoint_every_ticks = 3;
+
+    const auto serve_dir = [&](const std::string& name) {
+      const auto dir = root / name;
+      std::filesystem::create_directories(dir, ec);
+      return dir.string();
+    };
+
+    serve::ServeConfig ref_config = config;
+    ref_config.checkpoint_dir = serve_dir("reference");
+    serve::SessionServer reference(ref_config, 1);
+    reference.add_fleet(audit_fleet(8, seed));
+    reference.serve();
+    expect(serve_counters_reconcile(reference) &&
+               reference.counters().sessions_completed == 8,
+           "kill/resume: uninterrupted reference completes all sessions");
+
+    planaria::Rng kill_rng(seed ^ 0x5E55'A0D1ull);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      for (int drill = 0; drill < 3; ++drill) {
+        // Kill somewhere in the first ~3/4 of the reference's tick span so
+        // every drill leaves real work to redo after resume.
+        const std::uint64_t span = reference.current_tick();
+        const std::uint64_t kill_tick =
+            1 + kill_rng.next_below(std::max<std::uint64_t>(span * 3 / 4, 2));
+        serve::ServeConfig drill_config = config;
+        drill_config.checkpoint_dir = serve_dir(
+            "drill-" + std::to_string(threads) + "-" + std::to_string(drill));
+        {
+          serve::SessionServer victim(drill_config, threads);
+          victim.add_fleet(audit_fleet(8, seed));
+          for (std::uint64_t t = 0; t < kill_tick && victim.tick(); ++t) {
+          }
+        }  // destruction without drain or final checkpoint IS the kill
+        serve::SessionServer resumed(drill_config, threads);
+        resumed.add_fleet(audit_fleet(8, seed));
+        resumed.serve();
+        const std::string label = "kill/resume: tick " +
+                                  std::to_string(kill_tick) + ", " +
+                                  std::to_string(threads) + " thread(s)";
+        expect(resumed.outcomes() == reference.outcomes(),
+               label + " — per-session outcomes byte-identical");
+        expect(resumed.summary() == reference.summary(),
+               label + " — fleet summaries byte-identical");
+        expect(resumed.counters() == reference.counters(),
+               label + " — counters byte-identical");
+        expect(resumed.recovery().resumed || kill_tick < 3,
+               label + " — resume path actually engaged");
+      }
+    }
+    std::filesystem::remove_all(root, ec);
+  }
+
+  // Leg (c): chaos soak. All six fault classes armed per tenant through
+  // FaultPlan::for_session, plus serving-loop drills, over a fleet larger
+  // than the admission budget. The gate: every session still completes,
+  // every contract violation is recovered, the accounting reconciles, and
+  // the soak's peak-RSS growth stays bounded (sessions must release their
+  // trace/simulator state as they retire).
+  {
+    const std::uint64_t rss_before = peak_rss_bytes();
+    serve::ServeConfig config = base;
+    config.session_fault_rate = 0.02;
+    config.max_attempts = 64;
+    config.sim.fault.seed = seed ^ 0xC4A05;
+    for (int c = 0; c < fault::kFaultClassCount; ++c) {
+      config.sim.fault.rate[c] =
+          chaos_rate(static_cast<fault::FaultClass>(c));
+    }
+    serve::SessionServer server(config, 4);
+    server.add_fleet(audit_fleet(12, seed ^ 1));
+    server.serve();
+    const serve::ServeCounters& c = server.counters();
+    expect(c.sessions_completed == 12,
+           "soak: all 12 sessions complete under all six fault classes (" +
+               std::to_string(c.drills_injected) + " drills, " +
+               std::to_string(c.backoff_events) + " backoffs)");
+    expect(serve_counters_reconcile(server),
+           "soak: record and session accounting reconciles");
+    expect(check::total_recoveries() == check::total_violations(),
+           "soak: every contract violation was recovered (" +
+               std::to_string(check::total_violations()) + " violations)");
+    const std::uint64_t rss_after = peak_rss_bytes();
+    constexpr std::uint64_t kSoakRssCeiling = 768ull << 20;
+    if (asan_enabled() || rss_before == 0) {
+      std::printf("  skip  soak: peak-RSS ceiling (sanitizer build or no "
+                  "rusage)\n");
+    } else {
+      expect(rss_after - rss_before < kSoakRssCeiling,
+             "soak: peak-RSS growth " +
+                 std::to_string((rss_after - rss_before) >> 20) +
+                 "MB stays under " +
+                 std::to_string(kSoakRssCeiling >> 20) + "MB");
+    }
+  }
+
+  check::reset_violations();
+  check::reset_recoveries();
+}
+
+// ---------------------------------------------------------------------------
+// Stage 7: lint audit
 // ---------------------------------------------------------------------------
 
 /// Runs planaria-lint in-process over the tree this binary was compiled from
@@ -645,9 +890,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--stage") == 0 && i + 1 < argc) {
       stage = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: planaria-audit [--records N] [--seed S] "
-                   "[--stage all|self-test|static|lint|replay|chaos|crash]\n");
+      std::fprintf(
+          stderr,
+          "usage: planaria-audit [--records N] [--seed S] "
+          "[--stage all|self-test|static|lint|replay|chaos|crash|serve]\n");
       return 1;
     }
   }
@@ -657,7 +903,7 @@ int main(int argc, char** argv) {
   }
   if (stage != "all" && stage != "self-test" && stage != "static" &&
       stage != "lint" && stage != "replay" && stage != "chaos" &&
-      stage != "crash") {
+      stage != "crash" && stage != "serve") {
     std::fprintf(stderr, "planaria-audit: unknown --stage '%s'\n",
                  stage.c_str());
     return 1;
@@ -674,6 +920,7 @@ int main(int argc, char** argv) {
   if (stage == "all" || stage == "replay") replay_audit(records, seed);
   if (stage == "all" || stage == "chaos") chaos_audit(records, seed);
   if (stage == "all" || stage == "crash") crash_audit(records, seed);
+  if (stage == "all" || stage == "serve") serve_audit(records, seed);
 
   if (g_failures > 0) {
     std::fprintf(stderr, "planaria-audit: %d check(s) FAILED\n", g_failures);
