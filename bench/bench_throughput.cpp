@@ -36,6 +36,7 @@
 
 #include "bench_util.hpp"
 #include "common/thread_pool.hpp"
+#include "io/vfs.hpp"
 
 namespace {
 
@@ -233,10 +234,9 @@ int main() {
   const std::string trajectory = traj_env != nullptr && *traj_env != '\0'
                                      ? std::string(traj_env)
                                      : std::string(PLANARIA_BENCH_TRAJECTORY);
-  FILE* json = std::fopen(trajectory.c_str(), "a");
-  if (json != nullptr) {
-    std::fputs(entry.c_str(), json);
-    std::fclose(json);
+  // Routed through the io VFS: the append is advisory (a full disk must not
+  // fail the bench), but it still participates in the storage-fault drills.
+  if (io::append_line(trajectory, entry)) {
     std::printf("\nappended trajectory entry (rev %s) to %s\n",
                 PLANARIA_GIT_REV, trajectory.c_str());
   } else {

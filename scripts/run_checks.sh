@@ -8,7 +8,8 @@
 #                 contract coverage, hygiene, plus the interprocedural race-*
 #                 (parallel-region capture/static/non-const-call) and hot-*
 #                 (alloc/string/iostream/throw/mutex/env on hot-root paths)
-#                 families; must finish under a 10s budget; writes the --json
+#                 families and the io-raw VFS-bypass bans; must finish under
+#                 a 10s budget; writes the --json
 #                 report to build-release/lint-report.json (CI uploads it as
 #                 an artifact)
 #   3. sanitize — ASan+UBSan build (arms PLANARIA_DASSERT) + full ctest suite
@@ -29,9 +30,15 @@
 #                 accounting, kill/resume drills at seeded ticks x {1,4}
 #                 threads with a byte-identity gate, and a chaos soak with
 #                 all six fault classes armed per tenant
-#   8. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
+#   8. storm    — planaria-audit --stage storm: seeded storage-fault drills
+#                 through the src/io VFS shim — envelope torture per fault
+#                 class, the checkpoint recovery chain (current -> .prev ->
+#                 quarantine + cold start) under each storm, scrub/repair
+#                 with exact counts, and the serving loop's degraded
+#                 checkpoint ledger under injected ENOSPC
+#   9. tsan     — TSan build of the parallel sweep tests, run with a 4-lane
 #                 PLANARIA_THREADS pool
-#   9. tidy     — clang-tidy over src/ against the compilation database
+#  10. tidy     — clang-tidy over src/ against the compilation database
 #                 (skipped with a notice if clang-tidy is not installed)
 #
 # Every stage runs even if an earlier one fails; each stage runs under a
@@ -120,6 +127,10 @@ stage_serve() {
   "$AUDIT" --stage serve
 }
 
+stage_storm() {
+  "$AUDIT" --stage storm
+}
+
 stage_tsan() {
   cmake -B build-tsan -S . -DPLANARIA_WERROR=ON \
     -DPLANARIA_SANITIZE=thread >/dev/null
@@ -150,6 +161,7 @@ run_stage audit 900 stage_audit
 run_stage chaos 900 stage_chaos
 run_stage crash 1200 stage_crash
 run_stage serve 900 stage_serve
+run_stage storm 900 stage_storm
 
 if [[ "$SKIP_TSAN" -eq 0 ]]; then
   run_stage tsan 1800 stage_tsan

@@ -91,6 +91,7 @@ SessionServer::SessionServer(ServeConfig config, std::size_t threads)
   if (threads > 1) pool_ = std::make_unique<common::ThreadPool>(threads);
   drill_plan_.seed = config_.drill_seed;
   drill_plan_.rate[static_cast<int>(kDrillClass)] = config_.session_fault_rate;
+  ckpt_jitter_ = io::Stream(mix64(config_.drill_seed ^ 0xC4B7'C4B7ull));
 }
 
 std::uint64_t SessionServer::add_session(const SessionSpec& spec) {
@@ -363,7 +364,11 @@ bool SessionServer::tick() {
     finalize(/*write_final=*/true);
     return false;
   }
-  if (config_.checkpointing() && tick_ % config_.checkpoint_every_ticks == 0) {
+  // Natural cadence, plus the bounded-backoff re-attempt schedule a degraded
+  // checkpoint may have posted (ckpt_retry_at_ == 0 means none pending).
+  if (config_.checkpointing() &&
+      (tick_ % config_.checkpoint_every_ticks == 0 ||
+       (ckpt_retry_at_ != 0 && tick_ >= ckpt_retry_at_))) {
     write_server_checkpoint();
   }
   return true;
@@ -461,7 +466,9 @@ void SessionServer::encode_envelope(snapshot::Writer& w) const {
   w.u64(counters_.sessions_shed_retry);
   w.u64(counters_.sessions_shed_deadline);
   w.u64(counters_.sessions_rejected);
-  w.u64(counters_.checkpoints_written);
+  w.u64(counters_.ckpt_attempted);
+  w.u64(counters_.ckpt_written);
+  w.u64(counters_.ckpt_degraded);
   w.u64(sessions_.size());
   for (const Session& s : sessions_) {
     // Length-framed per session: a reader that rejects one session record
@@ -484,26 +491,67 @@ void SessionServer::encode_envelope(snapshot::Writer& w) const {
   }
 }
 
+void SessionServer::degrade_checkpoint(const std::string& why) {
+  // The attempt was already booked optimistically as written (so a landed
+  // envelope includes its own write); move it to the degraded bucket. The
+  // identity ckpt_attempted == ckpt_written + ckpt_degraded holds at every
+  // instant the counters are observable.
+  --counters_.ckpt_written;
+  ++counters_.ckpt_degraded;
+  recovery_.notes.push_back("checkpoint at tick " + std::to_string(tick_) +
+                            " degraded: " + why);
+  // Bounded seeded-backoff re-attempt: same base/cap knobs as session
+  // retries, deterministic jitter off a dedicated stream. After
+  // max_attempts consecutive losses, stop re-attempting and wait for the
+  // next natural cadence tick — a full disk should not be hammered every
+  // tick.
+  if (ckpt_failstreak_ < config_.max_attempts) {
+    ++ckpt_failstreak_;
+    std::uint64_t shift = static_cast<std::uint64_t>(ckpt_failstreak_) - 1;
+    if (shift > 62) shift = 62;
+    std::uint64_t delay = config_.backoff_base_ticks << shift;
+    if (delay > config_.backoff_cap_ticks) delay = config_.backoff_cap_ticks;
+    if (config_.backoff_base_ticks > 1) {
+      delay += ckpt_jitter_.next_below(config_.backoff_base_ticks);
+    }
+    ckpt_retry_at_ = tick_ + delay;
+  } else {
+    ckpt_retry_at_ = 0;
+  }
+}
+
 void SessionServer::write_server_checkpoint() {
   // Per-session simulator snapshots first (each rotates its own current ->
   // .prev), then the envelope under the same rotation. A kill anywhere in
   // between leaves a decodable (envelope, session-snapshot) pair one
   // generation back.
-  for (const Session& s : sessions_) {
-    if (active(s)) {
-      sim::write_checkpoint(*s.sim, session_ckpt(s.id), s.fed, s.fingerprint);
+  //
+  // Storage failures anywhere in the chain — a session snapshot's rotation,
+  // the envelope rename, ENOSPC inside write_file — shed the *checkpoint*,
+  // never the server: every session's in-memory state is untouched, so the
+  // fleet keeps simulating and only resumability is degraded (counted in
+  // ckpt_degraded, re-attempted under bounded backoff).
+  ++counters_.ckpt_attempted;
+  ++counters_.ckpt_written;
+  try {
+    for (const Session& s : sessions_) {
+      if (active(s)) {
+        sim::write_checkpoint(*s.sim, session_ckpt(s.id), s.fed,
+                              s.fingerprint);
+      }
     }
+    snapshot::Writer w;
+    encode_envelope(w);
+    const std::string path = envelope_path();
+    if (io::exists(path)) io::rename_file(path, path + ".prev");
+    snapshot::write_file(path, w.buffer());
+    ckpt_failstreak_ = 0;
+    ckpt_retry_at_ = 0;
+  } catch (const snapshot::SnapshotError& e) {
+    degrade_checkpoint(e.what());
+  } catch (const io::IoError& e) {
+    degrade_checkpoint(e.what());
   }
-  ++counters_.checkpoints_written;
-  snapshot::Writer w;
-  encode_envelope(w);
-  const std::string path = envelope_path();
-  std::error_code ec;
-  if (std::filesystem::exists(path, ec)) {
-    std::filesystem::rename(path, path + ".prev", ec);
-    if (ec) throw snapshot::SnapshotError("envelope rotation failed: " + path);
-  }
-  snapshot::write_file(path, w.buffer());
 }
 
 void SessionServer::remove_session_snapshots(std::uint64_t id) const {
@@ -520,6 +568,11 @@ void SessionServer::reset_runtime() {
   counters_ = ServeCounters{};
   counters_.submitted = sessions_.size();
   summary_ = FleetSummary{};
+  // The degraded-checkpoint retry ledger is runtime-only state: a resumed
+  // server starts with a clean failstreak and no pending re-attempt.
+  ckpt_failstreak_ = 0;
+  ckpt_retry_at_ = 0;
+  ckpt_jitter_ = io::Stream(mix64(config_.drill_seed ^ 0xC4B7'C4B7ull));
   for (Session& s : sessions_) {
     const SessionSpec spec = s.spec;
     const std::uint64_t id = s.id;
@@ -596,7 +649,9 @@ void SessionServer::decode_envelope(snapshot::Reader& r) {
   counters_.sessions_shed_retry = r.u64();
   counters_.sessions_shed_deadline = r.u64();
   counters_.sessions_rejected = r.u64();
-  counters_.checkpoints_written = r.u64();
+  counters_.ckpt_attempted = r.u64();
+  counters_.ckpt_written = r.u64();
+  counters_.ckpt_degraded = r.u64();
   if (r.u64() != sessions_.size()) {
     throw snapshot::SnapshotError("envelope session count mismatch");
   }

@@ -59,6 +59,7 @@
 #include "analysis/analysis.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault.hpp"
+#include "io/vfs.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/config.hpp"
 #include "sim/simulator.hpp"
@@ -145,7 +146,15 @@ struct ServeCounters {
   std::uint64_t sessions_shed_retry = 0;
   std::uint64_t sessions_shed_deadline = 0;
   std::uint64_t sessions_rejected = 0;
-  std::uint64_t checkpoints_written = 0;  ///< server envelopes (incl. final)
+  /// Checkpoint accounting (degraded-mode serving): every server-envelope
+  /// attempt lands in exactly one bucket — ckpt_attempted == ckpt_written +
+  /// ckpt_degraded — and the serve audit enforces that identity at drain. A
+  /// degraded attempt (rotation failure, ENOSPC, torn tmp, any storage
+  /// fault) sheds the *checkpoint*, never the server: sessions keep
+  /// simulating and a bounded seeded-backoff re-attempt follows.
+  std::uint64_t ckpt_attempted = 0;
+  std::uint64_t ckpt_written = 0;   ///< server envelopes landed (incl. final)
+  std::uint64_t ckpt_degraded = 0;  ///< attempts lost to storage faults
   friend bool operator==(const ServeCounters&, const ServeCounters&) = default;
 };
 
@@ -259,7 +268,8 @@ class SessionServer {
   };
 
   static constexpr std::uint64_t kDrillStreamBase = 0x5E55'0000ull;
-  static constexpr std::uint32_t kEnvelopeVersion = 1;
+  /// v2: ckpt_attempted/ckpt_written/ckpt_degraded joined the CTRS block.
+  static constexpr std::uint32_t kEnvelopeVersion = 2;
 
   bool active(const Session& s) const {
     return s.state == SessionState::kLive || s.state == SessionState::kBackoff;
@@ -289,6 +299,9 @@ class SessionServer {
   std::string envelope_path() const;
   std::uint64_t fleet_fingerprint() const;
   void write_server_checkpoint();
+  /// Books one failed checkpoint attempt and schedules the bounded
+  /// seeded-backoff re-attempt (see ServeCounters ckpt_* identity).
+  void degrade_checkpoint(const std::string& why);
   void encode_envelope(snapshot::Writer& w) const;
   void decode_envelope(snapshot::Reader& r);
   bool try_resume();
@@ -306,6 +319,14 @@ class SessionServer {
   bool started_ = false;
   bool draining_ = false;
   bool finished_ = false;
+  /// Degraded-checkpoint retry state: consecutive failed attempts, the tick
+  /// of the next re-attempt (0 = none pending), and the seeded jitter stream
+  /// that staggers re-attempts. Deliberately not checkpointed: a resumed
+  /// server starts with a clean retry ledger, and the identity counters live
+  /// in ServeCounters.
+  int ckpt_failstreak_ = 0;
+  std::uint64_t ckpt_retry_at_ = 0;
+  io::Stream ckpt_jitter_{0};
   ServeCounters counters_;
   RecoveryStats recovery_;
   FleetSummary summary_;

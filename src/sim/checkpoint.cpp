@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/assert.hpp"
+#include "io/vfs.hpp"
 
 namespace planaria::sim {
 
@@ -98,15 +99,72 @@ void write_checkpoint(const Simulator& sim, const CheckpointConfig& ckpt,
   std::filesystem::create_directories(ckpt.dir, ec);  // best effort
   const std::string current = ckpt.current_path();
   // Rotate last-good before the new write: if the process dies inside
-  // write_file, .prev still holds a complete snapshot.
-  if (std::filesystem::exists(current, ec)) {
-    std::filesystem::rename(current, ckpt.prev_path(), ec);
-    if (ec) {
+  // write_file, .prev still holds a complete snapshot. The rename goes
+  // through the io VFS (directory-entry fsync, storage-fault hooks) and a
+  // failure is surfaced, never dropped — callers either propagate it or
+  // count it into their RecoveryReport/ServeCounters degraded accounting.
+  if (io::exists(current)) {
+    try {
+      io::rename_file(current, ckpt.prev_path());
+    } catch (const io::IoError& e) {
       throw snapshot::SnapshotError("cannot rotate " + current + ": " +
-                                    ec.message());
+                                    e.what());
     }
   }
   snapshot::write_file(current, encode_checkpoint(sim, cursor, fingerprint));
+}
+
+void scrub_snapshot_pair(const std::string& current, const std::string& prev,
+                         ScrubReport& report) {
+  const std::string paths[] = {current, prev};
+  bool good[2] = {false, false};
+  bool quarantined[2] = {false, false};
+  std::vector<std::uint8_t> payload[2];
+  for (int i = 0; i < 2; ++i) {
+    if (!io::exists(paths[i])) {
+      ++report.missing;
+      continue;
+    }
+    ++report.scanned;
+    try {
+      payload[i] = snapshot::read_file(paths[i]);
+      good[i] = true;
+      ++report.intact;
+    } catch (const snapshot::SnapshotError& e) {
+      // Corrupt: move aside, never delete — the quarantined bytes are the
+      // post-mortem evidence of what the storage layer actually did.
+      try {
+        io::rename_file(paths[i], paths[i] + ".quarantine");
+        quarantined[i] = true;
+        ++report.quarantined;
+        report.notes.push_back(paths[i] + ": " + e.what() +
+                               " -> quarantined");
+      } catch (const io::IoError& rename_err) {
+        report.notes.push_back(paths[i] + ": corrupt but quarantine failed: " +
+                               rename_err.what());
+      }
+    }
+  }
+  // Repair a quarantined slot from its surviving partner so the pair offers
+  // two intact fallback generations again. Slots missing from the start are
+  // not fabricated.
+  for (int i = 0; i < 2; ++i) {
+    const int other = 1 - i;
+    if (!quarantined[i] || !good[other]) continue;
+    try {
+      snapshot::write_file(paths[i], payload[other]);
+      ++report.repaired;
+      report.notes.push_back(paths[i] + ": repaired from " + paths[other]);
+    } catch (const snapshot::SnapshotError& e) {
+      report.notes.push_back(paths[i] + ": repair failed: " + e.what());
+    }
+  }
+}
+
+ScrubReport scrub_checkpoints(const CheckpointConfig& ckpt) {
+  ScrubReport report;
+  scrub_snapshot_pair(ckpt.current_path(), ckpt.prev_path(), report);
+  return report;
 }
 
 std::uint64_t load_checkpoint(Simulator& sim, const std::string& path,
@@ -187,8 +245,18 @@ SimResult run_checkpointed_impl(const SimConfig& config,
     cursor = next;
     // No checkpoint after the final chunk: the result is about to be
     // returned, and a stale full-run snapshot would poison the next run.
+    // A failed checkpoint write (rotation included) is degraded-mode, not
+    // fatal: the simulation state in memory is untouched, so the run
+    // continues and only resumability is lost — counted and noted, never
+    // silent.
     if (ckpt.enabled() && cursor < n) {
-      write_checkpoint(*sim, ckpt, cursor, fingerprint);
+      try {
+        write_checkpoint(*sim, ckpt, cursor, fingerprint);
+      } catch (const snapshot::SnapshotError& e) {
+        ++rep.checkpoint_failures;
+        rep.notes.push_back("checkpoint at cursor " + std::to_string(cursor) +
+                            " failed: " + e.what());
+      }
     }
   }
   return sim->finish();

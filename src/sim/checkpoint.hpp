@@ -57,10 +57,40 @@ struct RecoveryReport {
   Outcome outcome = Outcome::kColdStart;
   std::string snapshot_path;        ///< snapshot restored from (if any)
   std::uint64_t resumed_cursor = 0; ///< records already applied at restore
+  /// Mid-run checkpoint writes (rotation included) that failed; the run
+  /// continued degraded — a failed checkpoint costs resumability, never the
+  /// result. Each failure also leaves a line in `notes`.
+  std::uint64_t checkpoint_failures = 0;
   std::vector<std::string> notes;   ///< one line per rejected candidate
 };
 
 const char* recovery_outcome_name(RecoveryReport::Outcome outcome);
+
+/// Result of a scrub pass over snapshot current/.prev pairs. Exact-count
+/// contract: scanned == intact + quarantined, and every quarantined or
+/// missing slot whose partner survived is rewritten (repaired) from that
+/// surviving copy — corrupt envelopes are *moved aside* to
+/// "<path>.quarantine" for post-mortem, never deleted.
+struct ScrubReport {
+  std::uint64_t scanned = 0;      ///< envelope files examined
+  std::uint64_t intact = 0;       ///< envelopes that decoded clean
+  std::uint64_t quarantined = 0;  ///< corrupt envelopes moved to .quarantine
+  std::uint64_t repaired = 0;     ///< slots rewritten from the good partner
+  std::uint64_t missing = 0;      ///< pair slots with no file at all
+  std::vector<std::string> notes; ///< one line per quarantine/repair action
+};
+
+/// Scrubs one current/.prev pair: CRC-verifies both envelopes, quarantines
+/// any corrupt one to "<path>.quarantine", then repairs a quarantined slot
+/// from the surviving good copy so the pair is whole again. A slot that was
+/// missing from the start is counted missing but not fabricated (a run that
+/// has only ever written `current` legitimately has no .prev). Tallies into
+/// `report` so callers can sweep many pairs into one report.
+void scrub_snapshot_pair(const std::string& current, const std::string& prev,
+                         ScrubReport& report);
+
+/// Convenience: scrubs the pair named by `ckpt` (current_path/prev_path).
+ScrubReport scrub_checkpoints(const CheckpointConfig& ckpt);
 
 /// Identity of a trace for resume validation: CRC32 over a deterministic
 /// sample of records (every (n/4096)-th, so the cost is flat) combined with

@@ -2,8 +2,9 @@
 
 #include <array>
 #include <bit>
-#include <cstdio>
 #include <cstring>
+
+#include "io/vfs.hpp"
 
 namespace planaria::snapshot {
 
@@ -23,15 +24,6 @@ std::array<std::uint32_t, 256> make_crc_table() {
   }
   return table;
 }
-
-/// RAII stdio handle: closes on scope exit, removes half-written temp files
-/// on the error path.
-struct File {
-  std::FILE* f = nullptr;
-  ~File() {
-    if (f != nullptr) std::fclose(f);
-  }
-};
 
 }  // namespace
 
@@ -130,40 +122,34 @@ void write_file(const std::string& path,
   header.u64(payload.size());
   header.u32(crc32(payload.data(), payload.size()));
 
-  const std::string tmp = path + ".tmp";
-  {
-    File out;
-    out.f = std::fopen(tmp.c_str(), "wb");
-    if (out.f == nullptr) throw SnapshotError("cannot create " + tmp);
+  // The VFS supplies the durability discipline (tmp -> fsync -> rename ->
+  // directory fsync) and the storage-fault hooks; this layer only frames the
+  // envelope. IoError is translated so snapshot callers keep a single
+  // exception type.
+  try {
     const auto& h = header.buffer();
-    if (std::fwrite(h.data(), 1, h.size(), out.f) != h.size() ||
-        (!payload.empty() &&
-         std::fwrite(payload.data(), 1, payload.size(), out.f) !=
-             payload.size()) ||
-        std::fflush(out.f) != 0) {
-      std::remove(tmp.c_str());
-      throw SnapshotError("short write to " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw SnapshotError("cannot rename " + tmp + " -> " + path);
+    io::write_file_durable(path, {io::ByteSpan{h.data(), h.size()},
+                                  io::ByteSpan{payload.data(), payload.size()}});
+  } catch (const io::IoError& e) {
+    throw SnapshotError(e.what());
   }
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
-  File in;
-  in.f = std::fopen(path.c_str(), "rb");
-  if (in.f == nullptr) throw SnapshotError("cannot open " + path);
+  std::vector<std::uint8_t> image;
+  try {
+    image = io::read_file(path);
+  } catch (const io::IoError& e) {
+    throw SnapshotError(e.what());
+  }
 
-  std::uint8_t header[kHeaderBytes];
-  if (std::fread(header, 1, kHeaderBytes, in.f) != kHeaderBytes) {
+  if (image.size() < kHeaderBytes) {
     throw SnapshotError(path + ": shorter than the envelope header");
   }
-  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+  if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0) {
     throw SnapshotError(path + ": bad magic");
   }
-  Reader hr(header + sizeof(kMagic), kHeaderBytes - sizeof(kMagic));
+  Reader hr(image.data() + sizeof(kMagic), kHeaderBytes - sizeof(kMagic));
   const std::uint32_t version = hr.u32();
   if (version != kFormatVersion) {
     throw SnapshotError(path + ": format version " + std::to_string(version) +
@@ -173,25 +159,13 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   const std::uint64_t length = hr.u64();
   const std::uint32_t expected_crc = hr.u32();
 
-  // Sanity-bound the allocation by the actual file size before trusting the
-  // header's length field (a corrupt length must not trigger a huge alloc).
-  if (std::fseek(in.f, 0, SEEK_END) != 0) {
-    throw SnapshotError(path + ": seek failed");
-  }
-  const long file_size = std::ftell(in.f);
-  if (file_size < 0 ||
-      static_cast<std::uint64_t>(file_size) != kHeaderBytes + length) {
+  // The length field is validated against the bytes actually present (the
+  // whole-file read already bounded the allocation by the real file size, so
+  // a corrupt length is a precise error, not a huge alloc).
+  if (image.size() - kHeaderBytes != length) {
     throw SnapshotError(path + ": payload length field disagrees with file size");
   }
-  if (std::fseek(in.f, static_cast<long>(kHeaderBytes), SEEK_SET) != 0) {
-    throw SnapshotError(path + ": seek failed");
-  }
-
-  std::vector<std::uint8_t> payload(length);
-  if (!payload.empty() &&
-      std::fread(payload.data(), 1, payload.size(), in.f) != payload.size()) {
-    throw SnapshotError(path + ": truncated payload");
-  }
+  std::vector<std::uint8_t> payload(image.begin() + kHeaderBytes, image.end());
   if (crc32(payload.data(), payload.size()) != expected_crc) {
     throw SnapshotError(path + ": CRC mismatch");
   }

@@ -18,9 +18,11 @@
 //
 // read_file() validates all four header fields before handing out a single
 // payload byte; any mismatch (truncation, bit rot, wrong version, alien file)
-// raises SnapshotError, never undefined behaviour. write_file() is atomic:
-// the envelope is written to "<path>.tmp" and renamed into place, so a crash
-// mid-checkpoint can lose the new snapshot but never corrupt the old one.
+// raises SnapshotError, never undefined behaviour. write_file() is atomic
+// AND durable (src/io VFS): the envelope is written to "<path>.tmp", fsynced,
+// renamed into place, and the parent directory is fsynced — so a crash or
+// power cut mid-checkpoint can lose the new snapshot but never corrupt the
+// old one and never leave a zero-length directory entry.
 //
 // Structure errors inside the payload are caught two ways: the Reader throws
 // on any read past the end, and components bracket their sections with
@@ -177,10 +179,12 @@ class Snapshottable {
   virtual void load_state(Reader& r) = 0;
 };
 
-/// Wraps `payload` in the envelope and writes it atomically: the bytes land
-/// in "<path>.tmp" first and are renamed over `path`, so `path` always holds
-/// either the previous complete snapshot or the new complete snapshot.
-/// Throws SnapshotError on any filesystem failure.
+/// Wraps `payload` in the envelope and writes it atomically and durably
+/// through the src/io VFS: the bytes land in "<path>.tmp", are fsynced,
+/// renamed over `path`, and the parent directory entry is fsynced — so
+/// `path` always holds either the previous complete snapshot or the new
+/// complete snapshot, even across a power cut. Throws SnapshotError on any
+/// filesystem failure (real or shim-injected).
 void write_file(const std::string& path, const std::vector<std::uint8_t>& payload);
 
 /// Reads and validates an envelope; returns the payload. Throws SnapshotError

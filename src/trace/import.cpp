@@ -86,6 +86,7 @@ std::vector<TraceRecord> read_dramsim2(std::istream& is, RecoveryPolicy policy,
 std::vector<TraceRecord> read_dramsim2_file(const std::string& path,
                                             RecoveryPolicy policy,
                                             TraceReadReport* report) {
+  // lint: suppress(io-raw-stream) read-only offline import of a foreign text format; durability is owned by the write side
   std::ifstream is(path);
   if (!is) throw std::runtime_error("trace import: cannot open " + path);
   return read_dramsim2(is, policy, report);

@@ -14,7 +14,7 @@
 //   * Interprocedural layer: the call graph (recursion, overload merging,
 //     qualified binding, method-pointer degradation), the lambda capture
 //     table, and the race/hot rule families over in-memory trees.
-//   * Report: the --json schema (schema_version 2) is byte-pinned.
+//   * Report: the --json schema (schema_version 3) is byte-pinned.
 
 #include <algorithm>
 #include <cstddef>
@@ -492,12 +492,12 @@ TEST(LintFixtures, EveryFixtureFailsWithItsNamesakeRule) {
   const std::vector<std::string> expected = {
       "contract-coverage",  "determinism",       "hot-alloc",
       "hot-env-read",       "hot-iostream",      "hot-mutex",
-      "hot-string",         "hot-throw",         "layer-cycle",
-      "layer-undeclared",   "layering",          "pragma-once",
-      "race-capture-write", "race-nonconst-call", "race-shared-static",
-      "raw-assert",         "snapshot-missing",  "snapshot-pairing",
-      "snapshot-roundtrip", "suppression",       "unordered-iteration",
-      "using-namespace"};
+      "hot-string",         "hot-throw",         "io-raw-call",
+      "io-raw-stream",      "layer-cycle",       "layer-undeclared",
+      "layering",           "pragma-once",       "race-capture-write",
+      "race-nonconst-call", "race-shared-static", "raw-assert",
+      "snapshot-missing",   "snapshot-pairing",  "snapshot-roundtrip",
+      "suppression",        "unordered-iteration", "using-namespace"};
   EXPECT_EQ(names, expected);
 
   for (const std::string& name : names) {
@@ -596,19 +596,19 @@ TEST(LintRepo, EveryConfigLineIsLoadBearing) {
       }
     }
   }
-  // The committed config declares 8 layer lines, 7 allow edges, and 1
+  // The committed config declares 9 layer lines, 7 allow edges, and 1
   // hot-stop (dropping the stop floods the hot family with thread-pool
   // internals); a rewrite that shrinks it should be a deliberate act,
   // visible here.
-  EXPECT_EQ(mutations, 16);
+  EXPECT_EQ(mutations, 17);
   fs::remove_all(scratch);
 }
 
 // ---------------------------------------------------------------------------
-// JSON report schema (version 2) is byte-pinned
+// JSON report schema (version 3) is byte-pinned
 // ---------------------------------------------------------------------------
 
-TEST(LintReport, JsonSchemaVersion2IsStable) {
+TEST(LintReport, JsonSchemaVersion3IsStable) {
   Report report;
   report.files_scanned = 2;
   Finding active;
@@ -637,28 +637,39 @@ TEST(LintReport, JsonSchemaVersion2IsStable) {
   quiet.suppress_reason = "legacy\tcode";
   report.suppressed.push_back(quiet);
 
-  // Version 2 adds per-family "race"/"hot" counts over ACTIVE findings only,
-  // so CI can gate the interprocedural families without parsing messages.
+  Finding bypass;
+  bypass.rule = "io-raw-call";
+  bypass.file = "src/core/a.cpp";
+  bypass.line = 13;
+  bypass.message = "direct 'fopen'";
+  report.findings.push_back(bypass);
+
+  // Version 3 adds the per-family "io" count of VFS-bypass findings next to
+  // the version-2 "race"/"hot" counts — all over ACTIVE findings only, so CI
+  // can gate the families without parsing messages.
   const std::string expected =
-      "{\"tool\":\"planaria-lint\",\"schema_version\":2,\"root\":\"/r\","
+      "{\"tool\":\"planaria-lint\",\"schema_version\":3,\"root\":\"/r\","
       "\"files_scanned\":2,\"findings\":[{\"rule\":\"determinism\","
       "\"file\":\"src/core/a.cpp\",\"line\":7,"
       "\"message\":\"call to 'rand()'\"},{\"rule\":\"race-capture-write\","
       "\"file\":\"src/core/a.cpp\",\"line\":9,"
       "\"message\":\"write to 'n'\"},{\"rule\":\"hot-alloc\","
       "\"file\":\"src/core/a.cpp\",\"line\":11,"
-      "\"message\":\"operator new\"}],\"suppressed\":["
+      "\"message\":\"operator new\"},{\"rule\":\"io-raw-call\","
+      "\"file\":\"src/core/a.cpp\",\"line\":13,"
+      "\"message\":\"direct 'fopen'\"}],\"suppressed\":["
       "{\"rule\":\"raw-assert\",\"file\":\"src/core/b.cpp\",\"line\":3,"
       "\"message\":\"say \\\"why\\\"\",\"reason\":\"legacy\\tcode\"}],"
-      "\"counts\":{\"findings\":3,\"suppressed\":1,\"race\":1,\"hot\":1}}";
+      "\"counts\":{\"findings\":4,\"suppressed\":1,\"race\":1,\"hot\":1,"
+      "\"io\":1}}";
   EXPECT_EQ(to_json(report, "/r"), expected);
 
   Report empty;
   EXPECT_EQ(to_json(empty, ""),
-            "{\"tool\":\"planaria-lint\",\"schema_version\":2,\"root\":\"\","
+            "{\"tool\":\"planaria-lint\",\"schema_version\":3,\"root\":\"\","
             "\"files_scanned\":0,\"findings\":[],\"suppressed\":[],"
             "\"counts\":{\"findings\":0,\"suppressed\":0,\"race\":0,"
-            "\"hot\":0}}");
+            "\"hot\":0,\"io\":0}}");
 }
 
 }  // namespace

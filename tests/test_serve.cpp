@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include "io/vfs.hpp"
 #include "serve/serve.hpp"
 
 namespace planaria {
@@ -81,6 +82,9 @@ void expect_reconciled(const serve::SessionServer& server) {
                             c.sessions_shed_retry + c.sessions_shed_deadline);
   EXPECT_EQ(c.ingested_records, c.fed_records + c.shed_queued_records);
   EXPECT_EQ(server.queued_records(), 0u);
+  // Checkpoint ledger: every attempt either landed or was charged as
+  // degraded — a failed write is a shed, never a silent drop.
+  EXPECT_EQ(c.ckpt_attempted, c.ckpt_written + c.ckpt_degraded);
 }
 
 TEST(ServeConfig, ValidateRejectsDegenerateKnobs) {
@@ -316,6 +320,36 @@ TEST_F(ServeTest, CorruptEnvelopeFallsBackToPrev) {
   EXPECT_FALSE(resumed.recovery().notes.empty());
   EXPECT_TRUE(resumed.outcomes() == reference.outcomes());
   EXPECT_TRUE(resumed.counters() == reference.counters());
+}
+
+TEST_F(ServeTest, CheckpointEnospcDegradesNotCrashes) {
+  // Reference run with quiet storage.
+  serve::SessionServer reference(chaos_config(subdir("ref")), 1);
+  reference.add_fleet(small_fleet());
+  reference.serve();
+
+  // Same fleet with ENOSPC injected across the checkpoint write sites: every
+  // failed envelope becomes a ckpt_degraded shed (with a recovery note and a
+  // bounded backoff re-attempt), and the ledger balances at drain.
+  io::IoFaultInjector shim(
+      io::IoFaultPlan::single(io::IoFaultClass::kEnospc, 0.4, 0xD15C));
+  serve::SessionServer stormy(chaos_config(subdir("enospc")), 1);
+  stormy.add_fleet(small_fleet());
+  {
+    io::ScopedFaultInjector armed(&shim);
+    stormy.serve();
+  }
+  ASSERT_TRUE(stormy.finished());
+  expect_reconciled(stormy);
+  const serve::ServeCounters& c = stormy.counters();
+  EXPECT_GT(shim.injected(io::IoFaultClass::kEnospc), 0u);
+  EXPECT_GT(c.ckpt_degraded, 0u);
+  EXPECT_GT(c.ckpt_written, 0u);
+  EXPECT_FALSE(stormy.recovery().notes.empty());
+  // Checkpointing is resilience plumbing, not simulation state: the served
+  // results are byte-identical to the quiet-storage run's.
+  EXPECT_TRUE(stormy.outcomes() == reference.outcomes());
+  EXPECT_TRUE(stormy.summary() == reference.summary());
 }
 
 TEST_F(ServeTest, MissingCheckpointsColdStartStillMatches) {

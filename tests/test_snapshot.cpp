@@ -701,7 +701,9 @@ TEST_F(SnapshotFileTest, PoisonedSweepCellBacksOffThenReportsOthersLand) {
   EXPECT_EQ(report.attempts, 3);
   EXPECT_EQ(report.backoffs, 2);
   EXPECT_GE(report.backoff_rounds, 2u * 2u);  // two waits of >= base rounds
-  EXPECT_NE(report.what.find("cannot create"), std::string::npos);
+  // The report names the failing VFS op (the squatting directory makes the
+  // durable-write `.tmp` creation fail).
+  EXPECT_NE(report.what.find("io: create"), std::string::npos);
 
   // The backoff schedule is a pure function of (cell, attempt): a rerun of
   // the same poisoned sweep files a byte-identical report.

@@ -1,6 +1,6 @@
 // planaria-audit — the invariant audit gate CI runs on every change.
 //
-// Seven stages (select with --stage, default all):
+// Eight stages (select with --stage, default all):
 //   1. Self-test: deliberately injects a storage-budget violation and checks
 //      the contract layer flags it. A gate that cannot see a planted bug is
 //      blind; this stage failing exits 2 and nothing else is trusted.
@@ -39,7 +39,17 @@
 //      classes armed per tenant (FaultPlan::for_session) in recover mode,
 //      requiring every violation recovered and a bounded peak-RSS delta
 //      (the RSS gate is skipped under ASan, whose shadow memory dwarfs it).
-//   7. Lint audit: runs planaria-lint (tools/lint) over the source tree this
+//   7. Storm audit: seeded storage-fault drills through the src/io VFS shim.
+//      Every write-side fault class (EIO, ENOSPC mid-write, torn write,
+//      rename failure, fsync loss) and read-side class (EIO, bit rot) is
+//      armed in isolation against the snapshot envelope, the checkpoint
+//      recovery chain (current -> .prev -> cold start), scrub/repair with
+//      exact quarantine accounting, and the serving loop's degraded
+//      checkpoint ledger (ckpt_attempted == ckpt_written + ckpt_degraded
+//      with drain reconciliation intact under injected ENOSPC). The gate:
+//      results stay bit-identical or cleanly cold-started — a damaged
+//      envelope may be lost, never silently believed.
+//   8. Lint audit: runs planaria-lint (tools/lint) over the source tree this
 //      binary was built from — layering DAG, determinism bans, snapshot
 //      pairing/round-trip coverage, contract coverage, hygiene, and the
 //      interprocedural race-* / hot-* families (DESIGN.md §13). Any
@@ -66,8 +76,10 @@
 #include "core/storage.hpp"
 #include "core/storage_layout.hpp"
 #include "fault/fault.hpp"
+#include "io/vfs.hpp"
 #include "serve/serve.hpp"
 #include "sim/checkpoint.hpp"
+#include "snapshot/snapshot.hpp"
 #include "sim/simulator.hpp"
 #include "trace/apps.hpp"
 #include "trace/generator.hpp"
@@ -81,7 +93,9 @@ using planaria::StatSet;
 namespace check = planaria::check;
 namespace core = planaria::core;
 namespace fault = planaria::fault;
+namespace io = planaria::io;
 namespace serve = planaria::serve;
+namespace snapshot = planaria::snapshot;
 namespace layout = planaria::core::layout;
 namespace sim = planaria::sim;
 namespace trace = planaria::trace;
@@ -451,6 +465,7 @@ void scrub_snapshots(const sim::CheckpointConfig& ckpt) {
 
 /// Flips one payload byte in a snapshot file; the envelope CRC must catch it.
 void corrupt_snapshot(const std::string& path) {
+  // lint: suppress(io-raw-stream) this drill damages bytes in place on purpose; the VFS refuses to author torn envelopes
   std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
   f.seekg(40);  // past the 24-byte envelope header, inside the payload
   char byte = 0;
@@ -845,7 +860,306 @@ void serve_audit(std::uint64_t records, std::uint64_t seed) {
 }
 
 // ---------------------------------------------------------------------------
-// Stage 7: lint audit
+// Stage 7: storm audit (storage-fault drills through the src/io VFS)
+// ---------------------------------------------------------------------------
+
+/// Seeded junk payload for the envelope-torture leg; every trial writes a
+/// distinct image so a stale generation can never masquerade as a fresh one.
+std::vector<std::uint8_t> storm_payload(std::uint64_t seed, std::size_t size) {
+  planaria::Rng rng(seed);
+  std::vector<std::uint8_t> bytes(size);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return bytes;
+}
+
+/// crash_at with a storage storm blowing: checkpoint writes may fail under
+/// the armed shim, and a real checkpointed run degrades (counts the loss,
+/// keeps simulating) instead of dying — so the doomed instance does the same.
+/// Returns how many checkpoints the storm swallowed outright; torn/fsync-loss
+/// damage "succeeds" here and is only caught by the resume-side CRC.
+std::uint64_t storm_crash_at(const sim::SimConfig& config,
+                             sim::PrefetcherKind kind,
+                             const std::vector<trace::TraceRecord>& records,
+                             const sim::CheckpointConfig& ckpt,
+                             std::uint64_t kill_at,
+                             std::uint64_t fingerprint) {
+  sim::Simulator doomed(config, sim::make_prefetcher_factory(kind),
+                        sim::prefetcher_kind_name(kind));
+  std::uint64_t lost = 0;
+  std::uint64_t cursor = 0;
+  while (cursor + ckpt.every <= kill_at) {
+    doomed.run_sharded(records.data() + cursor,
+                       records.data() + cursor + ckpt.every, nullptr);
+    cursor += ckpt.every;
+    try {
+      sim::write_checkpoint(doomed, ckpt, cursor, fingerprint);
+    } catch (const snapshot::SnapshotError&) {
+      ++lost;
+    }
+  }
+  if (cursor < kill_at) {
+    doomed.run_sharded(records.data() + cursor, records.data() + kill_at,
+                       nullptr);
+  }
+  return lost;
+}
+
+void storm_remove_generations(const sim::CheckpointConfig& ckpt) {
+  for (const std::string& path : {ckpt.current_path(), ckpt.prev_path()}) {
+    io::remove_file(path);
+    io::remove_file(path + ".quarantine");
+  }
+}
+
+/// Stage 7: storm audit. Leg (a) tortures the snapshot envelope itself: for
+/// every io fault class in isolation, a run of seeded write/read drills must
+/// end each trial in exactly one of three states — the new payload read back
+/// byte-identical, a *detected* failure (IoError on the write, SnapshotError
+/// on the read-back), or the previous complete generation still in place.
+/// A read that returns wrong bytes without throwing is the one outcome that
+/// fails the gate: zero silent corruption. Leg (b) drives the checkpoint
+/// recovery chain under each storm class: kill a checkpointed run mid-flight
+/// with the shim armed, resume clean, and require the resumed result to be
+/// bit-identical to the uninterrupted run whether recovery lands on current,
+/// .prev, or a cold start; read-side storms (EIO, bit rot) at rate 1.0 must
+/// degrade to a cold start with both rejections documented. Leg (c) checks
+/// scrub/repair bookkeeping to the exact count, quarantine files included.
+/// Leg (d) serves a fleet under injected ENOSPC: every session completes,
+/// drain accounting reconciles, and the degraded-checkpoint ledger balances.
+void storm_audit(std::uint64_t records, std::uint64_t seed) {
+  std::printf(
+      "storm audit: %llu records, seeded storage faults over every write "
+      "site\n",
+      static_cast<unsigned long long>(records));
+
+  std::error_code ec;
+  const auto dir =
+      std::filesystem::temp_directory_path() / "planaria-storm-audit";
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+
+  // Leg (a): envelope torture, one class at a time.
+  {
+    const std::string path = (dir / "torture.snap").string();
+    for (int c = 0; c < io::kIoFaultClassCount; ++c) {
+      const auto fault_class = static_cast<io::IoFaultClass>(c);
+      io::remove_file(path);
+      io::remove_file(path + ".tmp");
+      io::IoFaultInjector shim(
+          io::IoFaultPlan::single(fault_class, 0.6, seed ^ (0x570B + c)));
+      io::ScopedFaultInjector arm(&shim);
+      std::vector<std::uint8_t> good;  // last payload fully on disk
+      bool ok = true;
+      std::uint64_t detected = 0;
+      for (int t = 0; t < 32; ++t) {
+        const auto payload =
+            storm_payload(seed ^ (c * 131ull + t), 64 + t * 7);
+        bool wrote = false;
+        try {
+          snapshot::write_file(path, payload);
+          wrote = true;
+        } catch (const snapshot::SnapshotError&) {
+          ++detected;  // EIO / ENOSPC / rename failure, surfaced not dropped
+        }
+        try {
+          const auto back = snapshot::read_file(path);
+          // A read that *returns* must return a complete generation: the
+          // fresh payload after a clean write, the previous one after a
+          // failed write that left the old file in place.
+          ok = ok && back == (wrote ? payload : good);
+          if (wrote) good = payload;
+        } catch (const snapshot::SnapshotError&) {
+          ++detected;  // torn write, lost fsync suffix, bit rot, read EIO
+        }
+      }
+      const bool stormed = shim.total_injected() > 0;
+      expect(ok && stormed && detected >= shim.total_injected(),
+             std::string(io::io_fault_class_name(fault_class)) +
+                 ": 32 envelope drills, " +
+                 std::to_string(shim.total_injected()) + " injected, " +
+                 std::to_string(detected) +
+                 " detected, zero silent corruption");
+    }
+  }
+
+  // Legs (b) and (c) run against a real checkpointed simulation.
+  const std::vector<trace::AppProfile> profiles = audit_profiles(seed);
+  const auto traces =
+      trace::generate_app_traces(profiles, records, nullptr);
+  const auto& trace_records = traces[0];
+  const std::uint64_t n = trace_records.size();
+  sim::CheckpointConfig ckpt;
+  ckpt.dir = (dir / "ckpt").string();
+  std::filesystem::create_directories(ckpt.dir, ec);
+  ckpt.every = std::max<std::uint64_t>(1, records / 7);
+  ckpt.label = "storm";
+  const std::uint64_t kill_at = 3 * ckpt.every;  // leaves .snap and .prev
+
+  if (kill_at < n) {
+    const std::uint64_t fingerprint = sim::trace_fingerprint(trace_records);
+    const sim::SimConfig config;
+    const auto kind = sim::PrefetcherKind::kPlanaria;
+    const auto base = sim::Simulator::run(
+        config, sim::make_prefetcher_factory(kind),
+        sim::prefetcher_kind_name(kind), trace_records, nullptr);
+
+    // Leg (b), write-side: storm while checkpointing, resume in calm
+    // weather. Whatever the storm did to the generations, the resumed result
+    // must be bit-identical — recovered from current, .prev, or a cold
+    // start; damage is visible in the RecoveryReport, never in the result.
+    for (const auto fault_class :
+         {io::IoFaultClass::kWriteError, io::IoFaultClass::kEnospc,
+          io::IoFaultClass::kTornWrite, io::IoFaultClass::kRenameFail,
+          io::IoFaultClass::kFsyncLoss}) {
+      storm_remove_generations(ckpt);
+      std::uint64_t lost = 0;
+      std::uint64_t applied = 0;
+      {
+        io::IoFaultInjector shim(io::IoFaultPlan::single(
+            fault_class, 0.5, seed ^ (0xCA57ull + static_cast<int>(fault_class))));
+        io::ScopedFaultInjector arm(&shim);
+        lost = storm_crash_at(config, kind, trace_records, ckpt, kill_at,
+                              fingerprint);
+        applied = shim.total_injected();
+      }
+      sim::RecoveryReport rep;
+      const auto resumed = sim::run_checkpointed(
+          config, sim::make_prefetcher_factory(kind),
+          sim::prefetcher_kind_name(kind), trace_records, ckpt, nullptr,
+          &rep);
+      // A degraded recovery must be accounted somewhere loud: either the
+      // write already failed in-flight (counted in `lost` — ENOSPC and
+      // rename failures leave no current at all, so resume quietly falls
+      // back) or the resume rejected a damaged candidate with a note (torn
+      // writes and lost fsync suffixes "succeed" and are only caught by the
+      // envelope CRC at read time).
+      const bool chain_ok =
+          rep.outcome == sim::RecoveryReport::Outcome::kResumed
+              ? true
+              : !rep.notes.empty() || lost > 0;
+      expect(resumed == base && chain_ok && applied > 0,
+             std::string(io::io_fault_class_name(fault_class)) +
+                 " storm: kill/resume bit-identical via " +
+                 sim::recovery_outcome_name(rep.outcome) + " (" +
+                 std::to_string(applied) + " injected, " +
+                 std::to_string(lost) + " checkpoints lost)");
+    }
+
+    // Leg (b), read-side: checkpoints land intact, the *resume* reads are
+    // stormed at rate 1.0 — every candidate must be rejected with a note
+    // (the CRC envelope catches a single flipped bit) and the run must
+    // degrade to a clean cold start, still bit-identical.
+    for (const auto fault_class :
+         {io::IoFaultClass::kReadError, io::IoFaultClass::kBitRot}) {
+      storm_remove_generations(ckpt);
+      storm_crash_at(config, kind, trace_records, ckpt, kill_at, fingerprint);
+      io::IoFaultInjector shim(io::IoFaultPlan::single(
+          fault_class, 1.0, seed ^ (0xB17ull + static_cast<int>(fault_class))));
+      sim::RecoveryReport rep;
+      std::uint64_t applied = 0;
+      {
+        io::ScopedFaultInjector arm(&shim);
+        const auto resumed = sim::run_checkpointed(
+            config, sim::make_prefetcher_factory(kind),
+            sim::prefetcher_kind_name(kind), trace_records, ckpt, nullptr,
+            &rep);
+        applied = shim.injected(fault_class);
+        expect(resumed == base &&
+                   rep.outcome == sim::RecoveryReport::Outcome::kColdStart &&
+                   rep.notes.size() == 2 && applied >= 2,
+               std::string(io::io_fault_class_name(fault_class)) +
+                   " storm at resume: both generations rejected, cold start "
+                   "bit-identical");
+      }
+    }
+
+    // Leg (c): scrub/repair bookkeeping to the exact count. Corrupt current,
+    // scrub: the bad envelope is quarantined (never deleted) and rebuilt
+    // from .prev, so resume lands on .prev's generation via a repaired
+    // current — then a double-corruption scrub must quarantine both and the
+    // resume must cold-start.
+    {
+      storm_remove_generations(ckpt);
+      storm_crash_at(config, kind, trace_records, ckpt, kill_at, fingerprint);
+      corrupt_snapshot(ckpt.current_path());
+      const sim::ScrubReport scrub = sim::scrub_checkpoints(ckpt);
+      expect(scrub.scanned == 2 && scrub.intact == 1 &&
+                 scrub.quarantined == 1 && scrub.repaired == 1 &&
+                 scrub.missing == 0 &&
+                 scrub.scanned == scrub.intact + scrub.quarantined &&
+                 io::exists(ckpt.current_path() + ".quarantine"),
+             "scrub: corrupt current quarantined and repaired from .prev");
+      sim::RecoveryReport rep;
+      const auto resumed = sim::run_checkpointed(
+          config, sim::make_prefetcher_factory(kind),
+          sim::prefetcher_kind_name(kind), trace_records, ckpt, nullptr,
+          &rep);
+      expect(resumed == base &&
+                 rep.outcome == sim::RecoveryReport::Outcome::kResumed &&
+                 rep.resumed_cursor == kill_at - ckpt.every,
+             "scrub: resume rides the repaired generation, bit-identical");
+
+      storm_remove_generations(ckpt);
+      storm_crash_at(config, kind, trace_records, ckpt, kill_at, fingerprint);
+      corrupt_snapshot(ckpt.current_path());
+      corrupt_snapshot(ckpt.prev_path());
+      const sim::ScrubReport both = sim::scrub_checkpoints(ckpt);
+      expect(both.scanned == 2 && both.intact == 0 && both.quarantined == 2 &&
+                 both.repaired == 0 && both.missing == 0,
+             "scrub: double corruption quarantines both, repairs none");
+      sim::RecoveryReport cold;
+      const auto restarted = sim::run_checkpointed(
+          config, sim::make_prefetcher_factory(kind),
+          sim::prefetcher_kind_name(kind), trace_records, ckpt, nullptr,
+          &cold);
+      expect(restarted == base &&
+                 cold.outcome == sim::RecoveryReport::Outcome::kColdStart,
+             "scrub: nothing left to repair -> clean cold start");
+    }
+  }
+
+  // Leg (d): the serving loop under injected ENOSPC. Checkpoint attempts
+  // degrade — they never shed a session and never crash the server — and the
+  // drain ledger must balance on both identities: the session partition and
+  // ckpt_attempted == ckpt_written + ckpt_degraded.
+  {
+    const auto root = dir / "serve";
+    std::filesystem::create_directories(root, ec);
+    serve::ServeConfig config;
+    config.records_per_session = std::max<std::uint64_t>(records / 4, 2000);
+    config.max_live_sessions = 4;
+    config.queue_capacity = 1024;
+    config.ingest_per_tick = 512;
+    config.quantum_records = 256;
+    config.drill_seed = seed;
+    config.checkpoint_every_ticks = 2;
+    config.checkpoint_dir = root.string();
+    io::IoFaultInjector shim(io::IoFaultPlan::single(
+        io::IoFaultClass::kEnospc, 0.3, seed ^ 0x5707));
+    io::ScopedFaultInjector arm(&shim);
+    serve::SessionServer server(config, 1);
+    server.add_fleet(audit_fleet(8, seed));
+    server.serve();
+    const serve::ServeCounters& c = server.counters();
+    expect(c.sessions_completed == 8,
+           "storm serve: all 8 sessions complete under ENOSPC");
+    expect(serve_counters_reconcile(server),
+           "storm serve: drain accounting reconciles");
+    expect(c.ckpt_attempted == c.ckpt_written + c.ckpt_degraded &&
+               c.ckpt_degraded > 0 && shim.injected(io::IoFaultClass::kEnospc) > 0,
+           "storm serve: checkpoint ledger balances (" +
+               std::to_string(c.ckpt_attempted) + " attempted = " +
+               std::to_string(c.ckpt_written) + " written + " +
+               std::to_string(c.ckpt_degraded) + " degraded)");
+    expect(!server.recovery().notes.empty(),
+           "storm serve: degraded checkpoints are documented, not silent");
+  }
+
+  std::filesystem::remove_all(dir, ec);
+}
+
+// ---------------------------------------------------------------------------
+// Stage 8: lint audit
 // ---------------------------------------------------------------------------
 
 /// Runs planaria-lint in-process over the tree this binary was compiled from
@@ -893,7 +1207,8 @@ int main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: planaria-audit [--records N] [--seed S] "
-          "[--stage all|self-test|static|lint|replay|chaos|crash|serve]\n");
+          "[--stage all|self-test|static|lint|replay|chaos|crash|serve|"
+          "storm]\n");
       return 1;
     }
   }
@@ -903,7 +1218,7 @@ int main(int argc, char** argv) {
   }
   if (stage != "all" && stage != "self-test" && stage != "static" &&
       stage != "lint" && stage != "replay" && stage != "chaos" &&
-      stage != "crash" && stage != "serve") {
+      stage != "crash" && stage != "serve" && stage != "storm") {
     std::fprintf(stderr, "planaria-audit: unknown --stage '%s'\n",
                  stage.c_str());
     return 1;
@@ -921,6 +1236,7 @@ int main(int argc, char** argv) {
   if (stage == "all" || stage == "chaos") chaos_audit(records, seed);
   if (stage == "all" || stage == "crash") crash_audit(records, seed);
   if (stage == "all" || stage == "serve") serve_audit(records, seed);
+  if (stage == "all" || stage == "storm") storm_audit(records, seed);
 
   if (g_failures > 0) {
     std::fprintf(stderr, "planaria-audit: %d check(s) FAILED\n", g_failures);

@@ -184,6 +184,7 @@ Config parse_config(const std::string& text, const std::string& filename) {
 }
 
 Config load_config(const std::string& path) {
+  // lint: suppress(io-raw-stream) planaria-lint links nothing from src/ so it stays buildable while the tree is broken; this is a read-only config load
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open lint config: " + path);
   std::ostringstream buf;

@@ -1,0 +1,12 @@
+#include <cstdio>
+
+namespace fx::core {
+
+void persist(const char* path) {
+  std::FILE* f = std::fopen(path, "wb");  // BAD: raw open bypasses the VFS
+  std::fputc('x', f);
+  std::fclose(f);
+  std::rename(path, "final.bin");  // BAD: rename without directory fsync
+}
+
+}  // namespace fx::core

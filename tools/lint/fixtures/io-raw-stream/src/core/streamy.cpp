@@ -1,0 +1,10 @@
+#include <fstream>
+
+namespace fx::core {
+
+void dump(const char* path) {
+  std::ofstream out(path, std::ios::binary);  // BAD: no durable rename cycle
+  out << 42;
+}
+
+}  // namespace fx::core

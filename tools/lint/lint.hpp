@@ -28,6 +28,11 @@
 //   pragma-once           header without #pragma once
 //   using-namespace       `using namespace` at file scope in a header
 //   raw-assert            <cassert> assert() instead of PLANARIA_ASSERT
+//   io-raw-call           direct fopen/freopen/rename/::open/::creat outside
+//                         src/io — bypasses the VFS durability discipline
+//                         and the storage-fault shim (tests/ exempt)
+//   io-raw-stream         std::{o,i,}fstream outside src/io — same bypass,
+//                         stream-object form (tests/ exempt)
 //   suppression           malformed suppression (missing reason or unknown
 //                         rule) — never suppressible itself
 //
@@ -176,9 +181,10 @@ struct Report {
   bool clean() const { return findings.empty(); }
 };
 
-/// Renders the stable machine-readable report (schema_version 2: adds
-/// per-family "race"/"hot" counts to "counts"). Keys and their order are
-/// part of the contract tests/test_lint.cpp pins down.
+/// Renders the stable machine-readable report (schema_version 3: per-family
+/// "race"/"hot" counts plus the v3 "io" count of VFS-bypass findings in
+/// "counts"). Keys and their order are part of the contract
+/// tests/test_lint.cpp pins down.
 std::string to_json(const Report& report, const std::string& root);
 
 // ---------------------------------------------------------------------------

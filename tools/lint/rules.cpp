@@ -421,6 +421,66 @@ void rule_hygiene(const FileInfo& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// io-raw-call / io-raw-stream
+//
+// All durable file I/O routes through the src/io VFS (write-tmp -> fsync ->
+// rename -> fsync-dir, plus the storage-fault shim the storm audit drives).
+// A direct fopen/::open/rename or an fstream object bypasses both the
+// durability discipline and the fault injection, so outside src/io each one
+// needs a reason-carrying suppression. tests/ are exempt: durability tests
+// damage files on purpose, and raw I/O *is* their fixture machinery.
+
+bool member_call_prefix(const std::vector<Token>& toks, std::size_t i);
+
+void rule_io_raw(const FileInfo& f, std::vector<Finding>& out) {
+  if (f.module == "io") return;  // the VFS implementation itself
+  if (f.path.rfind("tests/", 0) == 0) return;
+  const auto& toks = f.src.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (member_call_prefix(toks, i)) continue;  // obj.rename(...) is not libc
+    const bool call_next = i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+
+    // Raw open/rename calls: fopen/freopen, rename (std::, ::, or
+    // std::filesystem::), and the globally-qualified POSIX ::open/::creat.
+    bool raw_call = false;
+    if ((t.text == "fopen" || t.text == "freopen" || t.text == "rename") &&
+        call_next) {
+      raw_call = true;
+    } else if ((t.text == "open" || t.text == "creat") && call_next &&
+               i >= 2 && is_punct(toks[i - 1], ":") &&
+               is_punct(toks[i - 2], ":") &&
+               (i == 2 || toks[i - 3].kind != TokenKind::kIdentifier)) {
+      raw_call = true;  // `::open(` — global qualifier, not `ns::open(`
+    }
+    if (raw_call) {
+      out.push_back(
+          {"io-raw-call", f.path, t.line,
+           "direct '" + t.text +
+               "' bypasses the src/io VFS — no tmp-file staging, no fsync "
+               "discipline, no storage-fault injection; use "
+               "io::write_file_durable/read_file/rename_file, or carry a "
+               "reasoned suppression for a read-only or tooling path",
+           ""});
+      continue;
+    }
+
+    // Raw stream objects.
+    if (t.text == "ofstream" || t.text == "ifstream" || t.text == "fstream") {
+      out.push_back(
+          {"io-raw-stream", f.path, t.line,
+           "'" + t.text +
+               "' I/O bypasses the src/io VFS — writes skip the durable "
+               "rename discipline and neither direction sees the "
+               "storage-fault shim; route through io::, or carry a reasoned "
+               "suppression for a read-only or tooling path",
+           ""});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Interprocedural analyses (DESIGN.md §13): parallel regions + hot paths
 //
 // Shared machinery: the call graph from callgraph.cpp, the lambda capture
@@ -1059,6 +1119,7 @@ bool known_rule(const std::string& rule) {
       "snapshot-roundtrip", "snapshot-missing",   "contract-coverage",
       "pragma-once",       "using-namespace",     "raw-assert",
       "suppression",
+      "io-raw-call",       "io-raw-stream",
       "race-capture-write", "race-shared-static", "race-nonconst-call",
       "hot-alloc",         "hot-string",          "hot-iostream",
       "hot-throw",         "hot-mutex",           "hot-env-read",
@@ -1079,6 +1140,7 @@ std::vector<Finding> run_rules(const std::vector<FileInfo>& files,
     rule_determinism(f, out);
     rule_unordered_iteration(f, by_path, config, out);
     rule_hygiene(f, out);
+    rule_io_raw(f, out);
   }
   const CallGraph graph = build_call_graph(files);
   rule_race(files, config, graph, out);
