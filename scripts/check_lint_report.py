@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validates a planaria-lint JSON report against the schema-v4 contract.
+
+CI used to assert the report's shape with greps over the raw JSON; this
+script is the single place that knowledge lives now (the byte-level pin is
+tests/test_lint.cpp). It checks:
+
+  * schema_version is exactly 4;
+  * the top-level keys and the counts keys are all present
+    (tool/root/files_scanned/findings/suppressed/counts, and
+    counts.{findings,suppressed,race,hot,io,state});
+  * counts agree with the arrays they summarize — counts.findings equals
+    len(findings), counts.suppressed equals len(suppressed), and each
+    per-family count equals the number of active findings whose rule carries
+    that family's prefix;
+  * every finding has rule/file/line/message, with a known-shaped rule id;
+  * every suppressed entry carries a non-empty reason — the suppressed list
+    is an audit trail, not a mute button.
+
+Exit 0 when the report is well-formed (findings may still be non-empty:
+gating on cleanliness is the linter's own exit code, not this script's
+job), 1 on a contract violation, 2 on usage/IO errors.
+
+Usage: check_lint_report.py <report.json>
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 4
+TOP_KEYS = ("tool", "schema_version", "root", "files_scanned", "findings",
+            "suppressed", "counts")
+COUNT_KEYS = ("findings", "suppressed", "race", "hot", "io", "state")
+FAMILY_PREFIXES = {"race": "race-", "hot": "hot-", "io": "io-raw",
+                   "state": "state-"}
+FINDING_KEYS = ("rule", "file", "line", "message")
+
+
+def fail(message):
+    print("check_lint_report: %s" % message, file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_finding(entry, where, suppressed):
+    for key in FINDING_KEYS:
+        if key not in entry:
+            fail("%s entry missing key '%s': %r" % (where, key, entry))
+    if not isinstance(entry["line"], int) or entry["line"] < 0:
+        fail("%s entry has a non-integer line: %r" % (where, entry))
+    rule = entry["rule"]
+    if not rule or not all(c.islower() or c == "-" for c in rule):
+        fail("%s entry has a malformed rule id %r" % (where, rule))
+    if suppressed and not entry.get("reason"):
+        fail("suppressed entry for %s:%s has no reason — every waiver "
+             "must say why" % (entry["file"], entry["line"]))
+
+
+def check_report(report):
+    for key in TOP_KEYS:
+        if key not in report:
+            fail("missing top-level key '%s'" % key)
+    if report["tool"] != "planaria-lint":
+        fail("tool is %r, expected 'planaria-lint'" % report["tool"])
+    if report["schema_version"] != SCHEMA_VERSION:
+        fail("schema_version is %r, expected %d (regenerate the report "
+             "with a current planaria-lint build)"
+             % (report["schema_version"], SCHEMA_VERSION))
+
+    counts = report["counts"]
+    for key in COUNT_KEYS:
+        if key not in counts:
+            fail("counts is missing key '%s'" % key)
+        if not isinstance(counts[key], int) or counts[key] < 0:
+            fail("counts.%s is %r, expected a non-negative integer"
+                 % (key, counts[key]))
+
+    for entry in report["findings"]:
+        check_finding(entry, "findings", suppressed=False)
+    for entry in report["suppressed"]:
+        check_finding(entry, "suppressed", suppressed=True)
+
+    if counts["findings"] != len(report["findings"]):
+        fail("counts.findings=%d but findings has %d entries"
+             % (counts["findings"], len(report["findings"])))
+    if counts["suppressed"] != len(report["suppressed"]):
+        fail("counts.suppressed=%d but suppressed has %d entries"
+             % (counts["suppressed"], len(report["suppressed"])))
+    for family, prefix in FAMILY_PREFIXES.items():
+        actual = sum(1 for f in report["findings"]
+                     if f["rule"].startswith(prefix))
+        if counts[family] != actual:
+            fail("counts.%s=%d but %d active findings match prefix %r"
+                 % (family, counts[family], actual, prefix))
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as err:
+        print("check_lint_report: cannot read %s: %s" % (argv[1], err),
+              file=sys.stderr)
+        return 2
+    check_report(report)
+    print("check_lint_report: %s OK (schema v%d, %d findings, %d suppressed)"
+          % (argv[1], SCHEMA_VERSION, len(report["findings"]),
+             len(report["suppressed"])))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

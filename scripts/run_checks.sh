@@ -6,12 +6,15 @@
 #   2. lint     — planaria-lint over src/, tools/, bench/, tests/: layering
 #                 DAG, determinism bans, snapshot pairing/round-trip coverage,
 #                 contract coverage, hygiene, plus the interprocedural race-*
-#                 (parallel-region capture/static/non-const-call) and hot-*
+#                 (parallel-region capture/static/non-const-call), hot-*
 #                 (alloc/string/iostream/throw/mutex/env on hot-root paths)
-#                 families and the io-raw VFS-bypass bans; must finish under
-#                 a 10s budget; writes the --json
-#                 report to build-release/lint-report.json (CI uploads it as
-#                 an artifact)
+#                 and state-* (member-level save/load reconciliation:
+#                 unsaved/unloaded members, order mismatch, determinism
+#                 taint) families and the io-raw VFS-bypass bans; must finish
+#                 under a 10s budget; writes the --json report to
+#                 build-release/lint-report.json (CI uploads it as an
+#                 artifact) and validates its v4 schema with
+#                 scripts/check_lint_report.py
 #   3. sanitize — ASan+UBSan build (arms PLANARIA_DASSERT) + full ctest suite
 #   4. audit    — planaria-audit invariant gate (from the sanitizer build, so
 #                 the replay stage runs instrumented; includes the serial-vs-
@@ -104,10 +107,12 @@ stage_sanitize() {
 
 stage_lint() {
   # Budget assertion (DESIGN.md §13): the full-repo analysis — call graph,
-  # race and hot families included — must finish in under 10 seconds, or the
-  # gate has become too slow to run on every push.
+  # race, hot, and state-flow families included — must finish in under 10
+  # seconds, or the gate has become too slow to run on every push.
   timeout 10 ./build-release/tools/lint/planaria-lint \
     --json=build-release/lint-report.json
+  # Schema contract (v4): same checker CI runs against the JSON artifact.
+  python3 scripts/check_lint_report.py build-release/lint-report.json
 }
 
 stage_audit() {

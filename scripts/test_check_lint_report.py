@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Unit tests for check_lint_report.py (registered with ctest).
+
+Each case builds a report dict, round-trips it through a temp file, and
+asserts the checker's verdict. The good-report template mirrors the v4
+shape byte-pinned in tests/test_lint.cpp; if the schema moves, that pin,
+this template, and SCHEMA_VERSION in the checker move together.
+"""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_lint_report
+
+
+GOOD = {
+    "tool": "planaria-lint",
+    "schema_version": 4,
+    "root": "/repo",
+    "files_scanned": 2,
+    "findings": [
+        {"rule": "determinism", "file": "src/core/a.cpp", "line": 7,
+         "message": "call to 'rand()'"},
+        {"rule": "state-unsaved-member", "file": "src/core/a.hpp", "line": 3,
+         "message": "member 'C::m_' is mutated but never serialized"},
+    ],
+    "suppressed": [
+        {"rule": "hot-alloc", "file": "src/core/b.cpp", "line": 9,
+         "message": "local 'vector' constructed per call",
+         "reason": "amortized"},
+    ],
+    "counts": {"findings": 2, "suppressed": 1, "race": 0, "hot": 0,
+               "io": 0, "state": 1},
+}
+
+
+def run_checker(report):
+    """Runs main() on a serialized report; returns (exit_code, ok_bool)."""
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", delete=False) as handle:
+        json.dump(report, handle)
+        path = handle.name
+    try:
+        try:
+            code = check_lint_report.main(["check_lint_report.py", path])
+            return code, code == 0
+        except SystemExit as err:
+            return err.code, False
+    finally:
+        os.unlink(path)
+
+
+class CheckLintReportTest(unittest.TestCase):
+    def test_good_report_passes(self):
+        code, ok = run_checker(GOOD)
+        self.assertTrue(ok, "well-formed v4 report must pass (exit %r)" % code)
+
+    def test_wrong_schema_version_fails(self):
+        bad = copy.deepcopy(GOOD)
+        bad["schema_version"] = 3
+        self.assertFalse(run_checker(bad)[1])
+
+    def test_missing_counts_state_fails(self):
+        bad = copy.deepcopy(GOOD)
+        del bad["counts"]["state"]
+        self.assertFalse(run_checker(bad)[1])
+
+    def test_missing_top_level_key_fails(self):
+        for key in check_lint_report.TOP_KEYS:
+            bad = copy.deepcopy(GOOD)
+            del bad[key]
+            self.assertFalse(run_checker(bad)[1], "missing %r must fail" % key)
+
+    def test_count_disagreeing_with_array_fails(self):
+        bad = copy.deepcopy(GOOD)
+        bad["counts"]["findings"] = 5
+        self.assertFalse(run_checker(bad)[1])
+
+    def test_family_count_disagreeing_with_rules_fails(self):
+        bad = copy.deepcopy(GOOD)
+        bad["counts"]["state"] = 0  # but one state-* finding is active
+        self.assertFalse(run_checker(bad)[1])
+
+    def test_suppressed_without_reason_fails(self):
+        bad = copy.deepcopy(GOOD)
+        del bad["suppressed"][0]["reason"]
+        self.assertFalse(run_checker(bad)[1])
+        bad["suppressed"][0]["reason"] = ""
+        self.assertFalse(run_checker(bad)[1])
+
+    def test_finding_missing_key_fails(self):
+        bad = copy.deepcopy(GOOD)
+        del bad["findings"][0]["message"]
+        self.assertFalse(run_checker(bad)[1])
+
+    def test_nonempty_findings_still_pass(self):
+        # Cleanliness gating belongs to the linter's exit code; the checker
+        # only validates shape.
+        code, ok = run_checker(GOOD)
+        self.assertTrue(ok)
+        self.assertEqual(code, 0)
+
+    def test_unreadable_file_is_usage_error(self):
+        code = check_lint_report.main(
+            ["check_lint_report.py", "/nonexistent/report.json"])
+        self.assertEqual(code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

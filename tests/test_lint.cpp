@@ -8,13 +8,15 @@
 //     corpus (tools/lint/fixtures/<rule>/), and ONLY the targeted rule fires
 //     per fixture, so a regression in one rule cannot hide behind another.
 //   * The real tree: the repo must lint clean at HEAD, and the committed
-//     layers.conf must be load-bearing — removing any single layer or allow
-//     line has to produce findings (or a config error). Same for deleting a
-//     load_state: the pairing rule must catch it.
+//     layers.conf must be load-bearing — removing any single layer, allow,
+//     hot-stop, or volatile-member line has to produce findings (or a config
+//     error). Same for deleting a load_state (the pairing rule) or a single
+//     member-serialize line inside a real save_state body (the state-flow
+//     family): the mutation must surface as a finding.
 //   * Interprocedural layer: the call graph (recursion, overload merging,
 //     qualified binding, method-pointer degradation), the lambda capture
-//     table, and the race/hot rule families over in-memory trees.
-//   * Report: the --json schema (schema_version 3) is byte-pinned.
+//     table, and the race/hot/state rule families over in-memory trees.
+//   * Report: the --json schema (schema_version 4) is byte-pinned.
 
 #include <algorithm>
 #include <cstddef>
@@ -108,6 +110,62 @@ TEST(LintTokenizer, PragmaOnceAndPpNumbersAndCharLiterals) {
   EXPECT_EQ(numbers[1], "0x1Fu");
   EXPECT_EQ(chars, 1u);
   EXPECT_FALSE(tokenize("int x = 0;").has_pragma_once);
+}
+
+TEST(LintTokenizer, DigitSeparatorsStayGluedToTheNumber) {
+  const TokenizedSource src = tokenize(
+      "unsigned a = 0xFF'FF;\n"
+      "long b = 1'000'000;\n"
+      "unsigned c = 0b1010'1010;\n");
+  std::vector<std::string> numbers;
+  for (const Token& t : src.tokens) {
+    if (t.kind == TokenKind::kNumber) numbers.push_back(t.text);
+  }
+  // Each literal is ONE pp-number; a lexer that stops at the apostrophe
+  // would emit a bogus kChar and desynchronize everything after it.
+  ASSERT_EQ(numbers.size(), 3u);
+  EXPECT_EQ(numbers[0], "0xFF'FF");
+  EXPECT_EQ(numbers[1], "1'000'000");
+  EXPECT_EQ(numbers[2], "0b1010'1010");
+  for (const Token& t : src.tokens) EXPECT_NE(t.kind, TokenKind::kChar);
+}
+
+TEST(LintTokenizer, NumberFollowedByCharLiteralIsNotASeparator) {
+  // An apostrophe only continues a pp-number when digit-ish text follows.
+  // Directly after `0x1F`, `'+'` must lex as a char literal (the macro-heavy
+  // adjacency case), and ordinary char literals after numbers stay intact.
+  const TokenizedSource src = tokenize("g(0x1F'+');\ncase 0x2A: f('a');\n");
+  std::vector<std::string> chars;
+  std::vector<std::string> numbers;
+  for (const Token& t : src.tokens) {
+    if (t.kind == TokenKind::kChar) chars.push_back(t.text);
+    if (t.kind == TokenKind::kNumber) numbers.push_back(t.text);
+  }
+  ASSERT_EQ(chars.size(), 2u);
+  EXPECT_EQ(chars[0], "+");
+  EXPECT_EQ(chars[1], "a");
+  ASSERT_EQ(numbers.size(), 2u);
+  EXPECT_EQ(numbers[0], "0x1F");
+  EXPECT_EQ(numbers[1], "0x2A");
+}
+
+TEST(LintTokenizer, U8AndRawStringAdjacency) {
+  const TokenizedSource src = tokenize(
+      "auto a = u8\"plain\";\n"
+      "auto b = u8R\"x(raw \" body)x\";\n"
+      "auto c = LR\"(wide raw)\";\n"
+      "int u8x = 1;\n");  // identifier starting with u8 stays an identifier
+  std::vector<std::string> strings;
+  bool saw_u8x = false;
+  for (const Token& t : src.tokens) {
+    if (t.kind == TokenKind::kString) strings.push_back(t.text);
+    if (t.kind == TokenKind::kIdentifier && t.text == "u8x") saw_u8x = true;
+  }
+  ASSERT_EQ(strings.size(), 3u);
+  EXPECT_EQ(strings[0], "plain");
+  EXPECT_EQ(strings[1], "raw \" body");
+  EXPECT_EQ(strings[2], "wide raw");
+  EXPECT_TRUE(saw_u8x);
 }
 
 // ---------------------------------------------------------------------------
@@ -313,6 +371,28 @@ TEST(LintConfig, ParsesHotRootsStopsAndParallelApis) {
   EXPECT_THROW(parse_config("layer a\nhot-stop f\n", "c"), std::runtime_error);
 }
 
+TEST(LintConfig, ParsesStateRootsAndVolatileMembers) {
+  const Config c = parse_config(
+      "layer core\n"
+      "state-root Simulator::run replay\n"
+      "volatile-member DramChannel::next_event_when_ : derived cache\n"
+      "volatile-member scratch_ : rebuilt on first use\n",
+      "c");
+  ASSERT_EQ(c.state_roots.size(), 2u);
+  EXPECT_EQ(c.state_roots[0], "Simulator::run");
+  EXPECT_EQ(c.state_roots[1], "replay");
+  ASSERT_EQ(c.volatile_members.size(), 2u);
+  // As with hot-stop, the '::' in a qualified spec must not be read as the
+  // ':' that introduces the reason.
+  EXPECT_EQ(c.volatile_members[0].spec, "DramChannel::next_event_when_");
+  EXPECT_EQ(c.volatile_members[0].reason, "derived cache");
+  EXPECT_EQ(c.volatile_members[1].spec, "scratch_");
+  EXPECT_EQ(c.volatile_members[1].reason, "rebuilt on first use");
+  // A waiver without a reason is a mute button, not an audit trail: rejected.
+  EXPECT_THROW(parse_config("layer a\nvolatile-member m_\n", "c"),
+               std::runtime_error);
+}
+
 FileInfo analyzed_file(const std::string& path, const std::string& text) {
   FileInfo f;
   f.path = path;
@@ -477,6 +557,162 @@ TEST(LintRules, NoHotRootsMeansHotFamilyIsInert) {
 }
 
 // ---------------------------------------------------------------------------
+// State-flow family: member-level save/load reconciliation (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+// A minimal codec pair; state-flow classifies a member touch as "serializing"
+// only when its statement names one of save/load's own parameters.
+const char* const kCodec =
+    "struct Writer { void u64(unsigned long long) {} };\n"
+    "struct Reader { unsigned long long u64() { return 0; } };\n";
+
+TEST(LintStateFlow, SavedButNeverRestoredMemberIsCaught) {
+  const Config c = parse_config("layer core\n", "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/thing.cpp"] =
+      std::string(kCodec) +
+      "class Thing {\n"
+      " public:\n"
+      "  void save_state(Writer& w) const { w.u64(a_); w.u64(b_); }\n"
+      "  void load_state(Reader& r) { a_ = r.u64(); }\n"
+      " private:\n"
+      "  unsigned long long a_ = 0;\n"
+      "  unsigned long long b_ = 0;\n"
+      "};\n";
+  const Report r = run_lint_on(files, c);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "state-unloaded-member");
+  EXPECT_NE(r.findings[0].message.find("'Thing::b_'"), std::string::npos);
+}
+
+TEST(LintStateFlow, SaveLoadOrderDivergenceIsCaught) {
+  const Config c = parse_config("layer core\n", "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/swapped.cpp"] =
+      std::string(kCodec) +
+      "class Swapped {\n"
+      " public:\n"
+      "  void save_state(Writer& w) const { w.u64(a_); w.u64(b_); }\n"
+      "  void load_state(Reader& r) { b_ = r.u64(); a_ = r.u64(); }\n"
+      " private:\n"
+      "  unsigned long long a_ = 0;\n"
+      "  unsigned long long b_ = 0;\n"
+      "};\n";
+  const Report r = run_lint_on(files, c);
+  ASSERT_EQ(r.findings.size(), 1u);
+  // PLNSNAP1 has no field tags: touch order IS the byte layout, so the
+  // swapped decode reads a_'s bytes into b_.
+  EXPECT_EQ(r.findings[0].rule, "state-order-mismatch");
+}
+
+TEST(LintStateFlow, MutatedButNeverSerializedMemberIsCaught) {
+  // The unsaved-member check walks mutation sites reachable from the state
+  // roots (unioned with hot roots); without roots it is inert.
+  const Config c = parse_config("layer core\nstate-root tick\n", "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/counter.cpp"] =
+      std::string(kCodec) +
+      "class Counter {\n"
+      " public:\n"
+      "  void tick() { ++hits_; ++misses_; }\n"
+      "  void save_state(Writer& w) const { w.u64(hits_); }\n"
+      "  void load_state(Reader& r) { hits_ = r.u64(); }\n"
+      " private:\n"
+      "  unsigned long long hits_ = 0;\n"
+      "  unsigned long long misses_ = 0;\n"
+      "};\n";
+  const Report r = run_lint_on(files, c);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "state-unsaved-member");
+  EXPECT_NE(r.findings[0].message.find("'Counter::misses_'"),
+            std::string::npos);
+}
+
+TEST(LintStateFlow, SerializedNondeterminismIsCaught) {
+  const Config c = parse_config("layer core\n", "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/tagged.cpp"] =
+      std::string(kCodec) +
+      "class Tagged {\n"
+      " public:\n"
+      "  void stamp() { seed_ = reinterpret_cast<unsigned long long>(this); }\n"
+      "  void save_state(Writer& w) const { w.u64(seed_); }\n"
+      "  void load_state(Reader& r) { seed_ = r.u64(); }\n"
+      " private:\n"
+      "  unsigned long long seed_ = 0;\n"
+      "};\n";
+  const Report r = run_lint_on(files, c);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "state-det-taint");
+  EXPECT_NE(r.findings[0].message.find("'Tagged::seed_'"), std::string::npos);
+}
+
+TEST(LintStateFlow, VolatileDirectiveWaivesWithItsReason) {
+  const Config c = parse_config("layer core\nstate-root tick\n", "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/counter.cpp"] =
+      std::string(kCodec) +
+      "class Counter {\n"
+      " public:\n"
+      "  void tick() { ++hits_; ++misses_; }\n"
+      "  void save_state(Writer& w) const { w.u64(hits_); }\n"
+      "  void load_state(Reader& r) { hits_ = r.u64(); }\n"
+      " private:\n"
+      "  unsigned long long hits_ = 0;\n"
+      "  // lint: volatile(misses_): diagnostic counter, reset on resume\n"
+      "  unsigned long long misses_ = 0;\n"
+      "};\n";
+  const Report r = run_lint_on(files, c);
+  EXPECT_TRUE(r.clean());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "state-unsaved-member");
+  EXPECT_EQ(r.suppressed[0].suppress_reason,
+            "diagnostic counter, reset on resume");
+}
+
+TEST(LintStateFlow, ConfigVolatileMemberWaivesToo) {
+  const Config c = parse_config(
+      "layer core\n"
+      "state-root tick\n"
+      "volatile-member Counter::misses_ : diagnostic counter\n",
+      "mini.conf");
+  std::map<std::string, std::string> files;
+  files["src/core/counter.cpp"] =
+      std::string(kCodec) +
+      "class Counter {\n"
+      " public:\n"
+      "  void tick() { ++hits_; ++misses_; }\n"
+      "  void save_state(Writer& w) const { w.u64(hits_); }\n"
+      "  void load_state(Reader& r) { hits_ = r.u64(); }\n"
+      " private:\n"
+      "  unsigned long long hits_ = 0;\n"
+      "  unsigned long long misses_ = 0;\n"
+      "};\n";
+  const Report r = run_lint_on(files, c);
+  EXPECT_TRUE(r.clean());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "state-unsaved-member");
+  // The config origin is visible in the audit trail.
+  EXPECT_NE(r.suppressed[0].suppress_reason.find("layers.conf"),
+            std::string::npos);
+}
+
+TEST(LintStateFlow, MalformedVolatileDirectiveIsAFinding) {
+  const Config c = parse_config("layer core\n", "mini.conf");
+  // Reason-less waiver: reported, silences nothing.
+  std::map<std::string, std::string> files;
+  files["src/core/bad.cpp"] =
+      "// lint: volatile(misses_)\n"
+      "int f() { return 1; }\n";
+  EXPECT_EQ(rule_set(run_lint_on(files, c).findings).count("suppression"), 1u);
+  // A member spec without the trailing underscore cannot name a data member.
+  files["src/core/bad.cpp"] =
+      "// lint: volatile(misses): not a member name\n"
+      "int f() { return 1; }\n";
+  EXPECT_EQ(rule_set(run_lint_on(files, c).findings).count("suppression"), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Fixture corpus on disk: each directory trips exactly its namesake rule
 // ---------------------------------------------------------------------------
 
@@ -497,7 +733,9 @@ TEST(LintFixtures, EveryFixtureFailsWithItsNamesakeRule) {
       "layering",           "pragma-once",       "race-capture-write",
       "race-nonconst-call", "race-shared-static", "raw-assert",
       "snapshot-missing",   "snapshot-pairing",  "snapshot-roundtrip",
-      "suppression",        "unordered-iteration", "using-namespace"};
+      "state-det-taint",    "state-order-mismatch", "state-unloaded-member",
+      "state-unsaved-member", "suppression",     "unordered-iteration",
+      "using-namespace"};
   EXPECT_EQ(names, expected);
 
   for (const std::string& name : names) {
@@ -571,7 +809,8 @@ TEST(LintRepo, EveryConfigLineIsLoadBearing) {
   fs::create_directories(scratch);
 
   int mutations = 0;
-  for (const std::string prefix : {"layer ", "allow ", "hot-stop "}) {
+  for (const std::string prefix :
+       {"layer ", "allow ", "hot-stop ", "volatile-member "}) {
     for (std::size_t i = 0;; ++i) {
       const std::string mutated =
           drop_nth_line_with_prefix(committed, prefix, i);
@@ -596,19 +835,99 @@ TEST(LintRepo, EveryConfigLineIsLoadBearing) {
       }
     }
   }
-  // The committed config declares 9 layer lines, 7 allow edges, and 1
-  // hot-stop (dropping the stop floods the hot family with thread-pool
-  // internals); a rewrite that shrinks it should be a deliberate act,
-  // visible here.
-  EXPECT_EQ(mutations, 17);
+  // The committed config declares 9 layer lines, 7 allow edges, 1 hot-stop
+  // (dropping the stop floods the hot family with thread-pool internals),
+  // and 1 volatile-member (dropping it resurfaces the DramChannel
+  // next-event-cache finding); a rewrite that shrinks it should be a
+  // deliberate act, visible here.
+  EXPECT_EQ(mutations, 18);
   fs::remove_all(scratch);
 }
 
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Acceptance mutation seed for the state-flow family: deleting a single
+// member-serialize line from a REAL save_state body must surface as a
+// state-* finding naming that member. This is the property the byte-pinned
+// golden snapshots cannot give us — they catch layout drift only for the
+// state the seed trace happens to exercise; the lint family reconciles the
+// code paths themselves.
+TEST(LintRepo, DeletingAMemberSerializeLineIsCaught) {
+  const fs::path repo(PLANARIA_LINT_REPO_ROOT);
+  const Config c = parse_config("layer common\nlayer core prefetch\n", "c");
+
+  struct Mutation {
+    const char* def_path;   // file holding the save_state body
+    const char* decl_path;  // header declaring the class's members
+    const char* erase;      // the exact serialize line to delete
+    const char* cls;
+    const char* member;
+  };
+  const Mutation kMutations[] = {
+      {"src/core/coordinators.cpp", "src/core/coordinators.hpp",
+       "  slp_.save_state(w);\n", "SerialComposite", "slp_"},
+      {"src/core/coordinators.cpp", "src/core/coordinators.hpp",
+       "  tlp_.save_state(w);\n", "SerialComposite", "tlp_"},
+      {"src/core/coordinators.cpp", "src/core/coordinators.hpp",
+       "  w.b(slp_active_);\n", "SerialComposite", "slp_active_"},
+      {"src/core/coordinators.cpp", "src/core/coordinators.hpp",
+       "  w.u32(static_cast<std::uint32_t>(slp_failures_));\n",
+       "SerialComposite", "slp_failures_"},
+      {"src/core/coordinators.cpp", "src/core/coordinators.hpp",
+       "  w.u64(switches_);\n", "SerialComposite", "switches_"},
+      {"src/prefetch/spp.cpp", "src/prefetch/spp.hpp",
+       "  w.u64(static_cast<std::uint64_t>(ghr_next_));\n",
+       "SignaturePathPrefetcher", "ghr_next_"},
+  };
+
+  for (const Mutation& m : kMutations) {
+    SCOPED_TRACE(std::string(m.cls) + "::" + m.member);
+    std::map<std::string, std::string> files;
+    files[m.def_path] = slurp(repo / m.def_path);
+    files[m.decl_path] = slurp(repo / m.decl_path);
+    ASSERT_FALSE(files[m.def_path].empty());
+    ASSERT_FALSE(files[m.decl_path].empty());
+
+    // Baseline: the untouched pair carries no state findings (other families
+    // may grumble about the truncated tree; they are not under test here).
+    const auto state_rules = [](const Report& r) {
+      std::set<std::string> rules;
+      for (const Finding& f : r.findings) {
+        if (f.rule.rfind("state-", 0) == 0) rules.insert(f.rule);
+      }
+      return rules;
+    };
+    EXPECT_TRUE(state_rules(run_lint_on(files, c)).empty());
+
+    // Delete exactly one serialize line (first occurrence is inside the
+    // class's own save_state: the composite bodies come first in the file).
+    std::string& body = files[m.def_path];
+    const std::size_t at = body.find(m.erase);
+    ASSERT_NE(at, std::string::npos);
+    body.erase(at, std::string(m.erase).size());
+
+    const Report broken = run_lint_on(files, c);
+    bool caught = false;
+    const std::string want = std::string("'") + m.cls + "::" + m.member + "'";
+    for (const Finding& f : broken.findings) {
+      caught |= f.rule.rfind("state-", 0) == 0 &&
+                f.message.find(want) != std::string::npos;
+    }
+    EXPECT_TRUE(caught) << "deleting `" << m.erase
+                        << "` produced no state-* finding for " << want;
+  }
+}
+
 // ---------------------------------------------------------------------------
-// JSON report schema (version 3) is byte-pinned
+// JSON report schema (version 4) is byte-pinned
 // ---------------------------------------------------------------------------
 
-TEST(LintReport, JsonSchemaVersion3IsStable) {
+TEST(LintReport, JsonSchemaVersion4IsStable) {
   Report report;
   report.files_scanned = 2;
   Finding active;
@@ -644,11 +963,19 @@ TEST(LintReport, JsonSchemaVersion3IsStable) {
   bypass.message = "direct 'fopen'";
   report.findings.push_back(bypass);
 
-  // Version 3 adds the per-family "io" count of VFS-bypass findings next to
-  // the version-2 "race"/"hot" counts — all over ACTIVE findings only, so CI
-  // can gate the families without parsing messages.
+  Finding state;
+  state.rule = "state-unloaded-member";
+  state.file = "src/core/a.cpp";
+  state.line = 17;
+  state.message = "member 'C::m_' never restored";
+  report.findings.push_back(state);
+
+  // Version 4 adds the per-family "state" count of save/load-reconciliation
+  // findings next to the version-3 "race"/"hot"/"io" counts — all over
+  // ACTIVE findings only, so CI can gate the families without parsing
+  // messages (scripts/check_lint_report.py holds the key-level contract).
   const std::string expected =
-      "{\"tool\":\"planaria-lint\",\"schema_version\":3,\"root\":\"/r\","
+      "{\"tool\":\"planaria-lint\",\"schema_version\":4,\"root\":\"/r\","
       "\"files_scanned\":2,\"findings\":[{\"rule\":\"determinism\","
       "\"file\":\"src/core/a.cpp\",\"line\":7,"
       "\"message\":\"call to 'rand()'\"},{\"rule\":\"race-capture-write\","
@@ -657,19 +984,21 @@ TEST(LintReport, JsonSchemaVersion3IsStable) {
       "\"file\":\"src/core/a.cpp\",\"line\":11,"
       "\"message\":\"operator new\"},{\"rule\":\"io-raw-call\","
       "\"file\":\"src/core/a.cpp\",\"line\":13,"
-      "\"message\":\"direct 'fopen'\"}],\"suppressed\":["
+      "\"message\":\"direct 'fopen'\"},{\"rule\":\"state-unloaded-member\","
+      "\"file\":\"src/core/a.cpp\",\"line\":17,"
+      "\"message\":\"member 'C::m_' never restored\"}],\"suppressed\":["
       "{\"rule\":\"raw-assert\",\"file\":\"src/core/b.cpp\",\"line\":3,"
       "\"message\":\"say \\\"why\\\"\",\"reason\":\"legacy\\tcode\"}],"
-      "\"counts\":{\"findings\":4,\"suppressed\":1,\"race\":1,\"hot\":1,"
-      "\"io\":1}}";
+      "\"counts\":{\"findings\":5,\"suppressed\":1,\"race\":1,\"hot\":1,"
+      "\"io\":1,\"state\":1}}";
   EXPECT_EQ(to_json(report, "/r"), expected);
 
   Report empty;
   EXPECT_EQ(to_json(empty, ""),
-            "{\"tool\":\"planaria-lint\",\"schema_version\":3,\"root\":\"\","
+            "{\"tool\":\"planaria-lint\",\"schema_version\":4,\"root\":\"\","
             "\"files_scanned\":0,\"findings\":[],\"suppressed\":[],"
             "\"counts\":{\"findings\":0,\"suppressed\":0,\"race\":0,"
-            "\"hot\":0,\"io\":0}}");
+            "\"hot\":0,\"io\":0,\"state\":0}}");
 }
 
 }  // namespace

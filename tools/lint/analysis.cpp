@@ -55,9 +55,49 @@ void parse_suppressions(FileInfo& file, std::vector<Finding>& malformed) {
     if (at == std::string::npos) continue;
     std::string body = c.text.substr(at + 5);
     while (!body.empty() && body.front() == ' ') body.erase(body.begin());
-    // Only the two directive verbs make a comment a directive; prose that
+    // Only the directive verbs make a comment a directive; prose that
     // merely mentions "lint:" (docs, this file's own header) is not one.
-    if (body.rfind("suppress", 0) != 0 && body.rfind("no-contract", 0) != 0) {
+    if (body.rfind("suppress", 0) != 0 && body.rfind("no-contract", 0) != 0 &&
+        body.rfind("volatile(", 0) != 0) {
+      continue;
+    }
+
+    if (body.rfind("volatile(", 0) == 0) {
+      // volatile(<member>): reason — a state-* family member waiver.
+      const std::size_t close = body.find(')');
+      MemberWaiver waiver;
+      waiver.line = c.line;
+      waiver.member = close == std::string::npos
+                          ? std::string()
+                          : body.substr(9, close - 9);
+      std::size_t after = close == std::string::npos ? body.size() : close + 1;
+      while (after < body.size() &&
+             (body[after] == ' ' || body[after] == ':')) {
+        if (body[after] == ':') {
+          waiver.reason = body.substr(after + 1);
+          while (!waiver.reason.empty() && waiver.reason.front() == ' ') {
+            waiver.reason.erase(waiver.reason.begin());
+          }
+          break;
+        }
+        ++after;
+      }
+      if (waiver.member.empty() || waiver.member.back() != '_') {
+        malformed.push_back({"suppression", file.path, c.line,
+                             "volatile() must name a data member "
+                             "(trailing-underscore identifier)",
+                             ""});
+        continue;
+      }
+      if (waiver.reason.empty()) {
+        malformed.push_back({"suppression", file.path, c.line,
+                             "volatile(" + waiver.member +
+                                 ") carries no ': <reason>' — derived state "
+                                 "must say why a restore can rebuild it",
+                             ""});
+        continue;
+      }
+      file.volatile_waivers.push_back(std::move(waiver));
       continue;
     }
 
@@ -302,6 +342,8 @@ void collect_classes(FileInfo& file) {
     if (j >= toks.size() || !is_punct(toks[j], "{")) continue;
     const std::size_t body_end = match_forward(toks, j, "{", "}");
     if (body_end == std::string::npos) continue;
+    cls.body_begin = j;
+    cls.body_end = body_end;
 
     // Walk the body at depth 1 (relative to the class brace), tracking
     // access sections; deeper braces (method bodies, nested classes) are

@@ -32,6 +32,15 @@
 //   parallel-api <name>...
 //       Extra function names whose lambda arguments become parallel regions
 //       for the race-* rules (parallel_for and submit are always in).
+//   state-root <spec>...
+//       Extra reachability roots for the state-unsaved-member check, unioned
+//       with the hot-root specs. Same spec grammar as hot-root.
+//   volatile-member <spec> : <reason>
+//       Excludes one data member (`Cls::member_` exact, or bare `member_`
+//       for every class) from the state-flow family, with a mandatory
+//       reason — config-level form of the inline `volatile(<m>): reason`
+//       directive, for members whose waiver belongs next to the DAG rather
+//       than the code.
 #include "lint/lint.hpp"
 
 #include <fstream>
@@ -119,7 +128,7 @@ Config parse_config(const std::string& text, const std::string& filename) {
       }
       config.layers.push_back(modules);
     } else if (keyword == "allow" || keyword == "sanction" ||
-               keyword == "hot-stop") {
+               keyword == "hot-stop" || keyword == "volatile-member") {
       // The reason separator is a single ':' — skip over '::' so qualified
       // specs (hot-stop ThreadPool::parallel_for : ...) parse whole.
       std::size_t colon = std::string::npos;
@@ -152,16 +161,24 @@ Config parse_config(const std::string& text, const std::string& filename) {
           conf_error(filename, lineno, "expected: sanction <rule> <path> : <reason>");
         }
         config.sanctions.push_back({words[0], words[1], reason});
-      } else {
+      } else if (keyword == "hot-stop") {
         if (words.size() != 1) {
           conf_error(filename, lineno, "expected: hot-stop <spec> : <reason>");
         }
         config.hot_stops.push_back({words[0], reason});
+      } else {
+        if (words.size() != 1) {
+          conf_error(filename, lineno,
+                     "expected: volatile-member <spec> : <reason>");
+        }
+        config.volatile_members.push_back({words[0], reason});
       }
-    } else if (keyword == "hot-root") {
+    } else if (keyword == "hot-root" || keyword == "state-root") {
       const auto specs = split_words(rest);
-      if (specs.empty()) conf_error(filename, lineno, "hot-root needs specs");
-      for (const auto& s : specs) config.hot_roots.push_back(s);
+      if (specs.empty()) conf_error(filename, lineno, keyword + " needs specs");
+      auto& roots =
+          keyword == "hot-root" ? config.hot_roots : config.state_roots;
+      for (const auto& s : specs) roots.push_back(s);
     } else if (keyword == "parallel-api") {
       for (const auto& f : split_words(rest)) config.parallel_apis.insert(f);
     } else if (keyword == "snapshot-modules") {

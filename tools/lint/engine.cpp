@@ -48,6 +48,14 @@ Report finalize(std::vector<FileInfo>& files, const Config& config,
   for (const FileInfo& f : files) by_path.emplace(f.path, &f);
 
   for (Finding& finding : raw) {
+    // The state-flow pass resolves its own waivers (volatile(...) directives
+    // and layers.conf volatile-member lines) and pre-fills the reason; those
+    // findings go straight to the suppressed list so the waiver stays
+    // auditable in the report.
+    if (!finding.suppress_reason.empty()) {
+      report.suppressed.push_back(std::move(finding));
+      continue;
+    }
     if (config.sanctioned(finding.rule, finding.file)) {
       for (const FileSanction& s : config.sanctions) {
         if (s.rule == finding.rule && s.path == finding.file) {
@@ -193,7 +201,7 @@ Report run_lint(const Options& options) {
 
 std::string to_json(const Report& report, const std::string& root) {
   std::ostringstream out;
-  out << "{\"tool\":\"planaria-lint\",\"schema_version\":3,\"root\":\""
+  out << "{\"tool\":\"planaria-lint\",\"schema_version\":4,\"root\":\""
       << json_escape(root) << "\",\"files_scanned\":" << report.files_scanned
       << ",\"findings\":[";
   for (std::size_t i = 0; i < report.findings.size(); ++i) {
@@ -205,18 +213,21 @@ std::string to_json(const Report& report, const std::string& root) {
     if (i != 0) out << ",";
     json_finding(out, report.suppressed[i], true);
   }
-  // schema_version 3: per-family counts over *active* findings, so CI can
-  // gate the interprocedural families and the VFS-bypass family without
-  // re-parsing messages (v3 added "io").
-  std::size_t race = 0, hot = 0, io = 0;
+  // schema_version 4: per-family counts over *active* findings, so CI can
+  // gate the interprocedural families, the VFS-bypass family, and the
+  // state-flow family without re-parsing messages (v3 added "io", v4 adds
+  // "state"). scripts/check_lint_report.py validates this shape.
+  std::size_t race = 0, hot = 0, io = 0, state = 0;
   for (const Finding& f : report.findings) {
     if (f.rule.rfind("race-", 0) == 0) ++race;
     if (f.rule.rfind("hot-", 0) == 0) ++hot;
     if (f.rule.rfind("io-raw", 0) == 0) ++io;
+    if (f.rule.rfind("state-", 0) == 0) ++state;
   }
   out << "],\"counts\":{\"findings\":" << report.findings.size()
       << ",\"suppressed\":" << report.suppressed.size() << ",\"race\":" << race
-      << ",\"hot\":" << hot << ",\"io\":" << io << "}}";
+      << ",\"hot\":" << hot << ",\"io\":" << io << ",\"state\":" << state
+      << "}}";
   return out.str();
 }
 

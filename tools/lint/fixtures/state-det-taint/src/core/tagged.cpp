@@ -1,0 +1,24 @@
+#include <cstdint>
+
+namespace fx::core {
+
+struct Writer {
+  void u64(std::uint64_t) {}
+};
+struct Reader {
+  std::uint64_t u64() { return 0; }
+};
+
+class Tagged {
+ public:
+  // BAD: the address of this object is not part of the deterministic state;
+  // a snapshot of seed_ can never be reproduced by a replay.
+  void stamp() { seed_ = reinterpret_cast<std::uint64_t>(this); }
+  void save_state(Writer& w) const { w.u64(seed_); }
+  void load_state(Reader& r) { seed_ = r.u64(); }
+
+ private:
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace fx::core

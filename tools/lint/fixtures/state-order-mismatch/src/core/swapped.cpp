@@ -1,0 +1,29 @@
+#include <cstdint>
+
+namespace fx::core {
+
+struct Writer {
+  void u64(std::uint64_t) {}
+};
+struct Reader {
+  std::uint64_t u64() { return 0; }
+};
+
+class Swapped {
+ public:
+  void save_state(Writer& w) const {
+    w.u64(a_);
+    w.u64(b_);
+  }
+  void load_state(Reader& r) {
+    // BAD: decodes b_ from a_'s bytes — the layout has no field tags.
+    b_ = r.u64();
+    a_ = r.u64();
+  }
+
+ private:
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+
+}  // namespace fx::core

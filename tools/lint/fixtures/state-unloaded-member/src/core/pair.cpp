@@ -1,0 +1,25 @@
+#include <cstdint>
+
+namespace fx::core {
+
+struct Writer {
+  void u64(std::uint64_t) {}
+};
+struct Reader {
+  std::uint64_t u64() { return 0; }
+};
+
+class Pair {
+ public:
+  void save_state(Writer& w) const {
+    w.u64(a_);
+    w.u64(b_);  // BAD: b_ is encoded but load_state never restores it
+  }
+  void load_state(Reader& r) { a_ = r.u64(); }
+
+ private:
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+
+}  // namespace fx::core

@@ -1,0 +1,26 @@
+#include <cstdint>
+
+namespace fx::core {
+
+struct Writer {
+  void u64(std::uint64_t) {}
+};
+struct Reader {
+  std::uint64_t u64() { return 0; }
+};
+
+class Counter {
+ public:
+  void tick() {
+    ++hits_;
+    ++skipped_;  // BAD: mutated on the state path, never serialized
+  }
+  void save_state(Writer& w) const { w.u64(hits_); }
+  void load_state(Reader& r) { hits_ = r.u64(); }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace fx::core

@@ -18,6 +18,18 @@ struct Suppression {
   bool file_scope = false;
 };
 
+/// The `volatile(<member>): reason` directive (lint-prefixed, like every
+/// suppression) — declares one data member to be
+/// derived or scratch state for the state-* family: it may be mutated on hot
+/// paths without being serialized, and may be rebuilt on one side of the
+/// save/load pair only. The reason is mandatory; a reason-less directive is
+/// itself a finding, like every other mute button in this tool.
+struct MemberWaiver {
+  std::string member;
+  std::string reason;
+  int line = 0;
+};
+
 struct FunctionDef {
   std::string name;
   std::string class_name;  ///< `Cls` for `Cls::name(...)` definitions
@@ -56,6 +68,10 @@ struct ClassInfo {
   int line = 0;
   bool is_class = false;  ///< `class` vs `struct`
   std::vector<std::string> bases;
+  /// Token indices of the class body braces { }, so the state-flow pass can
+  /// associate inline method definitions (empty FunctionDef::class_name)
+  /// with the class whose body contains them.
+  std::size_t body_begin = 0, body_end = 0;
   int save_state_line = 0;  ///< 0 = no save_state declared
   int load_state_line = 0;
   std::vector<DataMember> members;
@@ -75,6 +91,8 @@ struct FileInfo {
   bool is_header = false;
   TokenizedSource src;
   std::vector<Suppression> suppressions;
+  /// Parsed `volatile(<member>): reason` waiver directives.
+  std::vector<MemberWaiver> volatile_waivers;
   std::set<std::string> unordered_names;
   /// Identifiers declared as std::atomic<...> in this file.
   std::set<std::string> atomic_names;
@@ -135,5 +153,15 @@ void analyze(FileInfo& file, std::vector<Finding>& malformed);
 /// engine applies suppressions afterwards).
 std::vector<Finding> run_rules(const std::vector<FileInfo>& files,
                                const Config& config);
+
+/// The member-level state-flow pass (tools/lint/stateflow.cpp, DESIGN.md
+/// §17): for every class with a save_state/load_state pair, reconciles the
+/// members the pair serializes against each other (state-unloaded-member,
+/// state-order-mismatch), against every mutation reachable from the state
+/// roots (state-unsaved-member), and against the determinism ban list
+/// (state-det-taint). Waived findings arrive with suppress_reason pre-filled
+/// so the engine routes them to the suppressed list.
+void rule_state(const std::vector<FileInfo>& files, const Config& config,
+                const CallGraph& graph, std::vector<Finding>& out);
 
 }  // namespace planaria::lint

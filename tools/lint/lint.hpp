@@ -53,10 +53,26 @@
 //   hot-mutex             lock acquisition in the hot reachable set
 //   hot-env-read          repeated config/env read in the hot reachable set
 //
+// State-flow family (DESIGN.md §17; member-level save/load reconciliation):
+//   state-unsaved-member  member mutated somewhere reachable from the state
+//                         roots (state-root + hot-root specs) but never
+//                         serialized by its class's save_state/load_state
+//   state-unloaded-member member serialized by save_state but never restored
+//                         by load_state, or vice versa
+//   state-order-mismatch  save_state and load_state touch the serialized
+//                         members in different sequences (byte-layout skew)
+//   state-det-taint       a serialized member assigned from a nondeterminism
+//                         source (banned call/type, `this` as a value,
+//                         address-of / pointer-as-integer, unordered-
+//                         container iteration order), directly or through a
+//                         called helper (interprocedural, depth-bounded)
+//
 // Suppressions (inline comments, reason mandatory, each prefixed "lint:"):
 //   suppress(<rule>) <reason>       — covers its own line and the next
 //   suppress-file(<rule>) <reason>  — covers the whole file
 //   no-contract(<reason>)           — sugar for suppressing contract-coverage
+//   volatile(<member>): <reason>    — declares one data member derived or
+//                                     scratch state for the state-* family
 //
 // The engine is dependency-free (no libclang); everything is std C++20.
 #pragma once
@@ -127,6 +143,14 @@ struct HotStop {
   std::string reason;
 };
 
+/// A data member excluded (with a mandatory reason) from the state-flow
+/// family: derived or scratch state that is rebuilt rather than restored.
+/// Config-level equivalent of the inline `volatile(<m>): reason` directive.
+struct VolatileMember {
+  std::string spec;    ///< "Cls::member_" (exact) or bare "member_"
+  std::string reason;
+};
+
 struct Config {
   /// layers[i] = set of sibling modules at layer i; a module may include any
   /// module in a strictly lower layer, never a sibling or a higher layer.
@@ -150,6 +174,12 @@ struct Config {
   /// Function names whose lambda arguments become parallel regions for the
   /// race-* rules (defaults: parallel_for, submit).
   std::set<std::string> parallel_apis;
+  /// Extra reachability roots for state-unsaved-member, unioned with
+  /// hot_roots. Both empty = the unsaved-member check is inert (the other
+  /// state-* checks still run: they need only the save/load bodies).
+  std::vector<std::string> state_roots;
+  /// Reason-carrying member exclusions from the state-flow family.
+  std::vector<VolatileMember> volatile_members;
 
   int layer_of(const std::string& module) const;  ///< -1 if undeclared
   bool edge_allowed(const std::string& from, const std::string& to) const;
@@ -181,10 +211,10 @@ struct Report {
   bool clean() const { return findings.empty(); }
 };
 
-/// Renders the stable machine-readable report (schema_version 3: per-family
-/// "race"/"hot" counts plus the v3 "io" count of VFS-bypass findings in
-/// "counts"). Keys and their order are part of the contract
-/// tests/test_lint.cpp pins down.
+/// Renders the stable machine-readable report (schema_version 4: per-family
+/// "race"/"hot"/"io" counts plus the v4 "state" count of state-flow findings
+/// in "counts"). Keys and their order are part of the contract
+/// tests/test_lint.cpp pins down and scripts/check_lint_report.py validates.
 std::string to_json(const Report& report, const std::string& root);
 
 // ---------------------------------------------------------------------------

@@ -1,18 +1,28 @@
 // planaria-lint CLI.
 //
-//   planaria-lint [--root DIR] [--config FILE] [--json[=FILE]] [--quiet]
+//   planaria-lint [--root DIR] [--config FILE] [--json[=FILE]]
+//                 [--diff-base REV] [--quiet]
 //
 // Scans src/, tools/, bench/, and tests/ under the root (default: the
 // source tree this binary was built from, overridable with --root or
 // PLANARIA_LINT_ROOT) against tools/lint/layers.conf and prints findings as
 // `file:line: [rule] message`. Exit codes: 0 clean, 1 unsuppressed
 // findings, 2 usage/config/I-O error.
+//
+// --diff-base REV restricts *reported* findings to files changed since REV
+// (per `git diff --name-only REV`): the analysis still runs over the whole
+// tree — layering, call-graph reach, and save/load pairing are all global
+// properties — only the report is filtered. CI stays a full scan; diff mode
+// is for iterating locally on a large change without wading through
+// pre-existing suppressed noise.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "lint/lint.hpp"
 
@@ -22,6 +32,53 @@
 
 namespace lint = planaria::lint;
 
+namespace {
+
+/// Repo-relative paths changed since `rev`, via `git diff --name-only`.
+/// Throws std::runtime_error when git fails (unknown rev, not a repo).
+std::set<std::string> changed_files(const std::string& root,
+                                    const std::string& rev) {
+  std::string cmd = "git -C '" + root + "' diff --name-only '" + rev + "' --";
+  for (const char c : rev + root) {
+    // Refuse shell metacharacters rather than trying to quote them: revs
+    // and roots are operator input, not attacker input, but a typo that
+    // splices the shell should fail loudly.
+    if (c == '\'' || c == ';' || c == '`' || c == '$') {
+      throw std::runtime_error("--diff-base rev/root contains shell metacharacters");
+    }
+  }
+  FILE* pipe = popen((cmd + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) throw std::runtime_error("cannot spawn git diff");
+  std::set<std::string> out;
+  std::string line;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (!line.empty()) out.insert(line);
+  }
+  if (pclose(pipe) != 0) {
+    throw std::runtime_error("git diff --name-only '" + rev +
+                             "' failed (unknown revision, or root is not a "
+                             "git work tree)");
+  }
+  return out;
+}
+
+/// Keeps only findings whose file is in `keep`.
+void filter_to(std::vector<lint::Finding>& findings,
+               const std::set<std::string>& keep) {
+  std::vector<lint::Finding> kept;
+  for (auto& f : findings) {
+    if (keep.count(f.file) != 0) kept.push_back(std::move(f));
+  }
+  findings = std::move(kept);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   lint::Options options;
   options.root = PLANARIA_LINT_DEFAULT_ROOT;
@@ -30,6 +87,7 @@ int main(int argc, char** argv) {
   bool emit_json = false;
   bool quiet = false;
   std::string json_path;
+  std::string diff_base;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -41,12 +99,16 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       emit_json = true;
       json_path = arg.substr(7);
+    } else if (arg == "--diff-base" && i + 1 < argc) {
+      diff_base = argv[++i];
+    } else if (arg.rfind("--diff-base=", 0) == 0) {
+      diff_base = arg.substr(12);
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
       std::fprintf(stderr,
                    "usage: planaria-lint [--root DIR] [--config FILE] "
-                   "[--json[=FILE]] [--quiet]\n");
+                   "[--json[=FILE]] [--diff-base REV] [--quiet]\n");
       return 2;
     }
   }
@@ -60,6 +122,13 @@ int main(int argc, char** argv) {
   lint::Report report;
   try {
     report = lint::run_lint(options);
+    if (!diff_base.empty()) {
+      // Full-tree analysis, changed-files report: global rules still see
+      // everything, but only findings in touched files are surfaced.
+      const std::set<std::string> keep = changed_files(options.root, diff_base);
+      filter_to(report.findings, keep);
+      filter_to(report.suppressed, keep);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "planaria-lint: %s\n", e.what());
     return 2;

@@ -1123,6 +1123,8 @@ bool known_rule(const std::string& rule) {
       "race-capture-write", "race-shared-static", "race-nonconst-call",
       "hot-alloc",         "hot-string",          "hot-iostream",
       "hot-throw",         "hot-mutex",           "hot-env-read",
+      "state-unsaved-member", "state-unloaded-member",
+      "state-order-mismatch", "state-det-taint",
   };
   return rules.count(rule) != 0;
 }
@@ -1145,6 +1147,7 @@ std::vector<Finding> run_rules(const std::vector<FileInfo>& files,
   const CallGraph graph = build_call_graph(files);
   rule_race(files, config, graph, out);
   rule_hot(files, config, graph, out);
+  rule_state(files, config, graph, out);
   return out;
 }
 

@@ -290,10 +290,18 @@ class Lexer {
   void number() {
     const int start = line_;
     std::string word;
-    // pp-number: digits, idents, dots, and exponent signs glue together.
+    // pp-number: digits, idents, dots, exponent signs, and C++14 digit
+    // separators (0xFF'FF) glue together. A separator only continues the
+    // number when a digit-ish character follows — `0x1F'a'` must leave the
+    // char literal alone.
     while (pos_ < text_.size()) {
       skip_continuations();
       const char c = pos_ < text_.size() ? text_[pos_] : '\0';
+      if (c == '\'' && pos_ + 1 < text_.size() && ident_char(text_[pos_ + 1])) {
+        word.push_back(c);
+        ++pos_;
+        continue;
+      }
       if (ident_char(c) || c == '.') {
         word.push_back(c);
         ++pos_;
